@@ -1,0 +1,52 @@
+// Ablation: the frequency-oracle building block inside HIO. The paper uses
+// OLH; GRR and OUE are drop-in alternates (Section 3.2 cites [4, 5, 9, 13,
+// 35]). One sensitive ordinal dim with a modest domain so OUE's O(m)
+// reports stay reasonable.
+//
+// Expected shape: OLH and OUE are close (both asymptotically optimal); HR
+// trails them by a small constant; GRR degrades on the deeper levels where
+// the cell domain exceeds ~3 e^eps + 2.
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseBenchConfig(argc, argv, "ablation_fo_choice",
+                        "Ablation: OLH vs GRR vs OUE inside HIO", &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 100000, 500000);
+  const int64_t num_queries = ResolveQueries(config);
+  PrintBanner("Ablation: frequency oracle", "OLH vs GRR vs OUE", config,
+              "n=" + std::to_string(n));
+
+  const Table table = MakeIpumsNumeric(n, {125}, config.seed);
+  const int measure =
+      table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+  QueryGenerator gen(table, config.seed + 2);
+
+  TablePrinter out({"eps", "OLH MNAE", "GRR MNAE", "OUE MNAE", "HR MNAE"});
+  for (const double eps : {0.5, 1.0, 2.0, 4.0}) {
+    std::vector<MechanismSpec> specs;
+    for (const FoKind kind :
+         {FoKind::kOlh, FoKind::kGrr, FoKind::kOue, FoKind::kHr}) {
+      MechanismParams params = MakeParams(config, eps);
+      params.fo_kind = kind;
+      specs.push_back({MechanismKind::kHio, params, FoKindName(kind)});
+    }
+    const auto engines = BuildEngines(table, specs, config.seed + 1);
+    std::vector<Query> queries;
+    for (int64_t i = 0; i < num_queries; ++i) {
+      queries.push_back(
+          gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, 0.25));
+    }
+    std::vector<std::string> row = {FormatF(eps, 1)};
+    for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
+    out.AddRow(row);
+  }
+  out.Print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: space-partitioning structure for 2-dim range queries — HIO's
+// per-dimension hierarchy grid vs a QuadTree with the same level-sampling
+// trick (Section 7: "QuadTree incurs larger errors, because ... too many
+// noisy counts (the number is linear in the domain size) are added up").
+//
+// Expected shape: comparable on small domains, with the QuadTree falling
+// behind as the domain grows (its decomposition size grows linearly in the
+// domain side, HIO's polylogarithmically).
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseBenchConfig(argc, argv, "ablation_spatial",
+                        "Ablation: HIO vs QuadTree on 2-dim ranges",
+                        &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 200000, 1000000);
+  const int64_t num_queries = ResolveQueries(config);
+  PrintBanner("Ablation: space partitioning", "Section 7 discussion", config,
+              "n=" + std::to_string(n));
+
+  TablePrinter out({"domain", "HIO MNAE", "QuadTree MNAE"});
+  for (const uint64_t m : {32ull, 128ull, 512ull}) {
+    const Table table = MakeIpumsNumeric(n, {m, m}, config.seed);
+    const int measure =
+        table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+    MechanismParams hio_params = MakeParams(config, config.eps, /*fanout=*/2);
+    const std::vector<MechanismSpec> specs = {
+        {MechanismKind::kHio, hio_params, "HIO"},
+        {MechanismKind::kQuadTree, MakeParams(config, config.eps), "QuadTree"},
+    };
+    const auto engines = BuildEngines(table, specs, config.seed + 1);
+    QueryGenerator gen(table, config.seed + 2);
+    std::vector<Query> queries;
+    for (int64_t i = 0; i < num_queries; ++i) {
+      queries.push_back(
+          gen.RandomVolumeQuery(Aggregate::Sum(measure), {0, 1}, 0.25));
+    }
+    std::vector<std::string> row = {std::to_string(m) + "x" +
+                                    std::to_string(m)};
+    for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
+    out.AddRow(row);
+  }
+  out.Print();
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace ldp {
+namespace bench {
+
+bool ParseBenchConfig(int argc, char** argv, const std::string& name,
+                      const std::string& description, BenchConfig* config,
+                      FlagParser* parser) {
+  FlagParser local(name, description);
+  FlagParser* p = parser != nullptr ? parser : &local;
+  p->AddInt64("n", &config->n, "number of users (0 = bench default)");
+  p->AddDouble("eps", &config->eps, "privacy budget epsilon");
+  p->AddInt64("queries", &config->queries,
+              "random queries per data point (0 = bench default)");
+  p->AddInt64("seed", &config->seed, "master random seed");
+  p->AddInt64("pool", &config->pool,
+              "OLH hash-seed pool size (0 = unbounded/exact)");
+  p->AddBool("full", &config->full, "use the paper-scale parameters");
+  return p->Parse(argc, argv);
+}
+
+int64_t ResolveN(const BenchConfig& config, int64_t quick_default,
+                 int64_t paper_default) {
+  if (config.n > 0) return config.n;
+  return config.full ? paper_default : quick_default;
+}
+
+int64_t ResolveQueries(const BenchConfig& config, int64_t quick_default) {
+  if (config.queries > 0) return config.queries;
+  return config.full ? 30 : quick_default;
+}
+
+MechanismParams MakeParams(const BenchConfig& config, double eps,
+                           uint32_t fanout) {
+  MechanismParams params;
+  params.epsilon = eps;
+  params.fanout = fanout;
+  params.hash_pool_size = static_cast<uint32_t>(config.pool);
+  return params;
+}
+
+std::vector<std::unique_ptr<AnalyticsEngine>> BuildEngines(
+    const Table& table, const std::vector<MechanismSpec>& specs,
+    uint64_t seed) {
+  std::vector<std::unique_ptr<AnalyticsEngine>> engines;
+  for (const MechanismSpec& spec : specs) {
+    EngineOptions options;
+    options.mechanism = spec.kind;
+    options.params = spec.params;
+    options.seed = seed;
+    auto engine = AnalyticsEngine::Create(table, options);
+    if (engine.ok()) {
+      engines.push_back(std::move(engine).value());
+    } else {
+      std::fprintf(stderr, "note: %s engine unavailable: %s\n",
+                   MechanismKindName(spec.kind).c_str(),
+                   engine.status().ToString().c_str());
+      engines.push_back(nullptr);
+    }
+  }
+  return engines;
+}
+
+std::vector<std::string> EvalRow(
+    const std::vector<std::unique_ptr<AnalyticsEngine>>& engines,
+    const std::vector<Query>& queries, bool use_mre) {
+  std::vector<std::string> cells;
+  for (const auto& engine : engines) {
+    if (engine == nullptr || queries.empty()) {
+      cells.push_back("n/a");
+      continue;
+    }
+    const auto stats = EvaluateQueries(*engine, queries);
+    if (!stats.ok()) {
+      cells.push_back("err");
+      continue;
+    }
+    const OnlineStats& s =
+        use_mre ? stats.value().mre : stats.value().mnae;
+    cells.push_back(FormatErr(s.mean(), s.stddev()));
+  }
+  return cells;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const BenchConfig& config, const std::string& extra) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("config: eps=%.2f pool=%lld seed=%lld%s%s\n", config.eps,
+              static_cast<long long>(config.pool),
+              static_cast<long long>(config.seed),
+              config.full ? " [FULL/paper scale]" : " [quick scale]",
+              extra.empty() ? "" : ("  " + extra).c_str());
+}
+
+}  // namespace bench
+}  // namespace ldp

@@ -1,0 +1,66 @@
+#ifndef LDPMDA_BENCH_BENCH_COMMON_H_
+#define LDPMDA_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "data/generator.h"
+#include "engine/engine.h"
+#include "engine/experiment.h"
+#include "engine/query_gen.h"
+
+namespace ldp {
+namespace bench {
+
+/// Common knobs for the figure-reproduction binaries. Defaults are scaled to
+/// finish quickly on one core; `--full` switches to the paper's parameters
+/// (dataset sizes, 30 queries per point). See EXPERIMENTS.md.
+struct BenchConfig {
+  int64_t n = 0;        // 0 = per-bench default
+  double eps = 2.0;
+  int64_t queries = 0;  // 0 = per-bench default (paper: 30)
+  int64_t seed = 42;
+  /// OLH hash-seed pool for server-side histogram speedups. The induced
+  /// conditional bias (relative order 1/sqrt(g*pool)) is negligible next to
+  /// the LDP noise at these scales; pass --pool=0 for exact unbiasedness at
+  /// higher query cost.
+  int64_t pool = 1024;
+  bool full = false;
+};
+
+/// Parses the standard flags (plus `extra`, which may add its own flags
+/// beforehand). Exits the process on --help or bad flags.
+bool ParseBenchConfig(int argc, char** argv, const std::string& name,
+                      const std::string& description, BenchConfig* config,
+                      FlagParser* parser = nullptr);
+
+/// Resolves defaults: n and queries fall back to (full ? paper : quick).
+int64_t ResolveN(const BenchConfig& config, int64_t quick_default,
+                 int64_t paper_default);
+int64_t ResolveQueries(const BenchConfig& config, int64_t quick_default = 10);
+
+MechanismParams MakeParams(const BenchConfig& config, double eps,
+                           uint32_t fanout = 5);
+
+/// Builds one engine per spec over `table` (simulated collection with
+/// config.seed). Specs whose engines cannot be built yield null entries.
+std::vector<std::unique_ptr<AnalyticsEngine>> BuildEngines(
+    const Table& table, const std::vector<MechanismSpec>& specs,
+    uint64_t seed);
+
+/// Evaluates each engine on the workload; null engines yield "n/a" cells.
+/// Returns formatted "mean+-std" MNAE (or MRE) strings per engine.
+std::vector<std::string> EvalRow(
+    const std::vector<std::unique_ptr<AnalyticsEngine>>& engines,
+    const std::vector<Query>& queries, bool use_mre = false);
+
+/// Prints the standard experiment banner.
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const BenchConfig& config, const std::string& extra = "");
+
+}  // namespace bench
+}  // namespace ldp
+
+#endif  // LDPMDA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Figure 11: relative error of HIO on the 2 ordinal + 2 categorical schema
+// for SUM queries with selectivity ~ 0.1, varying the ordinal domain size
+// m in {54, 108, 216} (--full adds 432), at eps = 2 and eps = 5.
+//
+// Expected shape: errors grow with m (log m factors in Theorem 9); 1+0 and
+// 1+1 query types beat 2+0 and 2+2 (error grows with d_q).
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+namespace {
+
+struct QueryType {
+  const char* name;
+  std::vector<int> ordinals;
+  std::vector<int> categoricals;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseBenchConfig(argc, argv, "fig11_vary_domain",
+                        "Figure 11: HIO relative error vs domain size",
+                        &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 200000, 1000000);
+  const int64_t num_queries = ResolveQueries(config, 8);
+  PrintBanner("Figure 11", "SIGMOD'19 Fig. 11: 2+2 dims, vary m", config,
+              "n=" + std::to_string(n));
+
+  const std::vector<QueryType> types = {
+      {"1+0", {0}, {}},
+      {"1+1", {0}, {3}},
+      {"2+0", {0, 1}, {}},
+      {"2+2", {0, 1}, {2, 3}},
+  };
+  std::vector<uint64_t> domains = {54, 108, 216};
+  if (config.full) domains.push_back(432);
+
+  for (const double eps : {2.0, 5.0}) {
+    std::vector<std::string> header = {"eps=" + FormatF(eps, 0) + "  m"};
+    for (const auto& t : types) header.push_back(std::string(t.name) + " MRE");
+    TablePrinter out(header);
+    for (const uint64_t m : domains) {
+      const Table table = MakeIpums4D(n, m, config.seed);
+      const int measure =
+          table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+      EngineOptions options;
+      options.mechanism = MechanismKind::kHio;
+      options.params = MakeParams(config, eps);
+      options.seed = config.seed + 1;
+      auto engine = AnalyticsEngine::Create(table, options).ValueOrDie();
+      QueryGenerator gen(table, config.seed + 3);
+      std::vector<std::string> row = {std::to_string(m)};
+      for (const auto& type : types) {
+        OnlineStats mre;
+        for (int64_t i = 0; i < num_queries; ++i) {
+          const auto q = gen.RandomSelectivityQuery(
+              Aggregate::Sum(measure), type.ordinals, type.categoricals, 0.1,
+              0.35);
+          if (!q.ok()) continue;
+          const auto truth = engine->ExecuteExact(q.value());
+          const auto est = engine->Execute(q.value());
+          if (truth.ok() && est.ok()) {
+            mre.Add(RelativeError(est.value(), truth.value()));
+          }
+        }
+        row.push_back(mre.count() > 0 ? FormatErr(mre.mean(), mre.stddev())
+                                      : "n/a");
+      }
+      out.AddRow(row);
+    }
+    out.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 12: HIO vs SC on the 4 ordinal + 4 categorical (8-dim) schema,
+// SUM queries of selectivity ~ 0.1 by query type, eps = 5 (Section 6.2.2).
+//
+// Expected shape: SC beats HIO for almost all query types (the error no
+// longer pays HIO's (h+1)^d level-sampling factor); HIO catches up only on
+// the widest types (the paper singles out 2+1).
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+namespace {
+
+struct QueryType {
+  const char* name;
+  std::vector<int> ordinals;      // attrs 0..3 are ordinal
+  std::vector<int> categoricals;  // attrs 4..7 are categorical
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.eps = 5.0;
+  if (!ParseBenchConfig(argc, argv, "fig12_highdim_hio_vs_sc",
+                        "Figure 12: 4+4 dims, HIO vs SC by query type",
+                        &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 200000, 1000000);
+  const int64_t num_queries = ResolveQueries(config, 5);
+  PrintBanner("Figure 12", "SIGMOD'19 Fig. 12: 4+4 dims, eps=5", config,
+              "n=" + std::to_string(n));
+
+  const Table table = MakeIpums8D(n, 54, config.seed);
+  const int measure =
+      table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+  const std::vector<MechanismSpec> specs = {
+      {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
+      {MechanismKind::kSc, MakeParams(config, config.eps), "SC"},
+  };
+  const auto engines = BuildEngines(table, specs, config.seed + 1);
+
+  const std::vector<QueryType> types = {
+      {"1+0", {0}, {}},    {"0+1", {}, {7}},        {"1+1", {0}, {7}},
+      {"2+0", {0, 1}, {}}, {"0+2", {}, {4, 7}},     {"2+1", {0, 1}, {7}},
+      {"2+2", {0, 1}, {4, 7}},
+  };
+
+  TablePrinter out({"type", "HIO MRE", "SC MRE"});
+  QueryGenerator gen(table, config.seed + 3);
+  for (const auto& type : types) {
+    std::vector<Query> queries;
+    for (int64_t i = 0; i < num_queries; ++i) {
+      const auto q = gen.RandomSelectivityQuery(Aggregate::Sum(measure),
+                                                type.ordinals,
+                                                type.categoricals, 0.1, 0.4);
+      if (q.ok()) queries.push_back(q.value());
+    }
+    std::vector<std::string> row = {type.name};
+    for (auto& cell : EvalRow(engines, queries, /*use_mre=*/true)) {
+      row.push_back(cell);
+    }
+    out.AddRow(row);
+  }
+  out.Print();
+  return 0;
+}

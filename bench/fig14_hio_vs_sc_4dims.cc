@@ -1,0 +1,67 @@
+// Figure 14 (Appendix G): HIO vs SC on the 2 ordinal + 2 categorical schema
+// (m = 52), SUM queries of selectivity ~ 0.1 by query type, eps = 5.
+//
+// Expected shape: comparable accuracy on the low-dimensional 1+0 and 1+1
+// types; HIO clearly better on 2+0 / 1+2 / 2+2 (d is small, so HIO's level
+// sampling is cheap while SC pays the conjunctive variance).
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+namespace {
+
+struct QueryType {
+  const char* name;
+  std::vector<int> ordinals;
+  std::vector<int> categoricals;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  config.eps = 5.0;
+  if (!ParseBenchConfig(argc, argv, "fig14_hio_vs_sc_4dims",
+                        "Figure 14: 2+2 dims (m=52), HIO vs SC", &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 200000, 1000000);
+  const int64_t num_queries = ResolveQueries(config, 8);
+  PrintBanner("Figure 14", "SIGMOD'19 Fig. 14: 2+2 dims, m=52, eps=5",
+              config, "n=" + std::to_string(n));
+
+  const Table table = MakeIpums4D(n, 52, config.seed);
+  const int measure =
+      table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+  const std::vector<MechanismSpec> specs = {
+      {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
+      {MechanismKind::kSc, MakeParams(config, config.eps), "SC"},
+  };
+  const auto engines = BuildEngines(table, specs, config.seed + 1);
+
+  const std::vector<QueryType> types = {
+      {"1+0", {0}, {}},     {"0+1", {}, {2}},    {"1+1", {0}, {2}},
+      {"2+0", {0, 1}, {}},  {"1+2", {0}, {2, 3}}, {"2+2", {0, 1}, {2, 3}},
+  };
+
+  TablePrinter out({"type", "HIO MRE", "SC MRE"});
+  QueryGenerator gen(table, config.seed + 3);
+  for (const auto& type : types) {
+    std::vector<Query> queries;
+    for (int64_t i = 0; i < num_queries; ++i) {
+      const auto q = gen.RandomSelectivityQuery(Aggregate::Sum(measure),
+                                                type.ordinals,
+                                                type.categoricals, 0.1, 0.4);
+      if (q.ok()) queries.push_back(q.value());
+    }
+    std::vector<std::string> row = {type.name};
+    for (auto& cell : EvalRow(engines, queries, /*use_mre=*/true)) {
+      row.push_back(cell);
+    }
+    out.AddRow(row);
+  }
+  out.Print();
+  return 0;
+}

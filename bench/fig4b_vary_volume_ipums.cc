@@ -1,0 +1,46 @@
+// Figure 4(b): same sweep as 4(a) on the IPUMS-like dataset (1M sample in
+// the paper; quick default 300k), d = 1, m = 1024, eps = 2.
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseBenchConfig(argc, argv, "fig4b_vary_volume_ipums",
+                        "Figure 4(b): vary query volume on IPUMS (d=1)",
+                        &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 300000, 1000000);
+  const int64_t num_queries = ResolveQueries(config);
+  PrintBanner("Figure 4(b)", "SIGMOD'19 Fig. 4(b): IPUMS 1M, d=1, m=1024",
+              config, "n=" + std::to_string(n));
+
+  const Table table = MakeIpumsNumeric(n, {1024}, config.seed);
+  const int measure =
+      table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+
+  const std::vector<MechanismSpec> specs = {
+      {MechanismKind::kMg, MakeParams(config, config.eps), "MG"},
+      {MechanismKind::kHi, MakeParams(config, config.eps), "HI"},
+      {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
+  };
+  const auto engines = BuildEngines(table, specs, config.seed + 1);
+
+  TablePrinter out({"vol(q)", "MG MNAE", "HI MNAE", "HIO MNAE"});
+  QueryGenerator gen(table, config.seed + 2);
+  for (const double vol : {0.01, 0.05, 0.1, 0.25, 0.5, 0.8}) {
+    std::vector<Query> queries;
+    for (int64_t i = 0; i < num_queries; ++i) {
+      queries.push_back(
+          gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, vol));
+    }
+    std::vector<std::string> row = {FormatF(vol, 2)};
+    for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
+    out.AddRow(row);
+  }
+  out.Print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4(c): MNAE of MG / HI / HIO on IPUMS-like data, d = 1, m = 1024,
+// vol(q) = 0.25, eps = 2, varying the data size |T| (paper: 0.1M - 3M).
+//
+// Expected shape: every mechanism improves roughly as 1/sqrt(n); HIO best.
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseBenchConfig(argc, argv, "fig4c_vary_datasize",
+                        "Figure 4(c): vary |T| on IPUMS (d=1)", &config)) {
+    return 1;
+  }
+  const int64_t num_queries = ResolveQueries(config);
+  PrintBanner("Figure 4(c)", "SIGMOD'19 Fig. 4(c): IPUMS, d=1, vol=0.25",
+              config);
+
+  const std::vector<int64_t> sizes =
+      config.full
+          ? std::vector<int64_t>{100000, 200000, 500000, 1000000, 2000000,
+                                 3000000}
+          : std::vector<int64_t>{50000, 100000, 200000, 500000};
+
+  TablePrinter out({"|T|", "MG MNAE", "HI MNAE", "HIO MNAE"});
+  for (const int64_t n : sizes) {
+    const Table table = MakeIpumsNumeric(n, {1024}, config.seed);
+    const int measure =
+        table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+    const std::vector<MechanismSpec> specs = {
+        {MechanismKind::kMg, MakeParams(config, config.eps), "MG"},
+        {MechanismKind::kHi, MakeParams(config, config.eps), "HI"},
+        {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
+    };
+    const auto engines = BuildEngines(table, specs, config.seed + 1);
+    QueryGenerator gen(table, config.seed + 2);
+    std::vector<Query> queries;
+    for (int64_t i = 0; i < num_queries; ++i) {
+      queries.push_back(
+          gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, 0.25));
+    }
+    std::vector<std::string> row = {std::to_string(n)};
+    for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
+    out.AddRow(row);
+  }
+  out.Print();
+  return 0;
+}

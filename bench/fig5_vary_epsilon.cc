@@ -1,0 +1,46 @@
+// Figure 5: MNAE of MG / HI / HIO on IPUMS-like data (d = 1, m = 1024,
+// vol(q) = 0.25), varying the privacy budget eps in {0.5, 1, 2, 5}.
+//
+// Expected shape: all methods improve with eps; HIO best throughout.
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseBenchConfig(argc, argv, "fig5_vary_epsilon",
+                        "Figure 5: vary epsilon on IPUMS (d=1)", &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 300000, 1000000);
+  const int64_t num_queries = ResolveQueries(config);
+  PrintBanner("Figure 5", "SIGMOD'19 Fig. 5: IPUMS 1M, d=1, vol=0.25",
+              config, "n=" + std::to_string(n));
+
+  const Table table = MakeIpumsNumeric(n, {1024}, config.seed);
+  const int measure =
+      table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+  QueryGenerator gen(table, config.seed + 2);
+  std::vector<Query> queries;
+  for (int64_t i = 0; i < num_queries; ++i) {
+    queries.push_back(
+        gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, 0.25));
+  }
+
+  TablePrinter out({"eps", "MG MNAE", "HI MNAE", "HIO MNAE"});
+  for (const double eps : {0.5, 1.0, 2.0, 5.0}) {
+    const std::vector<MechanismSpec> specs = {
+        {MechanismKind::kMg, MakeParams(config, eps), "MG"},
+        {MechanismKind::kHi, MakeParams(config, eps), "HI"},
+        {MechanismKind::kHio, MakeParams(config, eps), "HIO"},
+    };
+    const auto engines = BuildEngines(table, specs, config.seed + 1);
+    std::vector<std::string> row = {FormatF(eps, 1)};
+    for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
+    out.AddRow(row);
+  }
+  out.Print();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 6: two sensitive ordinal dimensions (256 x 256), SUM queries of
+// volume 0.25. Panel (a) varies eps; panel (b) varies |T|.
+//
+// Expected shape: MG is much worse than HIO at this volume for every eps and
+// |T| (a 2-dim range covers too many marginal cells); HI worse than HIO.
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+namespace {
+
+std::vector<Query> MakeWorkload(const Table& table, int64_t count,
+                                uint64_t seed) {
+  QueryGenerator gen(table, seed);
+  const int measure =
+      table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+  std::vector<Query> queries;
+  for (int64_t i = 0; i < count; ++i) {
+    queries.push_back(
+        gen.RandomVolumeQuery(Aggregate::Sum(measure), {0, 1}, 0.25));
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseBenchConfig(argc, argv, "fig6_two_dims_eps_n",
+                        "Figure 6: 256x256 dims, vary eps and |T|",
+                        &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 200000, 1000000);
+  const int64_t num_queries = ResolveQueries(config);
+  PrintBanner("Figure 6", "SIGMOD'19 Fig. 6: d=2, 256x256, vol=0.25", config,
+              "n=" + std::to_string(n));
+
+  // Panel (a): vary eps at fixed n.
+  {
+    const Table table = MakeIpumsNumeric(n, {256, 256}, config.seed);
+    const auto queries = MakeWorkload(table, num_queries, config.seed + 2);
+    TablePrinter out({"(a) eps", "MG MNAE", "HI MNAE", "HIO MNAE"});
+    for (const double eps : {0.5, 1.0, 2.0, 5.0}) {
+      const std::vector<MechanismSpec> specs = {
+          {MechanismKind::kMg, MakeParams(config, eps), "MG"},
+          {MechanismKind::kHi, MakeParams(config, eps), "HI"},
+          {MechanismKind::kHio, MakeParams(config, eps), "HIO"},
+      };
+      const auto engines = BuildEngines(table, specs, config.seed + 1);
+      std::vector<std::string> row = {FormatF(eps, 1)};
+      for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
+      out.AddRow(row);
+    }
+    out.Print();
+  }
+
+  // Panel (b): vary |T| at fixed eps.
+  {
+    const std::vector<int64_t> sizes =
+        config.full ? std::vector<int64_t>{200000, 500000, 1000000, 2000000}
+                    : std::vector<int64_t>{50000, 100000, 200000};
+    TablePrinter out({"(b) |T|", "MG MNAE", "HI MNAE", "HIO MNAE"});
+    for (const int64_t size : sizes) {
+      const Table table = MakeIpumsNumeric(size, {256, 256}, config.seed);
+      const auto queries = MakeWorkload(table, num_queries, config.seed + 2);
+      const std::vector<MechanismSpec> specs = {
+          {MechanismKind::kMg, MakeParams(config, config.eps), "MG"},
+          {MechanismKind::kHi, MakeParams(config, config.eps), "HI"},
+          {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
+      };
+      const auto engines = BuildEngines(table, specs, config.seed + 1);
+      std::vector<std::string> row = {std::to_string(size)};
+      for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
+      out.AddRow(row);
+    }
+    out.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7: two sensitive ordinal dimensions, varying query volume, eps = 2.
+// Panel (a): 256 x 256; panel (b): 1024 x 64.
+//
+// Expected shape: MG is better only at vol(q) <= 0.01 and degrades steeply
+// with volume; HIO stays flat.
+
+#include "bench_common.h"
+
+using namespace ldp;         // NOLINT
+using namespace ldp::bench;  // NOLINT
+
+namespace {
+
+void RunPanel(const char* label, const std::vector<uint64_t>& domains,
+              const BenchConfig& config, int64_t n, int64_t num_queries) {
+  const Table table = MakeIpumsNumeric(n, domains, config.seed);
+  const int measure =
+      table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+  const std::vector<MechanismSpec> specs = {
+      {MechanismKind::kMg, MakeParams(config, config.eps), "MG"},
+      {MechanismKind::kHi, MakeParams(config, config.eps), "HI"},
+      {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
+  };
+  const auto engines = BuildEngines(table, specs, config.seed + 1);
+  TablePrinter out(
+      {std::string(label) + " vol(q)", "MG MNAE", "HI MNAE", "HIO MNAE"});
+  QueryGenerator gen(table, config.seed + 2);
+  for (const double vol : {0.01, 0.05, 0.1, 0.25, 0.5, 0.8}) {
+    std::vector<Query> queries;
+    for (int64_t i = 0; i < num_queries; ++i) {
+      queries.push_back(
+          gen.RandomVolumeQuery(Aggregate::Sum(measure), {0, 1}, vol));
+    }
+    std::vector<std::string> row = {FormatF(vol, 2)};
+    for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
+    out.AddRow(row);
+  }
+  out.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  if (!ParseBenchConfig(argc, argv, "fig7_two_dims_volume",
+                        "Figure 7: 2 dims, vary volume", &config)) {
+    return 1;
+  }
+  const int64_t n = ResolveN(config, 200000, 1000000);
+  const int64_t num_queries = ResolveQueries(config, 5);
+  PrintBanner("Figure 7", "SIGMOD'19 Fig. 7: d=2, vary vol(q), eps=2",
+              config, "n=" + std::to_string(n));
+  RunPanel("(a) 256x256", {256, 256}, config, n, num_queries);
+  RunPanel("(b) 1024x64", {1024, 64}, config, n, num_queries);
+  return 0;
+}

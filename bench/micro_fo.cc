@@ -1,0 +1,81 @@
+// Micro-benchmarks for the frequency-oracle building blocks: encode
+// throughput per protocol, estimation cost pooled vs unpooled, and the
+// seeded hash itself.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "fo/grr.h"
+#include "fo/olh.h"
+#include "fo/oue.h"
+
+namespace ldp {
+namespace {
+
+void BM_SeededHash(benchmark::State& state) {
+  uint64_t v = 0;
+  uint32_t sink = 0;
+  for (auto _ : state) {
+    sink ^= SeededHashFamily::Eval(static_cast<uint32_t>(v), v, 8);
+    ++v;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_SeededHash);
+
+void BM_OlhEncode(benchmark::State& state) {
+  const OlhProtocol proto(2.0, 1024, static_cast<uint32_t>(state.range(0)));
+  Rng rng(1);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.Encode(v++ % 1024, rng));
+  }
+  state.SetLabel(state.range(0) == 0 ? "unpooled" : "pooled");
+}
+BENCHMARK(BM_OlhEncode)->Arg(0)->Arg(1024);
+
+void BM_GrrEncode(benchmark::State& state) {
+  const GrrProtocol proto(2.0, 1024);
+  Rng rng(2);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.Encode(v++ % 1024, rng));
+  }
+}
+BENCHMARK(BM_GrrEncode);
+
+void BM_OueEncode(benchmark::State& state) {
+  const OueProtocol proto(2.0, 128);  // O(domain) per report
+  Rng rng(3);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.Encode(v++ % 128, rng));
+  }
+}
+BENCHMARK(BM_OueEncode);
+
+void BM_OlhEstimate(benchmark::State& state) {
+  const uint32_t pool = static_cast<uint32_t>(state.range(0));
+  const uint64_t n = static_cast<uint64_t>(state.range(1));
+  const OlhProtocol proto(2.0, 1024, pool);
+  OlhAccumulator acc(proto);
+  Rng rng(4);
+  for (uint64_t u = 0; u < n; ++u) acc.Add(proto.Encode(u % 1024, rng), u);
+  const WeightVector w = WeightVector::Ones(n);
+  (void)acc.EstimateWeighted(0, w);  // warm any histogram cache
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.EstimateWeighted(v++ % 1024, w));
+  }
+  state.SetLabel((pool == 0 ? "unpooled n=" : "pooled n=") +
+                 std::to_string(n));
+}
+BENCHMARK(BM_OlhEstimate)
+    ->Args({0, 100000})
+    ->Args({1024, 100000})
+    ->Args({4096, 100000});
+
+}  // namespace
+}  // namespace ldp
+
+BENCHMARK_MAIN();

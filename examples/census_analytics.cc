@@ -1,0 +1,84 @@
+// Census analytics: an analyst workflow over an IPUMS-like population with
+// 2 ordinal + 2 categorical sensitive dimensions. Shows:
+//   * choosing the mechanism per workload (HIO for few dims, SC for many),
+//   * COUNT / SUM / AVG / STDEV aggregations on the same collected reports,
+//   * how error behaves across predicate selectivities.
+//
+// Build & run:  ./examples/census_analytics [--n 200000] [--eps 2]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "data/generator.h"
+#include "engine/engine.h"
+#include "engine/histogram.h"
+#include "engine/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace ldp;  // NOLINT
+
+  int64_t n = 200000;
+  double eps = 2.0;
+  FlagParser flags("census_analytics", "private census analytics demo");
+  flags.AddInt64("n", &n, "population size");
+  flags.AddDouble("eps", &eps, "privacy budget");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  const Table table = MakeIpums4D(n, 54, /*seed=*/17);
+  std::printf("schema:\n%s\n", table.schema().ToString().c_str());
+
+  EngineOptions options;
+  options.mechanism = MechanismKind::kHio;
+  options.params.epsilon = eps;
+  options.params.hash_pool_size = 1024;  // server-side speedup
+  auto engine = AnalyticsEngine::Create(table, options).ValueOrDie();
+
+  struct Question {
+    const char* text;
+    const char* sql;
+  };
+  const Question questions[] = {
+      {"How many people are married?",
+       "SELECT COUNT(*) FROM T WHERE marital_status = 1"},
+      {"Average weekly hours of married 20-33 year-olds (Fig. 9's Q2):",
+       "SELECT AVG(weekly_work_hour) FROM T WHERE marital_status = 1 AND "
+       "age BETWEEN 20 AND 33"},
+      {"Total hours worked by mid-income women:",
+       "SELECT SUM(weekly_work_hour) FROM T WHERE income BETWEEN 10 AND 30 "
+       "AND sex = 1"},
+      {"Spread of working hours among the young OR the old:",
+       "SELECT STDEV(weekly_work_hour) FROM T WHERE age <= 10 OR age >= 45"},
+  };
+
+  std::printf("%-68s %12s %12s %8s\n", "query", "estimate", "exact", "MRE");
+  for (const Question& q : questions) {
+    const double estimate = engine->ExecuteSql(q.sql).ValueOrDie();
+    const Query parsed = ParseQuery(table.schema(), q.sql).ValueOrDie();
+    const double exact = engine->ExecuteExact(parsed).ValueOrDie();
+    std::printf("%s\n  %-66s %12.2f %12.2f %8.3f\n", q.text, q.sql, estimate,
+                exact, RelativeError(estimate, exact));
+  }
+
+  // Bonus: a full private histogram of one sensitive dimension from the
+  // same reports (norm-sub keeps bins non-negative and summing to n).
+  const auto* hio = dynamic_cast<const HioMechanism*>(&engine->mechanism());
+  if (hio != nullptr) {
+    const WeightVector ones = WeightVector::Ones(table.num_rows());
+    const auto hist =
+        EstimateHistogram(*hio, /*dim_position=*/2, ones);  // marital_status
+    if (hist.ok()) {
+      std::printf("\nprivate marital-status histogram (share of people):\n");
+      for (size_t v = 0; v < hist.value().size(); ++v) {
+        const double share = hist.value()[v] / static_cast<double>(n);
+        std::printf("  status %zu: %5.1f%%  %s\n", v, 100.0 * share,
+                    std::string(static_cast<size_t>(share * 60), '#').c_str());
+      }
+    }
+  }
+
+  std::printf(
+      "\nNote: every answer above was computed from eps-LDP reports only; "
+      "the exact column exists solely because this demo also holds the raw "
+      "data.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// SQL console: an interactive REPL over an LDP-collected table. Pick a
+// built-in dataset (or load a CSV with a matching schema), choose a
+// mechanism and budget, then type MDA queries.
+//
+//   ./examples/sql_console --dataset census --mechanism hio --eps 2
+//   > SELECT AVG(weekly_work_hour) FROM T WHERE marital_status = 1
+//   > \schema        -- print the schema
+//   > \exact on      -- also print exact answers
+//   > \quit
+//
+// Reads queries from stdin; non-interactive use works too:
+//   echo "SELECT COUNT(*) FROM T" | ./examples/sql_console
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "data/generator.h"
+#include "engine/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace ldp;  // NOLINT
+
+  std::string dataset = "census";
+  std::string mechanism = "hio";
+  double eps = 2.0;
+  int64_t n = 100000;
+  bool show_exact = false;
+  FlagParser flags("sql_console", "interactive MDA queries under LDP");
+  flags.AddString("dataset", &dataset,
+                  "one of: census, adult, ecommerce, census8d");
+  flags.AddString("mechanism", &mechanism, "one of: hi, hio, sc, mg");
+  flags.AddDouble("eps", &eps, "privacy budget");
+  flags.AddInt64("n", &n, "number of users");
+  flags.AddBool("exact", &show_exact, "also print exact (non-private) answers");
+  if (!flags.Parse(argc, argv)) return 1;
+
+  Table table = [&]() -> Table {
+    if (dataset == "adult") return MakeAdultLike(n, 1024, 7);
+    if (dataset == "ecommerce") return MakeEcommerceLike(n, 7);
+    if (dataset == "census8d") return MakeIpums8D(n, 54, 7);
+    return MakeIpums4D(n, 54, 7);
+  }();
+
+  const auto kind = MechanismKindFromString(mechanism);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions options;
+  options.mechanism = kind.value();
+  options.params.epsilon = eps;
+  options.params.hash_pool_size = 1024;
+  auto engine_or = AnalyticsEngine::Create(table, options);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "cannot build engine: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = std::move(engine_or).value();
+
+  std::printf("dataset '%s' (%llu users) collected under %.2f-LDP via %s\n",
+              dataset.c_str(),
+              static_cast<unsigned long long>(table.num_rows()), eps,
+              MechanismKindName(kind.value()).c_str());
+  std::printf("type SQL, or \\schema, \\exact on|off, \\quit\n");
+
+  std::string line;
+  while (true) {
+    std::printf("> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (trimmed == "\\schema") {
+      std::printf("%s", table.schema().ToString().c_str());
+      continue;
+    }
+    if (trimmed == "\\exact on") {
+      show_exact = true;
+      continue;
+    }
+    if (trimmed == "\\exact off") {
+      show_exact = false;
+      continue;
+    }
+    const auto estimate = engine->ExecuteSql(trimmed);
+    if (!estimate.ok()) {
+      std::printf("error: %s\n", estimate.status().ToString().c_str());
+      continue;
+    }
+    std::printf("estimate: %.3f\n", estimate.value());
+    if (show_exact) {
+      const auto parsed = ParseQuery(table.schema(), trimmed);
+      if (parsed.ok()) {
+        std::printf("exact:    %.3f\n",
+                    engine->ExecuteExact(parsed.value()).ValueOrDie());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ldp {
+
+FlagParser::FlagParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void FlagParser::AddInt64(const std::string& name, int64_t* value,
+                          std::string help) {
+  flags_.push_back(
+      {name, Kind::kInt64, value, std::move(help), std::to_string(*value)});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* value,
+                           std::string help) {
+  std::ostringstream os;
+  os << *value;
+  flags_.push_back({name, Kind::kDouble, value, std::move(help), os.str()});
+}
+
+void FlagParser::AddString(const std::string& name, std::string* value,
+                           std::string help) {
+  flags_.push_back({name, Kind::kString, value, std::move(help), *value});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* value,
+                         std::string help) {
+  flags_.push_back(
+      {name, Kind::kBool, value, std::move(help), *value ? "true" : "false"});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status FlagParser::SetValue(const Flag& flag, const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kInt64: {
+      LDP_ASSIGN_OR_RETURN(*static_cast<int64_t*>(flag.target),
+                           ParseInt64(value));
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      LDP_ASSIGN_OR_RETURN(*static_cast<double*>(flag.target),
+                           ParseDouble(value));
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::OK();
+    case Kind::kBool: {
+      const std::string v = ToLower(value);
+      if (v == "true" || v == "1" || v.empty()) {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (v == "false" || v == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        return Status::ParseError("bad boolean for --" + flag.name + ": " +
+                                  value);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable flag kind");
+}
+
+Status FlagParser::ParseOrError(const std::vector<std::string>& args) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    std::string arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::ParseError("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    if (arg == "help") return Status::ParseError("help requested");
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) return Status::ParseError("unknown flag: --" + name);
+    if (!has_value) {
+      if (flag->kind == Kind::kBool) {
+        // Bare --flag means true, unless the next token is true/false.
+        if (i + 1 < args.size() &&
+            (args[i + 1] == "true" || args[i + 1] == "false")) {
+          value = args[++i];
+        } else {
+          value = "true";
+        }
+      } else {
+        if (i + 1 >= args.size()) {
+          return Status::ParseError("missing value for --" + name);
+        }
+        value = args[++i];
+      }
+    }
+    LDP_RETURN_NOT_OK(SetValue(*flag, value));
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Parse(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const Status st = ParseOrError(args);
+  if (st.ok()) return true;
+  if (st.message() != "help requested") {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  }
+  std::fprintf(stderr, "%s", Usage().c_str());
+  return false;
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream os;
+  os << program_ << ": " << description_ << "\nFlags:\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name << " (default: " << f.default_repr << ")  "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ldp

@@ -1,0 +1,59 @@
+#ifndef LDPMDA_COMMON_FLAGS_H_
+#define LDPMDA_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldp {
+
+/// Minimal command-line flag parser for the benchmark and example binaries.
+///
+/// Usage:
+///   int64_t n = 100000;
+///   FlagParser flags("fig4a", "Reproduces Figure 4(a).");
+///   flags.AddInt64("n", &n, "number of users");
+///   if (!flags.Parse(argc, argv)) return 1;   // prints help/error itself
+///
+/// Accepts `--name=value`, `--name value`, and bare `--name` for booleans.
+class FlagParser {
+ public:
+  FlagParser(std::string program, std::string description);
+
+  void AddInt64(const std::string& name, int64_t* value, std::string help);
+  void AddDouble(const std::string& name, double* value, std::string help);
+  void AddString(const std::string& name, std::string* value, std::string help);
+  void AddBool(const std::string& name, bool* value, std::string help);
+
+  /// Parses argv. On `--help` or error, prints usage / the error to
+  /// stderr and returns false; the caller should exit.
+  bool Parse(int argc, char** argv);
+
+  /// Status-returning variant for library-style use and tests.
+  Status ParseOrError(const std::vector<std::string>& args);
+
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  const Flag* Find(const std::string& name) const;
+  Status SetValue(const Flag& flag, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_COMMON_FLAGS_H_

@@ -1,0 +1,46 @@
+#ifndef LDPMDA_COMMON_HASH_H_
+#define LDPMDA_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace ldp {
+
+/// Strong 64-bit finalizer (SplitMix64 / Murmur3-style avalanche).
+uint64_t Mix64(uint64_t x);
+
+/// Hash of a (key, value) pair with good avalanche behaviour.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// A pooled family of (approximately) pairwise-independent hash functions
+/// `H_s : uint64 -> [0, g)` indexed by a 32-bit seed `s`.
+///
+/// OLH requires every user to draw a hash function uniformly from a universal
+/// family. We realize the family as `H_s(v) = Mix(s, v) mod g` and optionally
+/// restrict seeds to a pool of `pool_size` values. Pooling lets the server
+/// aggregate reports that share a seed into one histogram, turning a
+/// frequency estimate from O(#users) into O(pool_size) — essential for the
+/// marginal baseline's O(m^d)-cell box sums. `pool_size == 0` means
+/// unrestricted 32-bit seeds.
+class SeededHashFamily {
+ public:
+  explicit SeededHashFamily(uint32_t pool_size = 0) : pool_size_(pool_size) {}
+
+  /// Draws a seed uniformly from the family (pooled or full 32-bit space).
+  template <typename RngT>
+  uint32_t SampleSeed(RngT& rng) const {
+    if (pool_size_ == 0) return static_cast<uint32_t>(rng());
+    return static_cast<uint32_t>(rng.UniformInt(pool_size_));
+  }
+
+  /// Evaluates H_seed(value) in [0, g). Requires g >= 1.
+  static uint32_t Eval(uint32_t seed, uint64_t value, uint32_t g);
+
+  uint32_t pool_size() const { return pool_size_; }
+
+ private:
+  uint32_t pool_size_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_COMMON_HASH_H_

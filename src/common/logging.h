@@ -1,0 +1,97 @@
+#ifndef LDPMDA_COMMON_LOGGING_H_
+#define LDPMDA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ldp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log statement is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lets a ternary produce void on both branches while keeping `<<` streaming
+/// on the enabled branch (`&` binds looser than `<<`).
+class Voidify {
+ public:
+  void operator&(const LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace ldp
+
+#define LDP_LOG(level)                                                      \
+  (::ldp::LogLevel::k##level < ::ldp::GetLogLevel())                       \
+      ? (void)0                                                             \
+      : ::ldp::internal::Voidify() &                                       \
+            ::ldp::internal::LogMessage(::ldp::LogLevel::k##level,          \
+                                        __FILE__, __LINE__)
+
+#define LDP_LOG_STREAM(level) \
+  ::ldp::internal::LogMessage(::ldp::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message if `cond` is false. For programmer errors /
+/// invariant violations, not for user-input validation (use Status there).
+#define LDP_CHECK(cond)                                                       \
+  (cond) ? (void)0                                                            \
+         : (void)(::ldp::internal::LogMessage(::ldp::LogLevel::kFatal,        \
+                                              __FILE__, __LINE__)             \
+                  << "Check failed: " #cond " ")
+
+#define LDP_CHECK_OP(op, a, b)                                                \
+  ((a)op(b)) ? (void)0                                                        \
+             : (void)(::ldp::internal::LogMessage(::ldp::LogLevel::kFatal,    \
+                                                  __FILE__, __LINE__)         \
+                      << "Check failed: " #a " " #op " " #b " (" << (a)       \
+                      << " vs " << (b) << ") ")
+
+#define LDP_CHECK_EQ(a, b) LDP_CHECK_OP(==, a, b)
+#define LDP_CHECK_NE(a, b) LDP_CHECK_OP(!=, a, b)
+#define LDP_CHECK_LT(a, b) LDP_CHECK_OP(<, a, b)
+#define LDP_CHECK_LE(a, b) LDP_CHECK_OP(<=, a, b)
+#define LDP_CHECK_GT(a, b) LDP_CHECK_OP(>, a, b)
+#define LDP_CHECK_GE(a, b) LDP_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define LDP_DCHECK(cond) \
+  while (false) LDP_CHECK(cond)
+#else
+#define LDP_DCHECK(cond) LDP_CHECK(cond)
+#endif
+
+#endif  // LDPMDA_COMMON_LOGGING_H_

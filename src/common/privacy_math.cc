@@ -1,0 +1,126 @@
+#include "common/privacy_math.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+namespace {
+/// ceil(log_b(m)) computed in exact integer arithmetic; >= 1.
+int CeilLogB(uint32_t b, uint64_t m) {
+  LDP_CHECK_GE(b, 2u);
+  LDP_CHECK_GE(m, 1u);
+  int h = 0;
+  uint64_t cap = 1;
+  while (cap < m) {
+    cap *= b;
+    ++h;
+  }
+  return std::max(h, 1);
+}
+}  // namespace
+
+uint32_t OptimalOlhG(double epsilon) {
+  LDP_CHECK_GT(epsilon, 0.0);
+  const double g = std::exp(epsilon) + 1.0;
+  if (g >= 1e9) return 1000000000u;  // cap: variance is flat past this point
+  return std::max<uint32_t>(2, static_cast<uint32_t>(std::lround(g)));
+}
+
+double OlhP(double epsilon, uint32_t g) {
+  const double e = std::exp(epsilon);
+  return e / (e + static_cast<double>(g) - 1.0);
+}
+
+double OlhQ(uint32_t g) { return 1.0 / static_cast<double>(g); }
+
+double OlhScale(double epsilon, uint32_t g) {
+  return 1.0 / (OlhP(epsilon, g) - OlhQ(g));
+}
+
+double Lemma3OlhVariance(double epsilon, double n, double true_frequency) {
+  const double e = std::exp(epsilon);
+  return 4.0 * n * e / ((e - 1.0) * (e - 1.0)) + true_frequency;
+}
+
+double OlhVarianceGeneralG(double epsilon, uint32_t g, double n) {
+  const double p = OlhP(epsilon, g);
+  const double q = OlhQ(g);
+  return n * q * (1.0 - q) / ((p - q) * (p - q));
+}
+
+double Prop4WeightedVariance(double epsilon, double m2_s, double m2_s_v) {
+  const double e = std::exp(epsilon);
+  return 4.0 * m2_s * e / ((e - 1.0) * (e - 1.0)) + m2_s_v;
+}
+
+double Prop4WeightedVarianceBound(double epsilon, double m2_s) {
+  const double e = std::exp(epsilon);
+  return m2_s * (e + 1.0) * (e + 1.0) / ((e - 1.0) * (e - 1.0));
+}
+
+double Prop5SampledVariance(double epsilon, double k, double m2_s,
+                            double m2_s_v) {
+  const double e = std::exp(epsilon);
+  return 4.0 * k * m2_s * e / ((e - 1.0) * (e - 1.0)) +
+         (2.0 * k - 1.0) * m2_s_v;
+}
+
+double Prop5SampledVarianceBound(double epsilon, double k, double m2_s) {
+  const double e = std::exp(epsilon);
+  return 2.0 * k * m2_s * (e * e + 1.0) / ((e - 1.0) * (e - 1.0));
+}
+
+uint64_t MaxDecomposedIntervals(uint32_t fanout, uint64_t domain_size) {
+  return 2ull * (fanout - 1) *
+         static_cast<uint64_t>(CeilLogB(fanout, domain_size));
+}
+
+double Theorem6HiBound(double epsilon, uint32_t fanout, uint64_t domain_size,
+                       double m2_t) {
+  const double h = CeilLogB(fanout, domain_size);
+  const double e = std::exp(epsilon / h);
+  const double ratio = (e + 1.0) * (e + 1.0) / ((e - 1.0) * (e - 1.0));
+  return 2.0 * (fanout - 1.0) * h * m2_t * ratio;
+}
+
+double Theorem7HioBound(double epsilon, uint32_t fanout, uint64_t domain_size,
+                        double m2_t) {
+  const double h = CeilLogB(fanout, domain_size);
+  const double e = std::exp(epsilon);
+  return 4.0 * (fanout - 1.0) * h * h * m2_t * (e * e + 1.0) /
+         ((e - 1.0) * (e - 1.0));
+}
+
+double Theorem8HiBound(double epsilon, uint32_t fanout, uint64_t domain_size,
+                       int d, int dq, double m2_t) {
+  const double h = CeilLogB(fanout, domain_size);
+  const double levels = std::pow(h + 1.0, d);
+  const double e = std::exp(epsilon / levels);
+  const double ratio = (e + 1.0) * (e + 1.0) / ((e - 1.0) * (e - 1.0));
+  return std::pow(2.0 * (fanout - 1.0) * h, dq) * m2_t * ratio;
+}
+
+double Theorem9HioBound(double epsilon, uint32_t fanout, uint64_t domain_size,
+                        int d, int dq, double m2_t) {
+  const double h = CeilLogB(fanout, domain_size);
+  const double e = std::exp(epsilon);
+  return std::pow(2.0 * (fanout - 1.0) * (h + 1.0), dq) *
+         std::pow(h + 1.0, d) * m2_t * (e * e + 1.0) / ((e - 1.0) * (e - 1.0));
+}
+
+double Theorem11ScAsymptotic(double epsilon, uint64_t domain_size, int d,
+                             int dq, double n, double delta) {
+  const double logm = std::log2(static_cast<double>(std::max<uint64_t>(
+      domain_size, 2)));
+  return n * delta * delta * std::pow(static_cast<double>(d), 2.0 * dq) *
+         std::pow(logm, 3.0 * dq) / std::pow(epsilon, 2.0 * dq);
+}
+
+double MarginalBaselineVariance(double epsilon, double cells, double m2_t) {
+  return cells * Prop4WeightedVarianceBound(epsilon, m2_t);
+}
+
+}  // namespace ldp

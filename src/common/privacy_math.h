@@ -1,0 +1,87 @@
+#ifndef LDPMDA_COMMON_PRIVACY_MATH_H_
+#define LDPMDA_COMMON_PRIVACY_MATH_H_
+
+#include <cstdint>
+
+namespace ldp {
+
+/// Closed-form privacy/accuracy quantities from the paper (Wang et al.,
+/// SIGMOD'19). These are used by the estimators themselves and by property
+/// tests that check empirical mean-squared errors against the stated bounds.
+
+/// Optimal OLH hash-domain size g = round(e^eps) + 1, at least 2 (eq. 38).
+uint32_t OptimalOlhG(double epsilon);
+
+/// OLH "stay" probability p* = e^eps / (e^eps + g - 1) (eq. 36).
+double OlhP(double epsilon, uint32_t g);
+
+/// OLH collision probability q* = 1/g for a value the user does not hold
+/// (transition probability P_{0->1}, Appendix A).
+double OlhQ(uint32_t g);
+
+/// Unbiasing scale factor in eq. (37):
+///   f̄(v) = (theta - |S|/g) * (e^eps + g - 1) g / (e^eps g - e^eps - g + 1).
+/// Equivalently 1 / (p - q).
+double OlhScale(double epsilon, uint32_t g);
+
+/// Lemma 3: Err(f̄_S(v)) = 4 |S| e^eps / (e^eps - 1)^2 + f_S(v), for the
+/// optimal g = e^eps + 1.
+double Lemma3OlhVariance(double epsilon, double n, double true_frequency);
+
+/// General-g OLH variance (approximate, dominating term):
+///   n * q(1-q) / (p-q)^2.
+double OlhVarianceGeneralG(double epsilon, uint32_t g, double n);
+
+/// Proposition 4 (weighted frequency oracle):
+///   Err(f̄^M_S(v)) = 4 M2_S e^eps/(e^eps-1)^2 + M2_S(v),
+/// where M2_S = sum of squared measures over S and M2_S(v) the same restricted
+/// to users holding v.
+double Prop4WeightedVariance(double epsilon, double m2_s, double m2_s_v);
+
+/// Proposition 4 upper bound: M2_S (e^eps + 1)^2 / (e^eps - 1)^2.
+double Prop4WeightedVarianceBound(double epsilon, double m2_s);
+
+/// Proposition 5 (oracle on a 1/k random sample):
+///   Err(f̃^M_{S,1/k}(v)) = 4 k M2_S e^eps/(e^eps-1)^2 + (2k - 1) M2_S(v).
+double Prop5SampledVariance(double epsilon, double k, double m2_s,
+                            double m2_s_v);
+
+/// Proposition 5 upper bound: 2 k M2_S (e^{2 eps} + 1) / (e^eps - 1)^2.
+double Prop5SampledVarianceBound(double epsilon, double k, double m2_s);
+
+/// Maximum number of disjoint hierarchy intervals a 1-dim range decomposes
+/// into: 2 (b - 1) ceil(log_b m) (Section 4.1).
+uint64_t MaxDecomposedIntervals(uint32_t fanout, uint64_t domain_size);
+
+/// Theorem 6 (1D-HI): 2(b-1) log_b m * M2_T * (e^{eps/log_b m}+1)^2 /
+/// (e^{eps/log_b m}-1)^2.
+double Theorem6HiBound(double epsilon, uint32_t fanout, uint64_t domain_size,
+                       double m2_t);
+
+/// Theorem 7 (1D-HIO): 4(b-1) log_b^2 m * M2_T * (e^{2eps}+1)/(e^eps-1)^2.
+double Theorem7HioBound(double epsilon, uint32_t fanout, uint64_t domain_size,
+                        double m2_t);
+
+/// Theorem 8 (d-dim HI) explicit bound:
+///   (2(b-1) log_b m)^{dq} * M2_T * (e^{eps'}+1)^2/(e^{eps'}-1)^2,
+/// with eps' = eps / (log_b m + 1)^d.
+double Theorem8HiBound(double epsilon, uint32_t fanout, uint64_t domain_size,
+                       int d, int dq, double m2_t);
+
+/// Theorem 9 (d-dim HIO) explicit bound:
+///   (2(b-1)(log_b m + 1))^{dq} (log_b m + 1)^d M2_T (e^{2eps}+1)/(e^eps-1)^2.
+double Theorem9HioBound(double epsilon, uint32_t fanout, uint64_t domain_size,
+                        int d, int dq, double m2_t);
+
+/// Theorem 11 (SC) asymptotic error: n Delta^2 d^{2dq} log^{3dq} m / eps^{2dq}
+/// (up to constants; used only for order-of-magnitude sanity checks).
+double Theorem11ScAsymptotic(double epsilon, uint64_t domain_size, int d,
+                             int dq, double n, double delta);
+
+/// Marginal/FO baseline worst-case error for a 1-dim range of r-l+1 cells
+/// (eq. 11): (r - l + 1) * Prop4 bound.
+double MarginalBaselineVariance(double epsilon, double cells, double m2_t);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_COMMON_PRIVACY_MATH_H_

@@ -1,0 +1,160 @@
+#ifndef LDPMDA_COMMON_STATUS_H_
+#define LDPMDA_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ldp {
+
+/// Error codes for fallible operations. The library does not throw exceptions
+/// across its public API; operations that can fail return `Status` or
+/// `Result<T>` (following the Arrow / RocksDB idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kResourceExhausted = 7,
+  kParseError = 8,
+  kIoError = 9,
+  kInternal = 10,
+};
+
+/// Returns a human-readable name for `code` (e.g., "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome carrying a code and a message.
+///
+/// `Status` is cheap to copy in the success case (no allocation) and carries
+/// a heap-allocated message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error outcome. Holds either a `T` or a non-OK `Status`.
+///
+/// Access the value only after checking `ok()`; `ValueOrDie()` aborts on
+/// error states (it is intended for tests and for call sites that have
+/// already validated their inputs).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  /// Returns the value; aborts with the error message if this holds an error.
+  const T& ValueOrDie() const&;
+  T&& ValueOrDie() &&;
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const& {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(repr_));
+  return std::get<T>(repr_);
+}
+
+template <typename T>
+T&& Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(repr_));
+  return std::get<T>(std::move(repr_));
+}
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define LDP_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::ldp::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a Result expression; assigns the value to `lhs` or returns the
+/// error to the caller.
+#define LDP_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto LDP_CONCAT_(_res_, __LINE__) = (rexpr);   \
+  if (!LDP_CONCAT_(_res_, __LINE__).ok())        \
+    return LDP_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(LDP_CONCAT_(_res_, __LINE__)).value()
+
+#define LDP_CONCAT_IMPL_(a, b) a##b
+#define LDP_CONCAT_(a, b) LDP_CONCAT_IMPL_(a, b)
+
+}  // namespace ldp
+
+#endif  // LDPMDA_COMMON_STATUS_H_

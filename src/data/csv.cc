@@ -1,0 +1,82 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ldp {
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const Schema& schema = table.schema();
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.attribute(i).name;
+  }
+  out << '\n';
+  for (uint64_t row = 0; row < table.num_rows(); ++row) {
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      if (i > 0) out << ',';
+      if (schema.attribute(i).kind == AttributeKind::kMeasure) {
+        out << table.MeasureValue(i, row);
+      } else {
+        out << table.DimValue(i, row);
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::ParseError("empty CSV: " + path);
+  const auto header = Split(Trim(line), ',');
+  if (static_cast<int>(header.size()) != schema.num_attributes()) {
+    return Status::ParseError("header column count mismatch in " + path);
+  }
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (Trim(header[i]) != schema.attribute(i).name) {
+      return Status::ParseError("header mismatch at column " +
+                                std::to_string(i) + ": expected '" +
+                                schema.attribute(i).name + "', got '" +
+                                std::string(Trim(header[i])) + "'");
+    }
+  }
+  Table table(schema);
+  uint64_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = Split(trimmed, ',');
+    if (static_cast<int>(fields.size()) != schema.num_attributes()) {
+      return Status::ParseError("bad field count at line " +
+                                std::to_string(lineno));
+    }
+    std::vector<uint32_t> dims;
+    std::vector<double> measures;
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      if (schema.attribute(i).kind == AttributeKind::kMeasure) {
+        LDP_ASSIGN_OR_RETURN(const double v, ParseDouble(fields[i]));
+        measures.push_back(v);
+      } else {
+        LDP_ASSIGN_OR_RETURN(const int64_t v, ParseInt64(fields[i]));
+        if (v < 0) {
+          return Status::OutOfRange("negative dimension value at line " +
+                                    std::to_string(lineno));
+        }
+        dims.push_back(static_cast<uint32_t>(v));
+      }
+    }
+    LDP_RETURN_NOT_OK(table.AppendRow(dims, measures));
+  }
+  return table;
+}
+
+}  // namespace ldp

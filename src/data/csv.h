@@ -1,0 +1,21 @@
+#ifndef LDPMDA_DATA_CSV_H_
+#define LDPMDA_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace ldp {
+
+/// Writes `table` to `path` as CSV with a header row of attribute names.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv (or hand-written with matching columns)
+/// into a table with the given schema. The header row must match the schema's
+/// attribute names in order.
+Result<Table> ReadCsv(const Schema& schema, const std::string& path);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_DATA_CSV_H_

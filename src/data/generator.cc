@@ -1,0 +1,221 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+namespace {
+
+uint32_t Clamp(double x, uint64_t m) {
+  if (x < 0.0) return 0;
+  if (x >= static_cast<double>(m)) return static_cast<uint32_t>(m - 1);
+  return static_cast<uint32_t>(x);
+}
+
+uint32_t SampleDimValue(ColumnDist dist, uint64_t m, double zipf_s, Rng& rng,
+                        const ZipfDistribution* zipf) {
+  switch (dist) {
+    case ColumnDist::kUniform:
+      return static_cast<uint32_t>(rng.UniformInt(m));
+    case ColumnDist::kGaussianBell:
+      return Clamp(rng.Gaussian(static_cast<double>(m) / 2.0,
+                                static_cast<double>(m) / 6.0),
+                   m);
+    case ColumnDist::kZipf:
+      LDP_DCHECK(zipf != nullptr);
+      (void)zipf_s;
+      return static_cast<uint32_t>(zipf->Sample(rng));
+    case ColumnDist::kBimodal: {
+      const double center = rng.Bernoulli(0.5) ? m / 4.0 : 3.0 * m / 4.0;
+      return Clamp(rng.Gaussian(center, static_cast<double>(m) / 10.0), m);
+    }
+  }
+  return 0;
+}
+
+double SampleMeasureBase(const MeasureSpec& spec, Rng& rng,
+                         const ZipfDistribution* zipf) {
+  const double span = spec.hi - spec.lo;
+  switch (spec.dist) {
+    case ColumnDist::kUniform:
+      return spec.lo + span * rng.UniformDouble();
+    case ColumnDist::kGaussianBell: {
+      const double x = rng.Gaussian(0.5, 1.0 / 6.0);
+      return spec.lo + span * std::clamp(x, 0.0, 1.0);
+    }
+    case ColumnDist::kZipf: {
+      LDP_DCHECK(zipf != nullptr);
+      const double r = static_cast<double>(zipf->Sample(rng)) /
+                       static_cast<double>(zipf->n());
+      return spec.lo + span * r;
+    }
+    case ColumnDist::kBimodal: {
+      const double center = rng.Bernoulli(0.5) ? 0.25 : 0.75;
+      const double x = rng.Gaussian(center, 0.1);
+      return spec.lo + span * std::clamp(x, 0.0, 1.0);
+    }
+  }
+  return spec.lo;
+}
+
+}  // namespace
+
+Result<Table> GenerateTable(const TableSpec& spec, uint64_t n, uint64_t seed) {
+  Schema schema;
+  for (const auto& d : spec.dims) {
+    if (d.domain_size == 0) {
+      return Status::InvalidArgument("dimension '" + d.name +
+                                     "' needs a positive domain");
+    }
+    switch (d.kind) {
+      case AttributeKind::kSensitiveOrdinal:
+        LDP_RETURN_NOT_OK(schema.AddOrdinal(d.name, d.domain_size));
+        break;
+      case AttributeKind::kSensitiveCategorical:
+        LDP_RETURN_NOT_OK(schema.AddCategorical(d.name, d.domain_size));
+        break;
+      case AttributeKind::kPublicDimension:
+        LDP_RETURN_NOT_OK(schema.AddPublicDimension(d.name, d.domain_size));
+        break;
+      case AttributeKind::kMeasure:
+        return Status::InvalidArgument("DimSpec cannot be a measure");
+    }
+  }
+  for (const auto& m : spec.measures) {
+    if (m.hi < m.lo) {
+      return Status::InvalidArgument("measure '" + m.name + "' has hi < lo");
+    }
+    if (m.correlate_dim >= static_cast<int>(spec.dims.size())) {
+      return Status::InvalidArgument("measure '" + m.name +
+                                     "' correlates with a missing dimension");
+    }
+    LDP_RETURN_NOT_OK(schema.AddMeasure(m.name));
+  }
+
+  Rng rng(seed);
+  // Pre-build Zipf samplers (CDF construction is O(domain)).
+  std::vector<std::unique_ptr<ZipfDistribution>> dim_zipfs(spec.dims.size());
+  for (size_t i = 0; i < spec.dims.size(); ++i) {
+    if (spec.dims[i].dist == ColumnDist::kZipf) {
+      dim_zipfs[i] = std::make_unique<ZipfDistribution>(
+          spec.dims[i].domain_size, spec.dims[i].zipf_s);
+    }
+  }
+  std::vector<std::unique_ptr<ZipfDistribution>> meas_zipfs(
+      spec.measures.size());
+  for (size_t j = 0; j < spec.measures.size(); ++j) {
+    if (spec.measures[j].dist == ColumnDist::kZipf) {
+      meas_zipfs[j] = std::make_unique<ZipfDistribution>(
+          1024, spec.measures[j].zipf_s);
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> dim_cols(spec.dims.size());
+  std::vector<std::vector<double>> meas_cols(spec.measures.size());
+  for (auto& c : dim_cols) c.reserve(n);
+  for (auto& c : meas_cols) c.reserve(n);
+
+  for (uint64_t row = 0; row < n; ++row) {
+    for (size_t i = 0; i < spec.dims.size(); ++i) {
+      dim_cols[i].push_back(SampleDimValue(spec.dims[i].dist,
+                                           spec.dims[i].domain_size,
+                                           spec.dims[i].zipf_s, rng,
+                                           dim_zipfs[i].get()));
+    }
+    for (size_t j = 0; j < spec.measures.size(); ++j) {
+      const auto& ms = spec.measures[j];
+      double v = SampleMeasureBase(ms, rng, meas_zipfs[j].get());
+      if (ms.correlate_dim >= 0 && ms.correlation > 0.0) {
+        const auto& d = spec.dims[ms.correlate_dim];
+        const double norm = static_cast<double>(dim_cols[ms.correlate_dim][row]) /
+                            static_cast<double>(d.domain_size);
+        const double target = ms.lo + (ms.hi - ms.lo) * norm;
+        v = (1.0 - ms.correlation) * v + ms.correlation * target;
+      }
+      meas_cols[j].push_back(v);
+    }
+  }
+  return Table::FromColumns(std::move(schema), std::move(dim_cols),
+                            std::move(meas_cols));
+}
+
+Table MakeAdultLike(uint64_t n, uint64_t m, uint64_t seed) {
+  TableSpec spec;
+  spec.dims.push_back({"age_like", AttributeKind::kSensitiveOrdinal, m,
+                       ColumnDist::kGaussianBell, 1.1});
+  spec.measures.push_back(
+      {"hours", 1.0, 99.0, ColumnDist::kGaussianBell, 1.1, 0, 0.3});
+  return GenerateTable(spec, n, seed).ValueOrDie();
+}
+
+Table MakeIpumsNumeric(uint64_t n, const std::vector<uint64_t>& domain_sizes,
+                       uint64_t seed) {
+  TableSpec spec;
+  const ColumnDist dists[] = {ColumnDist::kGaussianBell, ColumnDist::kZipf,
+                              ColumnDist::kBimodal};
+  for (size_t i = 0; i < domain_sizes.size(); ++i) {
+    spec.dims.push_back({"dim" + std::to_string(i + 1),
+                         AttributeKind::kSensitiveOrdinal, domain_sizes[i],
+                         dists[i % 3], 1.05});
+  }
+  spec.measures.push_back(
+      {"weekly_work_hour", 0.0, 99.0, ColumnDist::kGaussianBell, 1.1, 0, 0.2});
+  return GenerateTable(spec, n, seed).ValueOrDie();
+}
+
+Table MakeIpums4D(uint64_t n, uint64_t m, uint64_t seed) {
+  TableSpec spec;
+  spec.dims.push_back({"age", AttributeKind::kSensitiveOrdinal, m,
+                       ColumnDist::kGaussianBell, 1.1});
+  spec.dims.push_back({"income", AttributeKind::kSensitiveOrdinal, m,
+                       ColumnDist::kZipf, 1.2});
+  spec.dims.push_back({"marital_status", AttributeKind::kSensitiveCategorical,
+                       6, ColumnDist::kZipf, 0.8});
+  spec.dims.push_back({"sex", AttributeKind::kSensitiveCategorical, 2,
+                       ColumnDist::kUniform, 1.0});
+  spec.measures.push_back(
+      {"weekly_work_hour", 0.0, 99.0, ColumnDist::kGaussianBell, 1.1, 0, 0.2});
+  return GenerateTable(spec, n, seed).ValueOrDie();
+}
+
+Table MakeIpums8D(uint64_t n, uint64_t m, uint64_t seed) {
+  TableSpec spec;
+  const char* ordinal_names[] = {"age", "income", "hours_bucket", "rent"};
+  const ColumnDist ordinal_dists[] = {ColumnDist::kGaussianBell,
+                                      ColumnDist::kZipf, ColumnDist::kBimodal,
+                                      ColumnDist::kZipf};
+  for (int i = 0; i < 4; ++i) {
+    spec.dims.push_back({ordinal_names[i], AttributeKind::kSensitiveOrdinal, m,
+                         ordinal_dists[i], 1.15});
+  }
+  spec.dims.push_back({"marital_status", AttributeKind::kSensitiveCategorical,
+                       6, ColumnDist::kZipf, 0.8});
+  spec.dims.push_back({"sex", AttributeKind::kSensitiveCategorical, 2,
+                       ColumnDist::kUniform, 1.0});
+  spec.dims.push_back({"race", AttributeKind::kSensitiveCategorical, 9,
+                       ColumnDist::kZipf, 1.2});
+  spec.dims.push_back({"education", AttributeKind::kSensitiveCategorical, 16,
+                       ColumnDist::kGaussianBell, 1.0});
+  spec.measures.push_back(
+      {"weekly_work_hour", 0.0, 99.0, ColumnDist::kGaussianBell, 1.1, 0, 0.2});
+  return GenerateTable(spec, n, seed).ValueOrDie();
+}
+
+Table MakeEcommerceLike(uint64_t n, uint64_t seed) {
+  TableSpec spec;
+  spec.dims.push_back({"region", AttributeKind::kSensitiveCategorical, 32,
+                       ColumnDist::kZipf, 1.05});
+  spec.dims.push_back({"category", AttributeKind::kSensitiveCategorical, 128,
+                       ColumnDist::kZipf, 1.2});
+  spec.dims.push_back({"price", AttributeKind::kSensitiveOrdinal, 1024,
+                       ColumnDist::kZipf, 1.3});
+  spec.measures.push_back(
+      {"postage", 0.0, 30.0, ColumnDist::kGaussianBell, 1.1, 2, 0.5});
+  return GenerateTable(spec, n, seed).ValueOrDie();
+}
+
+}  // namespace ldp

@@ -1,0 +1,86 @@
+#ifndef LDPMDA_DATA_GENERATOR_H_
+#define LDPMDA_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/table.h"
+
+namespace ldp {
+
+/// Marginal shape of a synthetic column.
+enum class ColumnDist {
+  kUniform,
+  /// Discretized bell curve centered at the middle of the domain.
+  kGaussianBell,
+  /// Zipf-distributed ranks: value 0 is the most frequent.
+  kZipf,
+  /// Mixture of two bells at 1/4 and 3/4 of the domain.
+  kBimodal,
+};
+
+/// Specification of one synthetic dimension column.
+struct DimSpec {
+  std::string name;
+  /// kSensitiveOrdinal, kSensitiveCategorical, or kPublicDimension.
+  AttributeKind kind = AttributeKind::kSensitiveOrdinal;
+  uint64_t domain_size = 0;
+  ColumnDist dist = ColumnDist::kUniform;
+  double zipf_s = 1.1;
+};
+
+/// Specification of one synthetic measure column.
+struct MeasureSpec {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+  ColumnDist dist = ColumnDist::kUniform;
+  double zipf_s = 1.1;
+  /// If >= 0: index (into the TableSpec's dims vector) of a dimension this
+  /// measure correlates with; `correlation` in [0,1] blends the normalized
+  /// dimension value into the measure.
+  int correlate_dim = -1;
+  double correlation = 0.0;
+};
+
+/// A full synthetic table description.
+struct TableSpec {
+  std::vector<DimSpec> dims;
+  std::vector<MeasureSpec> measures;
+};
+
+/// Generates `n` rows according to `spec`. Deterministic given `seed`.
+Result<Table> GenerateTable(const TableSpec& spec, uint64_t n, uint64_t seed);
+
+/// Substitution for the UCI Adult dataset (~45k rows; Section 6 datasets).
+/// One sensitive ordinal column `age_like` bucketized to `m` values with a
+/// mildly skewed bell shape, plus measure `hours` in [1, 99].
+Table MakeAdultLike(uint64_t n = 45222, uint64_t m = 1024, uint64_t seed = 7);
+
+/// Substitution for the IPUMS USA census extract: `d` sensitive ordinal
+/// dimensions with the given domain sizes (gaussian/zipf/bimodal mix), plus
+/// measure `weekly_work_hour` in [0, 99]. Used by the Figures 4-8 sweeps.
+Table MakeIpumsNumeric(uint64_t n, const std::vector<uint64_t>& domain_sizes,
+                       uint64_t seed = 11);
+
+/// IPUMS-like table with 2 ordinal + 2 categorical sensitive dimensions
+/// (Section 6.2.1; default domain size m = 54 per ordinal dimension,
+/// categoricals `marital_status` (6) and `sex` (2)), measure
+/// `weekly_work_hour`.
+Table MakeIpums4D(uint64_t n, uint64_t m = 54, uint64_t seed = 13);
+
+/// IPUMS-like table with 4 ordinal + 4 categorical sensitive dimensions
+/// (Section 6.2.2), measure `weekly_work_hour`.
+Table MakeIpums8D(uint64_t n, uint64_t m = 54, uint64_t seed = 17);
+
+/// Substitution for the Alibaba e-commerce delivery table (Section 6.2.3):
+/// sensitive dims Region (categorical 32), Category (categorical 128, zipf),
+/// Price (ordinal 1024, zipf); public measure Postage correlated with Price.
+Table MakeEcommerceLike(uint64_t n, uint64_t seed = 23);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_DATA_GENERATOR_H_

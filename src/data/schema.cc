@@ -1,0 +1,96 @@
+#include "data/schema.h"
+
+#include <sstream>
+
+namespace ldp {
+
+bool IsDimension(AttributeKind kind) { return kind != AttributeKind::kMeasure; }
+
+bool IsSensitive(AttributeKind kind) {
+  return kind == AttributeKind::kSensitiveOrdinal ||
+         kind == AttributeKind::kSensitiveCategorical;
+}
+
+Status Schema::Add(Attribute attribute) {
+  if (attribute.name.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  if (FindAttribute(attribute.name).ok()) {
+    return Status::AlreadyExists("attribute already exists: " + attribute.name);
+  }
+  if (IsDimension(attribute.kind) && attribute.domain_size == 0) {
+    return Status::InvalidArgument("dimension '" + attribute.name +
+                                   "' needs a positive domain size");
+  }
+  const int index = num_attributes();
+  switch (attribute.kind) {
+    case AttributeKind::kSensitiveOrdinal:
+    case AttributeKind::kSensitiveCategorical:
+      sensitive_dims_.push_back(index);
+      break;
+    case AttributeKind::kPublicDimension:
+      public_dims_.push_back(index);
+      break;
+    case AttributeKind::kMeasure:
+      measures_.push_back(index);
+      break;
+  }
+  attributes_.push_back(std::move(attribute));
+  return Status::OK();
+}
+
+Status Schema::AddOrdinal(std::string name, uint64_t domain_size) {
+  return Add({std::move(name), AttributeKind::kSensitiveOrdinal, domain_size});
+}
+
+Status Schema::AddCategorical(std::string name, uint64_t domain_size) {
+  return Add(
+      {std::move(name), AttributeKind::kSensitiveCategorical, domain_size});
+}
+
+Status Schema::AddPublicDimension(std::string name, uint64_t domain_size) {
+  return Add({std::move(name), AttributeKind::kPublicDimension, domain_size});
+}
+
+Status Schema::AddMeasure(std::string name) {
+  return Add({std::move(name), AttributeKind::kMeasure, 0});
+}
+
+Result<int> Schema::FindAttribute(std::string_view name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + std::string(name) + "'");
+}
+
+int Schema::SensitiveDimPosition(int attr) const {
+  for (size_t i = 0; i < sensitive_dims_.size(); ++i) {
+    if (sensitive_dims_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (const auto& a : attributes_) {
+    os << a.name;
+    switch (a.kind) {
+      case AttributeKind::kSensitiveOrdinal:
+        os << " ORDINAL(" << a.domain_size << ")";
+        break;
+      case AttributeKind::kSensitiveCategorical:
+        os << " CATEGORICAL(" << a.domain_size << ")";
+        break;
+      case AttributeKind::kPublicDimension:
+        os << " PUBLIC(" << a.domain_size << ")";
+        break;
+      case AttributeKind::kMeasure:
+        os << " MEASURE";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ldp

@@ -1,0 +1,78 @@
+#ifndef LDPMDA_DATA_SCHEMA_H_
+#define LDPMDA_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldp {
+
+/// Role of an attribute in the multi-dimensional data model (Section 2.1).
+enum class AttributeKind {
+  /// Sensitive ordinal dimension: collected under LDP, supports range
+  /// constraints. Values are ordinal codes 0..domain_size-1.
+  kSensitiveOrdinal,
+  /// Sensitive categorical dimension: collected under LDP, supports point
+  /// constraints. Values are category codes 0..domain_size-1.
+  kSensitiveCategorical,
+  /// Non-sensitive dimension known to the server; evaluated exactly
+  /// (Section 7, "Non-sensitive + private dimensions in predicates").
+  kPublicDimension,
+  /// Public measure attribute (real-valued), aggregated by MDA queries.
+  kMeasure,
+};
+
+bool IsDimension(AttributeKind kind);
+bool IsSensitive(AttributeKind kind);
+
+/// One attribute of the fact table.
+struct Attribute {
+  std::string name;
+  AttributeKind kind;
+  /// Number of distinct values for dimensions; unused (0) for measures.
+  uint64_t domain_size = 0;
+};
+
+/// The fact table schema: an ordered list of attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+
+  Status AddOrdinal(std::string name, uint64_t domain_size);
+  Status AddCategorical(std::string name, uint64_t domain_size);
+  Status AddPublicDimension(std::string name, uint64_t domain_size);
+  Status AddMeasure(std::string name);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+
+  /// Index of the attribute with `name`, or NotFound.
+  Result<int> FindAttribute(std::string_view name) const;
+
+  /// Indices of all sensitive dimensions, in schema order. The order defines
+  /// the dimension numbering D_1..D_d used by the mechanisms.
+  const std::vector<int>& sensitive_dims() const { return sensitive_dims_; }
+  /// Indices of all public (non-sensitive) dimensions.
+  const std::vector<int>& public_dims() const { return public_dims_; }
+  /// Indices of all measures.
+  const std::vector<int>& measures() const { return measures_; }
+
+  /// Position of attribute index `attr` within sensitive_dims(), or -1.
+  int SensitiveDimPosition(int attr) const;
+
+  std::string ToString() const;
+
+ private:
+  Status Add(Attribute attribute);
+
+  std::vector<Attribute> attributes_;
+  std::vector<int> sensitive_dims_;
+  std::vector<int> public_dims_;
+  std::vector<int> measures_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_DATA_SCHEMA_H_

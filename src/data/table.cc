@@ -1,0 +1,128 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  column_of_attr_.resize(schema_.num_attributes(), -1);
+  for (int i = 0; i < schema_.num_attributes(); ++i) {
+    const auto& attr = schema_.attribute(i);
+    if (attr.kind == AttributeKind::kMeasure) {
+      column_of_attr_[i] = static_cast<int>(measure_columns_.size());
+      measure_columns_.emplace_back();
+    } else {
+      column_of_attr_[i] = static_cast<int>(dim_columns_.size());
+      dim_columns_.emplace_back();
+    }
+  }
+}
+
+Status Table::AppendRow(const std::vector<uint32_t>& dims,
+                        const std::vector<double>& measures) {
+  if (dims.size() != dim_columns_.size()) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(dim_columns_.size()) +
+                                   " dimension values, got " +
+                                   std::to_string(dims.size()));
+  }
+  if (measures.size() != measure_columns_.size()) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(measure_columns_.size()) +
+                                   " measure values, got " +
+                                   std::to_string(measures.size()));
+  }
+  // Validate dimension ranges before mutating anything.
+  int k = 0;
+  for (int i = 0; i < schema_.num_attributes(); ++i) {
+    const auto& attr = schema_.attribute(i);
+    if (attr.kind == AttributeKind::kMeasure) continue;
+    if (dims[k] >= attr.domain_size) {
+      return Status::OutOfRange("value " + std::to_string(dims[k]) +
+                                " out of domain for dimension '" + attr.name +
+                                "' (size " + std::to_string(attr.domain_size) +
+                                ")");
+    }
+    ++k;
+  }
+  for (size_t c = 0; c < dims.size(); ++c) dim_columns_[c].push_back(dims[c]);
+  for (size_t c = 0; c < measures.size(); ++c) {
+    measure_columns_[c].push_back(measures[c]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<Table> Table::FromColumns(
+    Schema schema, std::vector<std::vector<uint32_t>> dim_columns,
+    std::vector<std::vector<double>> measure_columns) {
+  Table table(std::move(schema));
+  if (dim_columns.size() != table.dim_columns_.size() ||
+      measure_columns.size() != table.measure_columns_.size()) {
+    return Status::InvalidArgument("column count does not match schema");
+  }
+  uint64_t n = 0;
+  if (!dim_columns.empty()) {
+    n = dim_columns[0].size();
+  } else if (!measure_columns.empty()) {
+    n = measure_columns[0].size();
+  }
+  for (const auto& c : dim_columns) {
+    if (c.size() != n) return Status::InvalidArgument("ragged dim columns");
+  }
+  for (const auto& c : measure_columns) {
+    if (c.size() != n) return Status::InvalidArgument("ragged measure columns");
+  }
+  // Validate domains.
+  int k = 0;
+  for (int i = 0; i < table.schema_.num_attributes(); ++i) {
+    const auto& attr = table.schema_.attribute(i);
+    if (attr.kind == AttributeKind::kMeasure) continue;
+    const auto& col = dim_columns[k];
+    for (const uint32_t v : col) {
+      if (v >= attr.domain_size) {
+        return Status::OutOfRange("value out of domain for dimension '" +
+                                  attr.name + "'");
+      }
+    }
+    ++k;
+  }
+  table.dim_columns_ = std::move(dim_columns);
+  table.measure_columns_ = std::move(measure_columns);
+  table.num_rows_ = n;
+  return table;
+}
+
+const std::vector<uint32_t>& Table::DimColumn(int attr) const {
+  LDP_CHECK_GE(attr, 0);
+  LDP_CHECK_LT(attr, schema_.num_attributes());
+  LDP_CHECK(schema_.attribute(attr).kind != AttributeKind::kMeasure);
+  return dim_columns_[column_of_attr_[attr]];
+}
+
+const std::vector<double>& Table::MeasureColumn(int attr) const {
+  LDP_CHECK_GE(attr, 0);
+  LDP_CHECK_LT(attr, schema_.num_attributes());
+  LDP_CHECK(schema_.attribute(attr).kind == AttributeKind::kMeasure);
+  return measure_columns_[column_of_attr_[attr]];
+}
+
+double Table::MeasureSumOfSquares(int attr) const {
+  double total = 0.0;
+  for (const double v : MeasureColumn(attr)) total += v * v;
+  return total;
+}
+
+double Table::MeasureMin(int attr) const {
+  const auto& col = MeasureColumn(attr);
+  return col.empty() ? 0.0 : *std::min_element(col.begin(), col.end());
+}
+
+double Table::MeasureMax(int attr) const {
+  const auto& col = MeasureColumn(attr);
+  return col.empty() ? 0.0 : *std::max_element(col.begin(), col.end());
+}
+
+}  // namespace ldp

@@ -1,0 +1,70 @@
+#ifndef LDPMDA_DATA_TABLE_H_
+#define LDPMDA_DATA_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace ldp {
+
+/// Columnar fact table T = {t_1, ..., t_n} (Section 2.1).
+///
+/// Dimension columns hold uint32 codes in [0, domain_size); measure columns
+/// hold doubles. Rows are users. The table lives on the server only in the
+/// non-private (ground-truth) path and as the *source* of a simulated
+/// collection; mechanisms never read sensitive columns at estimation time.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Appends one row. `dims[i]` supplies the value of the i-th dimension-kind
+  /// attribute in schema order (sensitive and public alike); `measures[j]`
+  /// the j-th measure. Validates domain bounds.
+  Status AppendRow(const std::vector<uint32_t>& dims,
+                   const std::vector<double>& measures);
+
+  /// Bulk construction from complete columns (generator fast path).
+  /// `dim_columns[k]` corresponds to the k-th dimension-kind attribute,
+  /// `measure_columns[j]` to the j-th measure, all of equal length.
+  static Result<Table> FromColumns(Schema schema,
+                                   std::vector<std::vector<uint32_t>> dim_columns,
+                                   std::vector<std::vector<double>> measure_columns);
+
+  /// Column of the dimension attribute with schema index `attr`.
+  const std::vector<uint32_t>& DimColumn(int attr) const;
+  /// Column of the measure attribute with schema index `attr`.
+  const std::vector<double>& MeasureColumn(int attr) const;
+
+  uint32_t DimValue(int attr, uint64_t row) const {
+    return DimColumn(attr)[row];
+  }
+  double MeasureValue(int attr, uint64_t row) const {
+    return MeasureColumn(attr)[row];
+  }
+
+  /// Sum of squared values of the given measure over all rows (the M2_T
+  /// quantity in the paper's error bounds; COUNT uses weight 1 so M2_T = n).
+  double MeasureSumOfSquares(int attr) const;
+
+  /// Min / max of a measure column (for the Delta = max - min range).
+  double MeasureMin(int attr) const;
+  double MeasureMax(int attr) const;
+
+ private:
+  Schema schema_;
+  uint64_t num_rows_ = 0;
+  /// Indexed by attribute: dimension attrs use dims_, measures use measures_;
+  /// the map below translates attribute index -> column index.
+  std::vector<std::vector<uint32_t>> dim_columns_;
+  std::vector<std::vector<double>> measure_columns_;
+  std::vector<int> column_of_attr_;  // index into the proper column vector
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_DATA_TABLE_H_

@@ -1,0 +1,217 @@
+#include "engine/engine.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+namespace {
+constexpr size_t kMaxCachedWeightVectors = 32;
+}  // namespace
+
+Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
+    const Table& table, const EngineOptions& options) {
+  std::unique_ptr<AnalyticsEngine> engine(
+      new AnalyticsEngine(table, options));
+  LDP_ASSIGN_OR_RETURN(
+      engine->mechanism_,
+      CreateMechanism(options.mechanism, table.schema(), options.params));
+
+  // Simulated collection: each row is a client running the LDP encoder.
+  const Schema& schema = table.schema();
+  const auto& sensitive = schema.sensitive_dims();
+  std::vector<const std::vector<uint32_t>*> columns;
+  columns.reserve(sensitive.size());
+  for (const int attr : sensitive) columns.push_back(&table.DimColumn(attr));
+  Rng rng(options.seed);
+  std::vector<uint32_t> values(sensitive.size());
+  for (uint64_t row = 0; row < table.num_rows(); ++row) {
+    for (size_t i = 0; i < sensitive.size(); ++i) {
+      values[i] = (*columns[i])[row];
+    }
+    const LdpReport report = engine->mechanism_->EncodeUser(values, rng);
+    LDP_RETURN_NOT_OK(engine->mechanism_->AddReport(report, row));
+  }
+  return engine;
+}
+
+Result<double> AnalyticsEngine::ExecuteSql(std::string_view sql) const {
+  LDP_ASSIGN_OR_RETURN(const Query query, ParseQuery(schema(), sql));
+  return Execute(query);
+}
+
+Status AnalyticsEngine::SplitBox(
+    const ConjunctiveBox& box, std::vector<Interval>* sensitive,
+    std::vector<Constraint>* public_constraints) const {
+  const Schema& schema = table_.schema();
+  sensitive->clear();
+  public_constraints->clear();
+  for (const int attr : schema.sensitive_dims()) {
+    sensitive->push_back(box.RangeOf(attr, schema.attribute(attr).domain_size));
+  }
+  for (const auto& c : box.constraints) {
+    const AttributeKind kind = schema.attribute(c.attr).kind;
+    if (kind == AttributeKind::kPublicDimension) {
+      public_constraints->push_back(c);
+    } else if (!IsSensitive(kind)) {
+      return Status::InvalidArgument("constraint on non-dimension attribute");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const WeightVector>> AnalyticsEngine::GetWeights(
+    Component component, const Query& query,
+    const ConjunctiveBox& box) const {
+  // Cache key: component + measure expression + the public part of the box.
+  std::ostringstream key;
+  key << static_cast<int>(component) << "|";
+  if (component != Component::kCount) {
+    key << query.aggregate.expr.ToString(schema());
+  }
+  key << "|";
+  const Schema& schema = table_.schema();
+  for (const auto& c : box.constraints) {
+    if (schema.attribute(c.attr).kind == AttributeKind::kPublicDimension) {
+      key << c.attr << ":" << c.range.lo << "-" << c.range.hi << ";";
+    }
+  }
+  auto it = weight_cache_.find(key.str());
+  if (it != weight_cache_.end()) return it->second;
+
+  const uint64_t n = table_.num_rows();
+  std::vector<double> weights;
+  switch (component) {
+    case Component::kCount:
+      weights.assign(n, 1.0);
+      break;
+    case Component::kSum:
+      weights = query.aggregate.expr.EvalColumn(table_);
+      break;
+    case Component::kSumSq: {
+      weights = query.aggregate.expr.EvalColumn(table_);
+      for (auto& w : weights) w *= w;
+      break;
+    }
+  }
+  // Fold public-dimension constraints into the weights (Section 7): the
+  // server evaluates them exactly, so a non-matching user contributes 0.
+  for (const auto& c : box.constraints) {
+    if (schema.attribute(c.attr).kind != AttributeKind::kPublicDimension) {
+      continue;
+    }
+    const auto& col = table_.DimColumn(c.attr);
+    for (uint64_t row = 0; row < n; ++row) {
+      if (!c.range.Contains(col[row])) weights[row] = 0.0;
+    }
+  }
+  if (weight_cache_.size() >= kMaxCachedWeightVectors) weight_cache_.clear();
+  auto wv = std::make_shared<const WeightVector>(std::move(weights));
+  weight_cache_.emplace(key.str(), wv);
+  return {std::move(wv)};
+}
+
+Result<double> AnalyticsEngine::EstimateComponent(
+    Component component, const Query& query,
+    const std::vector<IeTerm>& terms) const {
+  double total = 0.0;
+  std::vector<Interval> sensitive_ranges;
+  std::vector<Constraint> public_constraints;
+  for (const IeTerm& term : terms) {
+    LDP_RETURN_NOT_OK(
+        SplitBox(term.box, &sensitive_ranges, &public_constraints));
+    LDP_ASSIGN_OR_RETURN(auto weights,
+                         GetWeights(component, query, term.box));
+    LDP_ASSIGN_OR_RETURN(
+        const double estimate,
+        mechanism_->EstimateBox(sensitive_ranges, *weights));
+    total += term.coefficient * estimate;
+  }
+  return total;
+}
+
+Result<double> AnalyticsEngine::Execute(const Query& query) const {
+  LDP_RETURN_NOT_OK(ValidateQuery(schema(), query));
+  LDP_ASSIGN_OR_RETURN(
+      const std::vector<IeTerm> terms,
+      RewritePredicate(schema(), query.where.get()));
+  if (terms.empty()) return 0.0;  // unsatisfiable predicate
+
+  switch (query.aggregate.kind) {
+    case AggregateKind::kCount:
+      return EstimateComponent(Component::kCount, query, terms);
+    case AggregateKind::kSum:
+      return EstimateComponent(Component::kSum, query, terms);
+    case AggregateKind::kAvg: {
+      LDP_ASSIGN_OR_RETURN(const double sum,
+                           EstimateComponent(Component::kSum, query, terms));
+      LDP_ASSIGN_OR_RETURN(const double count,
+                           EstimateComponent(Component::kCount, query, terms));
+      if (count <= 0.0) return 0.0;  // noise swamped the group entirely
+      return sum / count;
+    }
+    case AggregateKind::kStdev: {
+      LDP_ASSIGN_OR_RETURN(const double sum_sq,
+                           EstimateComponent(Component::kSumSq, query, terms));
+      LDP_ASSIGN_OR_RETURN(const double sum,
+                           EstimateComponent(Component::kSum, query, terms));
+      LDP_ASSIGN_OR_RETURN(const double count,
+                           EstimateComponent(Component::kCount, query, terms));
+      if (count <= 0.0) return 0.0;
+      const double mean = sum / count;
+      return std::sqrt(std::max(0.0, sum_sq / count - mean * mean));
+    }
+  }
+  return Status::Internal("bad aggregate kind");
+}
+
+Result<AnalyticsEngine::BoundedEstimate> AnalyticsEngine::ExecuteWithBound(
+    const Query& query) const {
+  LDP_RETURN_NOT_OK(ValidateQuery(schema(), query));
+  if (query.aggregate.kind != AggregateKind::kCount &&
+      query.aggregate.kind != AggregateKind::kSum) {
+    return Status::InvalidArgument(
+        "error bounds are supported for COUNT and SUM");
+  }
+  LDP_ASSIGN_OR_RETURN(const std::vector<IeTerm> terms,
+                       RewritePredicate(schema(), query.where.get()));
+  BoundedEstimate out;
+  if (terms.empty()) return out;
+  const Component component = query.aggregate.kind == AggregateKind::kCount
+                                  ? Component::kCount
+                                  : Component::kSum;
+  LDP_ASSIGN_OR_RETURN(out.estimate,
+                       EstimateComponent(component, query, terms));
+  // Conservative combination across inclusion-exclusion terms: the term
+  // errors may be correlated (they share reports), so bound the total
+  // stddev by the sum of per-term |coef| * stddev bounds.
+  std::vector<Interval> sensitive_ranges;
+  std::vector<Constraint> public_constraints;
+  double stddev = 0.0;
+  for (const IeTerm& term : terms) {
+    LDP_RETURN_NOT_OK(
+        SplitBox(term.box, &sensitive_ranges, &public_constraints));
+    LDP_ASSIGN_OR_RETURN(auto weights, GetWeights(component, query, term.box));
+    LDP_ASSIGN_OR_RETURN(
+        const double variance,
+        mechanism_->VarianceBound(sensitive_ranges, *weights));
+    stddev += std::abs(term.coefficient) * std::sqrt(std::max(variance, 0.0));
+  }
+  out.stddev = stddev;
+  return out;
+}
+
+double AnalyticsEngine::AbsWeightTotal(const Query& query) const {
+  if (query.aggregate.kind == AggregateKind::kCount) {
+    return static_cast<double>(table_.num_rows());
+  }
+  double total = 0.0;
+  for (uint64_t row = 0; row < table_.num_rows(); ++row) {
+    total += std::abs(query.aggregate.expr.Eval(table_, row));
+  }
+  return total;
+}
+
+}  // namespace ldp

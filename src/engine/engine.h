@@ -1,0 +1,110 @@
+#ifndef LDPMDA_ENGINE_ENGINE_H_
+#define LDPMDA_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "mech/factory.h"
+#include "query/exact.h"
+#include "query/parser.h"
+#include "query/rewriter.h"
+
+namespace ldp {
+
+/// Configuration of a private-analytics deployment (Figure 1).
+struct EngineOptions {
+  MechanismKind mechanism = MechanismKind::kHio;
+  MechanismParams params;
+  /// Seed for the simulated clients' randomness.
+  uint64_t seed = 42;
+};
+
+/// End-to-end private MDA pipeline over one fact table (Section 2.3).
+///
+/// Create() simulates the collection phase: every row of `table` plays a
+/// client, encodes its sensitive dimensions with the chosen mechanism's
+/// eps-LDP encoder, and sends the report to the (in-process) server. The
+/// server additionally knows the public columns (measures and non-sensitive
+/// dimensions). Execute() then answers arbitrary MDA queries from the
+/// reports alone:
+///   * AND-OR predicates via DNF + inclusion–exclusion (Section 7),
+///   * public-dimension constraints evaluated exactly and folded into the
+///     per-user weights (Section 7),
+///   * COUNT/SUM natively; AVG and STDEV as ratios of estimates (Section 7).
+///
+/// The engine keeps a reference to `table`: the sensitive columns are read
+/// only during the simulated collection; estimation touches only reports and
+/// public columns.
+class AnalyticsEngine {
+ public:
+  static Result<std::unique_ptr<AnalyticsEngine>> Create(
+      const Table& table, const EngineOptions& options);
+
+  /// Estimated answer P̄(q) to the MDA query.
+  Result<double> Execute(const Query& query) const;
+
+  /// An estimate together with a conservative standard-deviation bound
+  /// derived from the mechanism's closed-form error analysis
+  /// (Mechanism::VarianceBound applied to the query's rewritten boxes).
+  struct BoundedEstimate {
+    double estimate = 0.0;
+    double stddev = 0.0;
+  };
+
+  /// Like Execute, with an error bar. Supported for the linear aggregates
+  /// COUNT and SUM (AVG/STDEV are ratios of estimates; their error depends
+  /// on the data in a way no closed form in the paper covers).
+  Result<BoundedEstimate> ExecuteWithBound(const Query& query) const;
+
+  /// Parses and executes a SQL string.
+  Result<double> ExecuteSql(std::string_view sql) const;
+
+  /// Exact (non-private) answer — ground truth for error reporting.
+  Result<double> ExecuteExact(const Query& query) const {
+    return ExactAnswer(table_, query);
+  }
+
+  const Table& table() const { return table_; }
+  const Mechanism& mechanism() const { return *mechanism_; }
+  const Schema& schema() const { return table_.schema(); }
+
+  /// Sum over rows of |expr| for the query's aggregate — the MNAE
+  /// normalizer Sigma_S (Section 6, error measures). COUNT uses n.
+  double AbsWeightTotal(const Query& query) const;
+
+ private:
+  AnalyticsEngine(const Table& table, const EngineOptions& options)
+      : table_(table), options_(options) {}
+
+  /// The primitive estimates Execute() is assembled from.
+  enum class Component { kCount, kSum, kSumSq };
+
+  Result<double> EstimateComponent(Component component, const Query& query,
+                                   const std::vector<IeTerm>& terms) const;
+
+  /// Weight vector for (component, query expr) masked by the public part of
+  /// `box`; cached across queries so accumulator-side histogram caches hit.
+  Result<std::shared_ptr<const WeightVector>> GetWeights(
+      Component component, const Query& query,
+      const ConjunctiveBox& box) const;
+
+  /// Splits a box into sensitive ranges (dense, per sensitive-dim position)
+  /// and public constraints.
+  Status SplitBox(const ConjunctiveBox& box, std::vector<Interval>* sensitive,
+                  std::vector<Constraint>* public_constraints) const;
+
+  const Table& table_;
+  EngineOptions options_;
+  std::unique_ptr<Mechanism> mechanism_;
+  mutable std::unordered_map<std::string,
+                             std::shared_ptr<const WeightVector>>
+      weight_cache_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_ENGINE_ENGINE_H_

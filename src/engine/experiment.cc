@@ -1,0 +1,105 @@
+#include "engine/experiment.h"
+
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace ldp {
+
+namespace {
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+Result<EvalStats> EvaluateQueries(const AnalyticsEngine& engine,
+                                  std::span<const Query> queries) {
+  EvalStats stats;
+  for (const Query& query : queries) {
+    LDP_ASSIGN_OR_RETURN(const double truth, engine.ExecuteExact(query));
+    LDP_ASSIGN_OR_RETURN(const double estimate, engine.Execute(query));
+    stats.mnae.Add(
+        NormalizedAbsError(estimate, truth, engine.AbsWeightTotal(query)));
+    stats.mre.Add(RelativeError(estimate, truth));
+  }
+  return stats;
+}
+
+Result<std::vector<MechanismEval>> EvaluateMechanisms(
+    const Table& table, std::span<const MechanismSpec> specs,
+    std::span<const Query> queries, uint64_t seed) {
+  std::vector<MechanismEval> out;
+  for (const MechanismSpec& spec : specs) {
+    MechanismEval eval;
+    eval.label =
+        spec.label.empty() ? MechanismKindName(spec.kind) : spec.label;
+    EngineOptions options;
+    options.mechanism = spec.kind;
+    options.params = spec.params;
+    options.seed = seed;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto engine = AnalyticsEngine::Create(table, options);
+    if (!engine.ok()) {
+      // Record an unusable configuration without failing the whole sweep.
+      eval.stats.mnae.Add(std::numeric_limits<double>::quiet_NaN());
+      eval.stats.mre.Add(std::numeric_limits<double>::quiet_NaN());
+      out.push_back(std::move(eval));
+      continue;
+    }
+    eval.collect_seconds = SecondsSince(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    LDP_ASSIGN_OR_RETURN(eval.stats,
+                         EvaluateQueries(*engine.value(), queries));
+    eval.query_seconds = SecondsSince(t1);
+    out.push_back(std::move(eval));
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+         << (i < row.size() ? row[i] : "");
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (const size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatErr(double mean, double stddev) {
+  if (std::isnan(mean)) return "n/a";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4) << mean << "+-" << stddev;
+  return os.str();
+}
+
+std::string FormatF(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace ldp

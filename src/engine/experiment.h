@@ -1,0 +1,67 @@
+#ifndef LDPMDA_ENGINE_EXPERIMENT_H_
+#define LDPMDA_ENGINE_EXPERIMENT_H_
+
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/metrics.h"
+
+namespace ldp {
+
+/// Per-mechanism error statistics over a query workload.
+struct EvalStats {
+  OnlineStats mnae;  // mean normalized absolute error (Section 6)
+  OnlineStats mre;   // mean relative error (Section 6)
+};
+
+/// Executes each query privately and exactly, accumulating MNAE and MRE.
+Result<EvalStats> EvaluateQueries(const AnalyticsEngine& engine,
+                                  std::span<const Query> queries);
+
+/// One mechanism configuration in a comparison sweep.
+struct MechanismSpec {
+  MechanismKind kind = MechanismKind::kHio;
+  MechanismParams params;
+  /// Display label; defaults to the mechanism name.
+  std::string label;
+};
+
+struct MechanismEval {
+  std::string label;
+  EvalStats stats;
+  double collect_seconds = 0.0;  // simulated-collection wall time
+  double query_seconds = 0.0;    // total estimation wall time
+};
+
+/// Builds an engine per spec over `table` (simulating collection with
+/// `seed`), evaluates the workload, and returns per-mechanism stats.
+/// A spec whose engine cannot be built (e.g. HI with too many levels)
+/// reports NaN errors rather than failing the sweep.
+Result<std::vector<MechanismEval>> EvaluateMechanisms(
+    const Table& table, std::span<const MechanismSpec> specs,
+    std::span<const Query> queries, uint64_t seed);
+
+/// Fixed-width ASCII table printer for the benchmark binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.0123±0.0045"-style formatting used in the experiment tables.
+std::string FormatErr(double mean, double stddev);
+/// Fixed-precision double formatting.
+std::string FormatF(double v, int precision = 4);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_ENGINE_EXPERIMENT_H_

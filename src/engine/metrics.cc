@@ -1,0 +1,18 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+
+namespace ldp {
+
+double NormalizedAbsError(double estimate, double truth, double sigma_s) {
+  if (sigma_s <= 0.0) return 0.0;
+  return std::abs(estimate - truth) / sigma_s;
+}
+
+double RelativeError(double estimate, double truth) {
+  constexpr double kClip = 10.0;
+  const double denom = std::max(std::abs(estimate), 1e-12);
+  return std::min(std::abs(estimate - truth) / denom, kClip);
+}
+
+}  // namespace ldp

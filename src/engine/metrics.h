@@ -1,0 +1,47 @@
+#ifndef LDPMDA_ENGINE_METRICS_H_
+#define LDPMDA_ENGINE_METRICS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace ldp {
+
+/// Streaming mean / variance (Welford). Used for MNAE / MRE aggregation
+/// over a set of queries ("each data point reports 30 random queries with
+/// 1-std", Section 6).
+class OnlineStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Normalized absolute error |est - truth| / sigma_s, where sigma_s is the
+/// maximum possible answer (sum over users of |w_t|) — the MNAE numerator
+/// of Section 6.
+double NormalizedAbsError(double estimate, double truth, double sigma_s);
+
+/// Relative error |est - truth| / |est| — the paper's MRE definition
+/// normalizes by the *estimate*. Clipped at 10 so a degenerate estimate
+/// (e.g. an AVG whose noisy denominator collapsed to 0) reads as "useless"
+/// instead of blowing up the table.
+double RelativeError(double estimate, double truth);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_ENGINE_METRICS_H_

@@ -1,0 +1,138 @@
+#include "engine/protocol.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ldp {
+
+namespace {
+constexpr std::string_view kHeader = "ldpmda-collection-spec v1";
+}  // namespace
+
+CollectionSpec CollectionSpec::FromSchema(const Schema& schema,
+                                          MechanismKind kind,
+                                          const MechanismParams& params) {
+  CollectionSpec spec;
+  spec.mechanism = kind;
+  spec.params = params;
+  for (const int attr : schema.sensitive_dims()) {
+    spec.sensitive_attributes.push_back(schema.attribute(attr));
+  }
+  return spec;
+}
+
+std::string CollectionSpec::Serialize() const {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  os << "mechanism=" << ToLower(MechanismKindName(mechanism)) << "\n";
+  os << "epsilon=" << params.epsilon << "\n";
+  os << "fanout=" << params.fanout << "\n";
+  os << "fo=" << FoKindName(params.fo_kind) << "\n";
+  os << "pool=" << params.hash_pool_size << "\n";
+  for (const Attribute& attr : sensitive_attributes) {
+    os << "dim=" << attr.name << " "
+       << (attr.kind == AttributeKind::kSensitiveOrdinal ? "ordinal"
+                                                         : "categorical")
+       << " " << attr.domain_size << "\n";
+  }
+  return os.str();
+}
+
+Result<CollectionSpec> CollectionSpec::Parse(std::string_view text) {
+  const auto lines = Split(text, '\n');
+  if (lines.empty() || Trim(lines[0]) != kHeader) {
+    return Status::ParseError("missing collection-spec header");
+  }
+  CollectionSpec spec;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = Trim(lines[i]);
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("bad spec line: '" + std::string(line) + "'");
+    }
+    const std::string_view key = Trim(line.substr(0, eq));
+    const std::string_view value = Trim(line.substr(eq + 1));
+    if (key == "mechanism") {
+      LDP_ASSIGN_OR_RETURN(spec.mechanism, MechanismKindFromString(value));
+    } else if (key == "epsilon") {
+      LDP_ASSIGN_OR_RETURN(spec.params.epsilon, ParseDouble(value));
+    } else if (key == "fanout") {
+      LDP_ASSIGN_OR_RETURN(const int64_t fanout, ParseInt64(value));
+      if (fanout < 2) return Status::ParseError("fanout must be >= 2");
+      spec.params.fanout = static_cast<uint32_t>(fanout);
+    } else if (key == "fo") {
+      LDP_ASSIGN_OR_RETURN(spec.params.fo_kind, FoKindFromString(value));
+    } else if (key == "pool") {
+      LDP_ASSIGN_OR_RETURN(const int64_t pool, ParseInt64(value));
+      if (pool < 0) return Status::ParseError("pool must be >= 0");
+      spec.params.hash_pool_size = static_cast<uint32_t>(pool);
+    } else if (key == "dim") {
+      const auto parts = Split(value, ' ');
+      if (parts.size() != 3) {
+        return Status::ParseError("dim needs 'name kind domain': '" +
+                                  std::string(value) + "'");
+      }
+      Attribute attr;
+      attr.name = parts[0];
+      if (parts[1] == "ordinal") {
+        attr.kind = AttributeKind::kSensitiveOrdinal;
+      } else if (parts[1] == "categorical") {
+        attr.kind = AttributeKind::kSensitiveCategorical;
+      } else {
+        return Status::ParseError("unknown dim kind '" + parts[1] + "'");
+      }
+      LDP_ASSIGN_OR_RETURN(const int64_t domain, ParseInt64(parts[2]));
+      if (domain <= 0) return Status::ParseError("dim domain must be > 0");
+      attr.domain_size = static_cast<uint64_t>(domain);
+      spec.sensitive_attributes.push_back(std::move(attr));
+    } else {
+      return Status::ParseError("unknown spec key '" + std::string(key) + "'");
+    }
+  }
+  if (spec.sensitive_attributes.empty()) {
+    return Status::ParseError("spec declares no sensitive dimensions");
+  }
+  return spec;
+}
+
+Result<Schema> CollectionSpec::ToSchema() const {
+  Schema schema;
+  for (const Attribute& attr : sensitive_attributes) {
+    if (attr.kind == AttributeKind::kSensitiveOrdinal) {
+      LDP_RETURN_NOT_OK(schema.AddOrdinal(attr.name, attr.domain_size));
+    } else {
+      LDP_RETURN_NOT_OK(schema.AddCategorical(attr.name, attr.domain_size));
+    }
+  }
+  return schema;
+}
+
+Result<LdpClient> LdpClient::Create(const CollectionSpec& spec) {
+  LDP_ASSIGN_OR_RETURN(Schema schema, spec.ToSchema());
+  LDP_ASSIGN_OR_RETURN(auto mechanism,
+                       CreateMechanism(spec.mechanism, schema, spec.params));
+  return LdpClient(spec, std::move(schema), std::move(mechanism));
+}
+
+Result<std::string> LdpClient::EncodeUser(std::span<const uint32_t> values,
+                                          Rng& rng) const {
+  LDP_RETURN_NOT_OK(ValidateSensitiveValues(schema_, values));
+  return mechanism_->EncodeUser(values, rng).Serialize();
+}
+
+Result<CollectionServer> CollectionServer::Create(const CollectionSpec& spec) {
+  LDP_ASSIGN_OR_RETURN(Schema schema, spec.ToSchema());
+  LDP_ASSIGN_OR_RETURN(auto mechanism,
+                       CreateMechanism(spec.mechanism, schema, spec.params));
+  return CollectionServer(spec, std::move(schema), std::move(mechanism));
+}
+
+Status CollectionServer::Ingest(std::string_view report_bytes, uint64_t user) {
+  LDP_ASSIGN_OR_RETURN(const LdpReport report,
+                       LdpReport::Deserialize(report_bytes));
+  return mechanism_->AddReport(report, user);
+}
+
+}  // namespace ldp

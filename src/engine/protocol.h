@@ -1,0 +1,104 @@
+#ifndef LDPMDA_ENGINE_PROTOCOL_H_
+#define LDPMDA_ENGINE_PROTOCOL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "mech/factory.h"
+
+namespace ldp {
+
+/// The server-published description of a collection campaign: everything a
+/// client needs to produce a valid eps-LDP report — the mechanism, its
+/// parameters, and the sensitive attributes with their domains. In a real
+/// deployment the server ships this (signed) spec to the client app; here it
+/// is a small line-based text format:
+///
+///   ldpmda-collection-spec v1
+///   mechanism=hio
+///   epsilon=2
+///   fanout=5
+///   fo=olh
+///   pool=0
+///   dim=age ordinal 54
+///   dim=state categorical 6
+struct CollectionSpec {
+  MechanismKind mechanism = MechanismKind::kHio;
+  MechanismParams params;
+  /// Sensitive attributes only (name, kind, domain), in report order.
+  std::vector<Attribute> sensitive_attributes;
+
+  /// Builds a spec advertising `schema`'s sensitive dimensions.
+  static CollectionSpec FromSchema(const Schema& schema, MechanismKind kind,
+                                   const MechanismParams& params);
+
+  std::string Serialize() const;
+  static Result<CollectionSpec> Parse(std::string_view text);
+
+  /// A schema holding exactly the sensitive dimensions (what the client and
+  /// server mechanisms are instantiated from).
+  Result<Schema> ToSchema() const;
+};
+
+/// Client-side half of the deployment: parses a spec and encodes one user's
+/// values into wire bytes. Holds no user data between calls.
+class LdpClient {
+ public:
+  static Result<LdpClient> Create(const CollectionSpec& spec);
+
+  /// Encodes the user's sensitive values (spec order) into a serialized
+  /// eps-LDP report ready to send.
+  Result<std::string> EncodeUser(std::span<const uint32_t> values,
+                                 Rng& rng) const;
+
+  const CollectionSpec& spec() const { return spec_; }
+
+ private:
+  LdpClient(CollectionSpec spec, Schema schema,
+            std::unique_ptr<Mechanism> mechanism)
+      : spec_(std::move(spec)),
+        schema_(std::move(schema)),
+        mechanism_(std::move(mechanism)) {}
+
+  CollectionSpec spec_;
+  Schema schema_;
+  std::shared_ptr<Mechanism> mechanism_;  // shared: LdpClient is copyable
+};
+
+/// Server-side half: ingests wire bytes and answers box queries. (The
+/// AnalyticsEngine offers the richer SQL surface when the fact table lives
+/// in-process; CollectionServer is the transport-level building block.)
+class CollectionServer {
+ public:
+  static Result<CollectionServer> Create(const CollectionSpec& spec);
+
+  /// Validates and ingests one serialized report for user id `user`.
+  Status Ingest(std::string_view report_bytes, uint64_t user);
+
+  uint64_t num_reports() const { return mechanism_->num_reports(); }
+
+  /// Unbiased weighted box estimate (one range per sensitive dimension,
+  /// spec order); weights are the server-known public measures.
+  Result<double> EstimateBox(std::span<const Interval> ranges,
+                             const WeightVector& weights) const {
+    return mechanism_->EstimateBox(ranges, weights);
+  }
+
+  const Mechanism& mechanism() const { return *mechanism_; }
+
+ private:
+  CollectionServer(CollectionSpec spec, Schema schema,
+                   std::unique_ptr<Mechanism> mechanism)
+      : spec_(std::move(spec)),
+        schema_(std::move(schema)),
+        mechanism_(std::move(mechanism)) {}
+
+  CollectionSpec spec_;
+  Schema schema_;
+  std::shared_ptr<Mechanism> mechanism_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_ENGINE_PROTOCOL_H_

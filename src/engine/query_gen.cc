@@ -1,0 +1,143 @@
+#include "engine/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "query/exact.h"
+
+namespace ldp {
+
+QueryGenerator::QueryGenerator(const Table& table, uint64_t seed)
+    : table_(table), rng_(seed) {}
+
+Query QueryGenerator::MakeConjunctiveQuery(
+    const Aggregate& aggregate,
+    const std::vector<Constraint>& constraints) const {
+  Query query;
+  query.aggregate = aggregate;
+  std::vector<PredicatePtr> children;
+  children.reserve(constraints.size());
+  for (const auto& c : constraints) {
+    children.push_back(Predicate::MakeConstraint(c.attr, c.range));
+  }
+  if (!children.empty()) query.where = Predicate::MakeAnd(std::move(children));
+  return query;
+}
+
+Query QueryGenerator::RandomVolumeQuery(const Aggregate& aggregate,
+                                        const std::vector<int>& dims,
+                                        double volume) {
+  LDP_CHECK(!dims.empty());
+  LDP_CHECK(volume > 0.0 && volume <= 1.0);
+  const double per_dim =
+      std::pow(volume, 1.0 / static_cast<double>(dims.size()));
+  std::vector<Constraint> constraints;
+  for (const int attr : dims) {
+    const uint64_t m = table_.schema().attribute(attr).domain_size;
+    uint64_t len = static_cast<uint64_t>(
+        std::llround(per_dim * static_cast<double>(m)));
+    len = std::clamp<uint64_t>(len, 1, m);
+    const uint64_t lo = rng_.UniformInt(m - len + 1);
+    constraints.push_back({attr, Interval{lo, lo + len - 1}});
+  }
+  return MakeConjunctiveQuery(aggregate, constraints);
+}
+
+Result<Query> QueryGenerator::RandomSelectivityQuery(
+    const Aggregate& aggregate, const std::vector<int>& ordinal_dims,
+    const std::vector<int>& categorical_dims, double target, double tolerance,
+    double* achieved, int max_tries) {
+  if (target <= 0.0 || target > 1.0) {
+    return Status::InvalidArgument("target selectivity must be in (0, 1]");
+  }
+  const Schema& schema = table_.schema();
+  // Track the closest query seen across attempts; if no attempt lands within
+  // tolerance (the target can be infeasible, e.g. two skewed categorical
+  // point constraints), return the closest achievable query instead of
+  // failing, so sweeps over query types stay populated.
+  bool have_any = false;
+  Query overall_best;
+  double overall_best_sel = -1.0;
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    // Fix categorical point constraints; a data-weighted draw keeps the
+    // target reachable for skewed categoricals.
+    std::vector<Constraint> fixed;
+    for (const int attr : categorical_dims) {
+      const auto& col = table_.DimColumn(attr);
+      uint32_t value;
+      if (!col.empty()) {
+        value = col[rng_.UniformInt(col.size())];
+      } else {
+        value = static_cast<uint32_t>(
+            rng_.UniformInt(schema.attribute(attr).domain_size));
+      }
+      fixed.push_back({attr, Interval{value, value}});
+    }
+    // Random range centers for the ordinal dims.
+    std::vector<double> centers;
+    for (const int attr : ordinal_dims) {
+      const uint64_t m = schema.attribute(attr).domain_size;
+      centers.push_back(rng_.UniformDouble() * static_cast<double>(m));
+    }
+    // Bisection on the common per-dimension fraction f in (0, 1].
+    auto build = [&](double f) {
+      std::vector<Constraint> constraints = fixed;
+      for (size_t i = 0; i < ordinal_dims.size(); ++i) {
+        const int attr = ordinal_dims[i];
+        const uint64_t m = schema.attribute(attr).domain_size;
+        uint64_t len = static_cast<uint64_t>(
+            std::llround(f * static_cast<double>(m)));
+        len = std::clamp<uint64_t>(len, 1, m);
+        double lo_d = centers[i] - static_cast<double>(len) / 2.0;
+        lo_d = std::clamp(lo_d, 0.0, static_cast<double>(m - len));
+        const uint64_t lo = static_cast<uint64_t>(lo_d);
+        constraints.push_back({attr, Interval{lo, lo + len - 1}});
+      }
+      return MakeConjunctiveQuery(aggregate, constraints);
+    };
+    double lo_f = 0.0;
+    double hi_f = 1.0;
+    Query best = build(1.0);
+    double best_sel = ExactSelectivity(table_, best.where.get());
+    if (!have_any ||
+        std::abs(best_sel - target) < std::abs(overall_best_sel - target)) {
+      have_any = true;
+      overall_best = best;
+      overall_best_sel = best_sel;
+    }
+    if (best_sel < target * (1.0 - tolerance)) continue;  // unreachable
+    for (int iter = 0; iter < 24; ++iter) {
+      const double f = ordinal_dims.empty() ? 1.0 : (lo_f + hi_f) / 2.0;
+      const Query q = build(f);
+      const double sel = ExactSelectivity(table_, q.where.get());
+      if (std::abs(sel - target) < std::abs(best_sel - target)) {
+        best = q;
+        best_sel = sel;
+      }
+      if (sel > target) {
+        hi_f = f;
+      } else {
+        lo_f = f;
+      }
+      if (ordinal_dims.empty()) break;
+      if (std::abs(sel - target) <= tolerance * target) break;
+    }
+    if (std::abs(best_sel - target) < std::abs(overall_best_sel - target)) {
+      overall_best = best;
+      overall_best_sel = best_sel;
+    }
+    if (std::abs(best_sel - target) <= tolerance * target) {
+      if (achieved != nullptr) *achieved = best_sel;
+      return best;
+    }
+  }
+  if (have_any) {
+    if (achieved != nullptr) *achieved = overall_best_sel;
+    return overall_best;
+  }
+  return Status::NotFound("could not hit target selectivity " +
+                          std::to_string(target));
+}
+
+}  // namespace ldp

@@ -1,0 +1,54 @@
+#ifndef LDPMDA_ENGINE_QUERY_GEN_H_
+#define LDPMDA_ENGINE_QUERY_GEN_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/table.h"
+#include "query/query.h"
+
+namespace ldp {
+
+/// Workload generators matching the paper's evaluation methodology
+/// (Section 6): random range queries of a target *volume* (fraction of the
+/// cross-product domain covered; Section 5.4) for the mechanism-comparison
+/// figures, and *selectivity*-targeted queries (fraction of users matched)
+/// for the relative-error figures.
+class QueryGenerator {
+ public:
+  QueryGenerator(const Table& table, uint64_t seed);
+
+  /// A conjunctive range query over `dims` (schema attribute ids) whose
+  /// volume is ~ `volume`: per-dimension fractions are volume^(1/k), range
+  /// positions uniform. vol(q) = prod_i (r_i - l_i + 1) / m_i.
+  Query RandomVolumeQuery(const Aggregate& aggregate,
+                          const std::vector<int>& dims, double volume);
+
+  /// A query of "a+b" type (Section 6.2.1): range constraints on
+  /// `ordinal_dims`, point constraints on `categorical_dims`. Range lengths
+  /// are tuned by bisection on a common per-dimension fraction until the
+  /// true selectivity is within `tolerance` (relative) of `target`;
+  /// categorical values are re-drawn up to `max_tries` times. Returns the
+  /// query; `achieved` (optional) receives the true selectivity.
+  Result<Query> RandomSelectivityQuery(const Aggregate& aggregate,
+                                       const std::vector<int>& ordinal_dims,
+                                       const std::vector<int>& categorical_dims,
+                                       double target, double tolerance,
+                                       double* achieved = nullptr,
+                                       int max_tries = 64);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  /// Builds the AND-of-ranges predicate for the given per-dim ranges/values.
+  Query MakeConjunctiveQuery(const Aggregate& aggregate,
+                             const std::vector<Constraint>& constraints) const;
+
+  const Table& table_;
+  Rng rng_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_ENGINE_QUERY_GEN_H_

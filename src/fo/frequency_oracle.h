@@ -1,0 +1,145 @@
+#ifndef LDPMDA_FO_FREQUENCY_ORACLE_H_
+#define LDPMDA_FO_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ldp {
+
+/// Which LDP frequency-oracle protocol to use as the building block.
+/// The paper uses OLH (optimal local hashing, [35]); GRR, OUE and Hadamard
+/// response are included as drop-in alternates for ablation studies.
+/// kAdaptive applies [35]'s selection rule per domain: GRR when the domain
+/// is smaller than 3 e^eps + 2 (where direct encoding has lower variance),
+/// OLH otherwise — useful inside HI/HIO where shallow levels have tiny
+/// domains and deep levels large ones.
+enum class FoKind { kOlh, kGrr, kOue, kHr, kAdaptive };
+
+std::string FoKindName(FoKind kind);
+Result<FoKind> FoKindFromString(std::string_view name);
+
+/// One LDP report produced by a frequency-oracle encoder.
+/// OLH uses (seed, value); GRR uses value only; OUE uses the bit vector.
+struct FoReport {
+  uint32_t seed = 0;
+  uint32_t value = 0;
+  std::vector<uint64_t> bits;  // OUE only
+};
+
+/// A reusable per-user weight assignment (the public measure M, an all-ones
+/// vector for COUNT, or measure x public-predicate indicator; Sections 3.1
+/// and 7). Each instance carries a unique id so accumulators can cache
+/// derived per-seed histograms keyed by weight set.
+class WeightVector {
+ public:
+  explicit WeightVector(std::vector<double> weights);
+
+  /// All-ones weights of length n (COUNT aggregation).
+  static WeightVector Ones(uint64_t n);
+
+  uint64_t id() const { return id_; }
+  uint64_t size() const { return weights_.size(); }
+  double operator[](uint64_t i) const { return weights_[i]; }
+  const std::vector<double>& values() const { return weights_; }
+
+  /// Sum of all weights.
+  double total() const { return total_; }
+  /// Sum of squared weights (M2_S in the paper's bounds).
+  double sum_squares() const { return sum_squares_; }
+
+ private:
+  uint64_t id_;
+  std::vector<double> weights_;
+  double total_ = 0.0;
+  double sum_squares_ = 0.0;
+};
+
+/// Server-side state for one group of reports encoded with the same
+/// protocol instance. Supports unbiased weighted-frequency estimation
+/// (Prop. 4): an estimate of  f^M_S(v) = sum of w_t over users t in this
+/// group with t[D] = v.
+class FoAccumulator {
+ public:
+  virtual ~FoAccumulator() = default;
+
+  /// Adds one report. `user` is the global row id of the reporting user and
+  /// indexes into WeightVector at estimation time.
+  virtual void Add(const FoReport& report, uint64_t user) = 0;
+
+  virtual uint64_t num_reports() const = 0;
+
+  /// Unbiased estimate of the total weight of users in this group holding
+  /// `value`. The same reports may be estimated against any number of weight
+  /// vectors (post-processing under LDP).
+  virtual double EstimateWeighted(uint64_t value, const WeightVector& w) const = 0;
+
+  /// Sum of w over users in this group (exact; weights are public).
+  virtual double GroupWeight(const WeightVector& w) const = 0;
+};
+
+/// A configured LDP frequency-oracle protocol: client-side `Encode` plus a
+/// factory for server-side accumulators.
+class FrequencyOracle {
+ public:
+  virtual ~FrequencyOracle() = default;
+
+  /// Creates a protocol with privacy budget `epsilon` (per report) over a
+  /// domain of `domain_size` values. `hash_pool_size` restricts OLH seeds to
+  /// a pool (0 = unbounded, exactly unbiased; finite pools trade a small
+  /// conditional bias for O(pool) cell estimates); ignored by GRR/OUE.
+  static Result<std::unique_ptr<FrequencyOracle>> Create(
+      FoKind kind, double epsilon, uint64_t domain_size,
+      uint32_t hash_pool_size = 0);
+
+  /// Encodes a private value into an LDP report (runs on the client).
+  virtual FoReport Encode(uint64_t value, Rng& rng) const = 0;
+
+  virtual std::unique_ptr<FoAccumulator> MakeAccumulator() const = 0;
+
+  virtual FoKind kind() const = 0;
+  virtual double epsilon() const = 0;
+  virtual uint64_t domain_size() const = 0;
+
+  /// Size of one serialized report in 64-bit words (Table 3 accounting).
+  virtual uint64_t ReportSizeWords() const = 0;
+};
+
+/// A dense collection of (protocol, accumulator) pairs indexed by group id.
+/// HI/HIO group by (multi-dim) level, SC by (dimension, level), MG has a
+/// single group. Shared server-side plumbing for all mechanisms.
+class ReportStore {
+ public:
+  /// Appends a group; group ids are assigned densely in call order.
+  int AddGroup(std::unique_ptr<FrequencyOracle> oracle);
+
+  int num_groups() const { return static_cast<int>(oracles_.size()); }
+
+  const FrequencyOracle& oracle(int group) const { return *oracles_[group]; }
+  FoAccumulator& accumulator(int group) { return *accumulators_[group]; }
+  const FoAccumulator& accumulator(int group) const {
+    return *accumulators_[group];
+  }
+
+  /// Encodes `value` with group `group`'s protocol (client side).
+  FoReport Encode(int group, uint64_t value, Rng& rng) const {
+    return oracles_[group]->Encode(value, rng);
+  }
+
+  /// Adds a report to group `group` (server side).
+  void Add(int group, const FoReport& report, uint64_t user) {
+    accumulators_[group]->Add(report, user);
+  }
+
+ private:
+  std::vector<std::unique_ptr<FrequencyOracle>> oracles_;
+  std::vector<std::unique_ptr<FoAccumulator>> accumulators_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_FO_FREQUENCY_ORACLE_H_

@@ -1,0 +1,79 @@
+#include "fo/grr.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+namespace {
+constexpr int kMaxCachedWeightSets = 8;
+}
+
+GrrProtocol::GrrProtocol(double epsilon, uint64_t domain_size)
+    : epsilon_(epsilon), domain_size_(domain_size) {
+  LDP_CHECK_GT(epsilon, 0.0);
+  LDP_CHECK_GE(domain_size, 2u);
+  const double e = std::exp(epsilon);
+  p_ = e / (e + static_cast<double>(domain_size) - 1.0);
+  q_ = 1.0 / (e + static_cast<double>(domain_size) - 1.0);
+}
+
+FoReport GrrProtocol::Encode(uint64_t value, Rng& rng) const {
+  LDP_DCHECK(value < domain_size_);
+  FoReport report;
+  if (rng.Bernoulli(p_)) {
+    report.value = static_cast<uint32_t>(value);
+  } else {
+    const uint64_t r = rng.UniformInt(domain_size_ - 1);
+    report.value = static_cast<uint32_t>(r >= value ? r + 1 : r);
+  }
+  return report;
+}
+
+std::unique_ptr<FoAccumulator> GrrProtocol::MakeAccumulator() const {
+  return std::make_unique<GrrAccumulator>(*this);
+}
+
+GrrAccumulator::GrrAccumulator(const GrrProtocol& protocol)
+    : protocol_(protocol) {}
+
+void GrrAccumulator::Add(const FoReport& report, uint64_t user) {
+  values_.push_back(report.value);
+  users_.push_back(user);
+  hist_cache_.clear();
+  hist_order_.clear();
+}
+
+const GrrAccumulator::WeightedHistogram& GrrAccumulator::GetOrBuildHistogram(
+    const WeightVector& w) const {
+  auto it = hist_cache_.find(w.id());
+  if (it != hist_cache_.end()) return it->second;
+  if (static_cast<int>(hist_cache_.size()) >= kMaxCachedWeightSets) {
+    hist_cache_.erase(hist_order_.front());
+    hist_order_.erase(hist_order_.begin());
+  }
+  WeightedHistogram& h = hist_cache_[w.id()];
+  hist_order_.push_back(w.id());
+  for (size_t i = 0; i < values_.size(); ++i) {
+    const double weight = w[users_[i]];
+    h.by_value[values_[i]] += weight;
+    h.group_weight += weight;
+  }
+  return h;
+}
+
+double GrrAccumulator::EstimateWeighted(uint64_t value,
+                                        const WeightVector& w) const {
+  const WeightedHistogram& h = GetOrBuildHistogram(w);
+  const auto it = h.by_value.find(static_cast<uint32_t>(value));
+  const double theta_w = it == h.by_value.end() ? 0.0 : it->second;
+  return (theta_w - h.group_weight * protocol_.q()) /
+         (protocol_.p() - protocol_.q());
+}
+
+double GrrAccumulator::GroupWeight(const WeightVector& w) const {
+  return GetOrBuildHistogram(w).group_weight;
+}
+
+}  // namespace ldp

@@ -1,0 +1,84 @@
+#include "fo/hadamard.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+namespace {
+constexpr int kMaxCachedWeightSets = 8;
+}  // namespace
+
+HadamardProtocol::HadamardProtocol(double epsilon, uint64_t domain_size)
+    : epsilon_(epsilon), domain_size_(domain_size) {
+  LDP_CHECK_GT(epsilon, 0.0);
+  LDP_CHECK_GE(domain_size, 1u);
+  transform_size_ = 1;
+  while (transform_size_ < domain_size) transform_size_ <<= 1;
+  // A 1-value domain still needs a 2-row transform for the math to hold.
+  if (transform_size_ < 2) transform_size_ = 2;
+  const double e = std::exp(epsilon);
+  p_ = e / (e + 1.0);
+  scale_ = (e + 1.0) / (e - 1.0);
+}
+
+FoReport HadamardProtocol::Encode(uint64_t value, Rng& rng) const {
+  LDP_DCHECK(value < transform_size_);
+  FoReport report;
+  const uint64_t j = rng.UniformInt(transform_size_);
+  int x = Entry(j, value);
+  if (!rng.Bernoulli(p_)) x = -x;
+  report.seed = static_cast<uint32_t>(j);
+  report.value = x > 0 ? 1 : 0;
+  return report;
+}
+
+std::unique_ptr<FoAccumulator> HadamardProtocol::MakeAccumulator() const {
+  return std::make_unique<HadamardAccumulator>(*this);
+}
+
+HadamardAccumulator::HadamardAccumulator(const HadamardProtocol& protocol)
+    : protocol_(protocol) {}
+
+void HadamardAccumulator::Add(const FoReport& report, uint64_t user) {
+  indices_.push_back(report.seed);
+  signs_.push_back(report.value != 0 ? 1 : -1);
+  users_.push_back(user);
+  cache_.clear();
+  cache_order_.clear();
+}
+
+const HadamardAccumulator::Spectrum& HadamardAccumulator::GetOrBuildSpectrum(
+    const WeightVector& w) const {
+  auto it = cache_.find(w.id());
+  if (it != cache_.end()) return it->second;
+  if (static_cast<int>(cache_.size()) >= kMaxCachedWeightSets) {
+    cache_.erase(cache_order_.front());
+    cache_order_.erase(cache_order_.begin());
+  }
+  Spectrum& s = cache_[w.id()];
+  cache_order_.push_back(w.id());
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    const double weight = w[users_[i]];
+    s.signed_sum[indices_[i]] += weight * signs_[i];
+    s.group_weight += weight;
+  }
+  return s;
+}
+
+double HadamardAccumulator::EstimateWeighted(uint64_t value,
+                                             const WeightVector& w) const {
+  const Spectrum& s = GetOrBuildSpectrum(w);
+  double total = 0.0;
+  for (const auto& [j, sum] : s.signed_sum) {
+    total += sum * HadamardProtocol::Entry(j, value);
+  }
+  return protocol_.scale() * total;
+}
+
+double HadamardAccumulator::GroupWeight(const WeightVector& w) const {
+  return GetOrBuildSpectrum(w).group_weight;
+}
+
+}  // namespace ldp

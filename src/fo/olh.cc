@@ -1,0 +1,123 @@
+#include "fo/olh.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/privacy_math.h"
+
+namespace ldp {
+
+namespace {
+/// Use histograms only when the group is big enough that the O(pool) scan
+/// beats the O(#reports) scan, and the histogram itself is not outlandish.
+constexpr uint64_t kMaxHistogramCells = 1ull << 24;
+constexpr int kMaxCachedWeightSets = 8;
+}  // namespace
+
+OlhProtocol::OlhProtocol(double epsilon, uint64_t domain_size,
+                         uint32_t hash_pool_size)
+    : epsilon_(epsilon),
+      domain_size_(domain_size),
+      g_(OptimalOlhG(epsilon)),
+      p_(OlhP(epsilon, g_)),
+      q_(OlhQ(g_)),
+      scale_(OlhScale(epsilon, g_)),
+      family_(hash_pool_size) {
+  LDP_CHECK_GT(epsilon, 0.0);
+}
+
+FoReport OlhProtocol::Encode(uint64_t value, Rng& rng) const {
+  FoReport report;
+  report.seed = family_.SampleSeed(rng);
+  const uint32_t x = SeededHashFamily::Eval(report.seed, value, g_);
+  if (rng.Bernoulli(p_)) {
+    report.value = x;  // stay
+  } else {
+    // flip: uniform over the g - 1 buckets other than x.
+    const uint32_t r = static_cast<uint32_t>(rng.UniformInt(g_ - 1));
+    report.value = r >= x ? r + 1 : r;
+  }
+  return report;
+}
+
+std::unique_ptr<FoAccumulator> OlhProtocol::MakeAccumulator() const {
+  return std::make_unique<OlhAccumulator>(*this);
+}
+
+OlhAccumulator::OlhAccumulator(const OlhProtocol& protocol)
+    : protocol_(protocol) {}
+
+void OlhAccumulator::Add(const FoReport& report, uint64_t user) {
+  LDP_DCHECK(report.value < protocol_.g());
+  seeds_.push_back(report.seed);
+  ys_.push_back(report.value);
+  users_.push_back(user);
+  hist_cache_.clear();  // any cached histogram is now stale
+  hist_order_.clear();
+}
+
+bool OlhAccumulator::UsesHistograms() const {
+  const uint32_t pool = protocol_.hash_pool_size();
+  if (pool == 0) return false;
+  const uint64_t cells = static_cast<uint64_t>(pool) * protocol_.g();
+  if (cells > kMaxHistogramCells) return false;
+  // Building costs O(n); it pays off once cell estimates are repeated, which
+  // every box query does. Require the group to be clearly larger than the
+  // pool so the O(pool) estimate is an actual win.
+  return num_reports() >= 2ull * pool;
+}
+
+const OlhAccumulator::WeightedHistogram& OlhAccumulator::GetOrBuildHistogram(
+    const WeightVector& w) const {
+  auto it = hist_cache_.find(w.id());
+  if (it != hist_cache_.end()) return it->second;
+  if (static_cast<int>(hist_cache_.size()) >= kMaxCachedWeightSets) {
+    hist_cache_.erase(hist_order_.front());
+    hist_order_.erase(hist_order_.begin());
+  }
+  WeightedHistogram& h = hist_cache_[w.id()];
+  hist_order_.push_back(w.id());
+  const uint32_t pool = protocol_.hash_pool_size();
+  const uint32_t g = protocol_.g();
+  h.hist.assign(static_cast<size_t>(pool) * g, 0.0);
+  for (size_t i = 0; i < seeds_.size(); ++i) {
+    const double weight = w[users_[i]];
+    h.hist[static_cast<size_t>(seeds_[i]) * g + ys_[i]] += weight;
+    h.group_weight += weight;
+  }
+  return h;
+}
+
+double OlhAccumulator::EstimateWeighted(uint64_t value,
+                                        const WeightVector& w) const {
+  const uint32_t g = protocol_.g();
+  double theta_w = 0.0;
+  double group_weight = 0.0;
+  if (UsesHistograms()) {
+    const WeightedHistogram& h = GetOrBuildHistogram(w);
+    const uint32_t pool = protocol_.hash_pool_size();
+    for (uint32_t s = 0; s < pool; ++s) {
+      theta_w += h.hist[static_cast<size_t>(s) * g +
+                        SeededHashFamily::Eval(s, value, g)];
+    }
+    group_weight = h.group_weight;
+  } else {
+    for (size_t i = 0; i < seeds_.size(); ++i) {
+      const double weight = w[users_[i]];
+      group_weight += weight;
+      if (SeededHashFamily::Eval(seeds_[i], value, g) == ys_[i]) {
+        theta_w += weight;
+      }
+    }
+  }
+  return protocol_.scale() * (theta_w - group_weight / g);
+}
+
+double OlhAccumulator::GroupWeight(const WeightVector& w) const {
+  if (UsesHistograms()) return GetOrBuildHistogram(w).group_weight;
+  double total = 0.0;
+  for (const uint64_t user : users_) total += w[user];
+  return total;
+}
+
+}  // namespace ldp

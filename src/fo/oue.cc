@@ -1,0 +1,61 @@
+#include "fo/oue.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+OueProtocol::OueProtocol(double epsilon, uint64_t domain_size)
+    : epsilon_(epsilon), domain_size_(domain_size) {
+  LDP_CHECK_GT(epsilon, 0.0);
+  q_ = 1.0 / (std::exp(epsilon) + 1.0);
+}
+
+FoReport OueProtocol::Encode(uint64_t value, Rng& rng) const {
+  LDP_DCHECK(value < domain_size_);
+  FoReport report;
+  report.bits.assign((domain_size_ + 63) / 64, 0);
+  for (uint64_t v = 0; v < domain_size_; ++v) {
+    const bool is_true_bit = (v == value);
+    const bool bit = is_true_bit ? rng.Bernoulli(0.5) : rng.Bernoulli(q_);
+    if (bit) report.bits[v / 64] |= (1ull << (v % 64));
+  }
+  return report;
+}
+
+std::unique_ptr<FoAccumulator> OueProtocol::MakeAccumulator() const {
+  return std::make_unique<OueAccumulator>(*this);
+}
+
+OueAccumulator::OueAccumulator(const OueProtocol& protocol)
+    : protocol_(protocol) {}
+
+void OueAccumulator::Add(const FoReport& report, uint64_t user) {
+  LDP_DCHECK(report.bits.size() == (protocol_.domain_size() + 63) / 64);
+  bit_reports_.push_back(report.bits);
+  users_.push_back(user);
+}
+
+double OueAccumulator::EstimateWeighted(uint64_t value,
+                                        const WeightVector& w) const {
+  double theta_w = 0.0;
+  double group_weight = 0.0;
+  for (size_t i = 0; i < users_.size(); ++i) {
+    const double weight = w[users_[i]];
+    group_weight += weight;
+    if (bit_reports_[i][value / 64] & (1ull << (value % 64))) {
+      theta_w += weight;
+    }
+  }
+  return (theta_w - group_weight * protocol_.q()) /
+         (protocol_.p() - protocol_.q());
+}
+
+double OueAccumulator::GroupWeight(const WeightVector& w) const {
+  double total = 0.0;
+  for (const uint64_t user : users_) total += w[user];
+  return total;
+}
+
+}  // namespace ldp

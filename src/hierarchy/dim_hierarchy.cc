@@ -1,0 +1,126 @@
+#include "hierarchy/dim_hierarchy.h"
+
+#include "common/logging.h"
+
+namespace ldp {
+
+std::unique_ptr<DimHierarchy> DimHierarchy::MakeOrdinal(uint64_t m,
+                                                        uint32_t fanout) {
+  return std::make_unique<OrdinalHierarchy>(m, fanout);
+}
+
+std::unique_ptr<DimHierarchy> DimHierarchy::MakeCategorical(uint64_t c) {
+  return std::make_unique<CategoricalHierarchy>(c);
+}
+
+OrdinalHierarchy::OrdinalHierarchy(uint64_t m, uint32_t fanout)
+    : m_(m), fanout_(fanout) {
+  LDP_CHECK_GE(m, 1u);
+  LDP_CHECK_GE(fanout, 2u);
+  height_ = 0;
+  padded_ = 1;
+  while (padded_ < m_) {
+    padded_ *= fanout_;
+    ++height_;
+  }
+  if (height_ == 0) height_ = 1, padded_ = fanout_;  // m == 1: one real level
+  interval_length_.resize(height_ + 1);
+  uint64_t len = padded_;
+  for (int j = 0; j <= height_; ++j) {
+    interval_length_[j] = len;
+    len /= fanout_;
+  }
+}
+
+uint64_t OrdinalHierarchy::NumIntervals(int level) const {
+  LDP_DCHECK(level >= 0 && level <= height_);
+  return padded_ / interval_length_[level];
+}
+
+uint64_t OrdinalHierarchy::IntervalIndexOf(uint64_t value, int level) const {
+  LDP_DCHECK(value < padded_);
+  return value / interval_length_[level];
+}
+
+Interval OrdinalHierarchy::IntervalAt(int level, uint64_t index) const {
+  const uint64_t len = interval_length_[level];
+  return Interval{index * len, index * len + len - 1};
+}
+
+Status OrdinalHierarchy::Decompose(Interval range,
+                                   std::vector<LevelInterval>* out) const {
+  if (range.lo > range.hi || range.hi >= m_) {
+    return Status::OutOfRange("range " + range.ToString() +
+                              " not within domain of size " +
+                              std::to_string(m_));
+  }
+  // The whole (real) domain is exactly the root: no users hold padded dummy
+  // values, so estimating the root interval is both correct and cheapest.
+  if (range.lo == 0 && range.hi == m_ - 1) {
+    out->push_back({0, 0});
+    return Status::OK();
+  }
+  DecomposeRec(0, 0, range, out);
+  return Status::OK();
+}
+
+void OrdinalHierarchy::DecomposeRec(int level, uint64_t index,
+                                    const Interval& target,
+                                    std::vector<LevelInterval>* out) const {
+  const Interval node = IntervalAt(level, index);
+  if (!node.Overlaps(target)) return;
+  if (target.Contains(node)) {
+    out->push_back({level, index});
+    return;
+  }
+  LDP_DCHECK(level < height_);  // unit-length leaves are contained or disjoint
+  // Recurse only into children overlapping the target.
+  const uint64_t child_len = interval_length_[level + 1];
+  const uint64_t first_child = index * fanout_;
+  uint64_t from = 0;
+  if (target.lo > node.lo) from = (target.lo - node.lo) / child_len;
+  uint64_t to = fanout_ - 1;
+  if (target.hi < node.hi) to = (target.hi - node.lo) / child_len;
+  for (uint64_t c = from; c <= to; ++c) {
+    DecomposeRec(level + 1, first_child + c, target, out);
+  }
+}
+
+CategoricalHierarchy::CategoricalHierarchy(uint64_t c) : c_(c) {
+  LDP_CHECK_GE(c, 1u);
+}
+
+uint64_t CategoricalHierarchy::NumIntervals(int level) const {
+  LDP_DCHECK(level == 0 || level == 1);
+  return level == 0 ? 1 : c_;
+}
+
+uint64_t CategoricalHierarchy::IntervalIndexOf(uint64_t value,
+                                               int level) const {
+  LDP_DCHECK(value < c_);
+  return level == 0 ? 0 : value;
+}
+
+Interval CategoricalHierarchy::IntervalAt(int level, uint64_t index) const {
+  if (level == 0) return Interval{0, c_ - 1};
+  return Interval{index, index};
+}
+
+Status CategoricalHierarchy::Decompose(Interval range,
+                                       std::vector<LevelInterval>* out) const {
+  if (range.lo > range.hi || range.hi >= c_) {
+    return Status::OutOfRange("range " + range.ToString() +
+                              " not within domain of size " +
+                              std::to_string(c_));
+  }
+  if (range.lo == 0 && range.hi == c_ - 1) {
+    out->push_back({0, 0});  // '*'
+    return Status::OK();
+  }
+  // Point constraints are the common case; a set of values decomposes into
+  // its singletons on level 1.
+  for (uint64_t v = range.lo; v <= range.hi; ++v) out->push_back({1, v});
+  return Status::OK();
+}
+
+}  // namespace ldp

@@ -1,0 +1,114 @@
+#ifndef LDPMDA_HIERARCHY_DIM_HIERARCHY_H_
+#define LDPMDA_HIERARCHY_DIM_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/interval.h"
+
+namespace ldp {
+
+/// One interval of the hierarchy, addressed by (level, index within level).
+struct LevelInterval {
+  int level = 0;
+  uint64_t index = 0;
+
+  friend bool operator==(const LevelInterval& a, const LevelInterval& b) {
+    return a.level == b.level && a.index == b.index;
+  }
+};
+
+/// The hierarchy of intervals I_D = {L^0, ..., L^h} over one dimension
+/// (Section 4.1 for ordinal dimensions, Section 5.2 for categorical ones).
+///
+/// Level 0 is the root (the whole domain, '*'); level j partitions the domain
+/// into NumIntervals(j) disjoint intervals. Every value belongs to exactly
+/// one interval per level.
+class DimHierarchy {
+ public:
+  virtual ~DimHierarchy() = default;
+
+  /// Number of real (non-dummy) values m of the dimension.
+  virtual uint64_t domain_size() const = 0;
+
+  /// Height h: the deepest level. num_levels() = h + 1 including the root.
+  virtual int height() const = 0;
+  int num_levels() const { return height() + 1; }
+
+  virtual uint64_t NumIntervals(int level) const = 0;
+
+  /// Index of the unique interval on `level` containing `value`.
+  virtual uint64_t IntervalIndexOf(uint64_t value, int level) const = 0;
+
+  /// The interval at (level, index). For padded ordinal hierarchies this may
+  /// extend past domain_size()-1; no user ever holds such a value, so
+  /// estimates over it remain unbiased.
+  virtual Interval IntervalAt(int level, uint64_t index) const = 0;
+
+  /// Decomposes `range` (must lie within [0, domain_size())) into disjoint
+  /// hierarchy intervals whose union is exactly `range`, appending them to
+  /// `out`. For an ordinal hierarchy with fan-out b this yields at most
+  /// 2(b-1) h intervals (Section 4.1).
+  virtual Status Decompose(Interval range,
+                           std::vector<LevelInterval>* out) const = 0;
+
+  /// A perfect b-way hierarchy over m ordinal values (padded with dummy
+  /// values up to b^h, as in the paper). Requires fanout >= 2, m >= 1.
+  static std::unique_ptr<DimHierarchy> MakeOrdinal(uint64_t m, uint32_t fanout);
+
+  /// The two-level hierarchy {*, {[v_1], ..., [v_c]}} for a categorical
+  /// dimension with c values (Section 5.2).
+  static std::unique_ptr<DimHierarchy> MakeCategorical(uint64_t c);
+};
+
+/// Perfect b-ary hierarchy over [0, b^h) covering m real values.
+class OrdinalHierarchy : public DimHierarchy {
+ public:
+  OrdinalHierarchy(uint64_t m, uint32_t fanout);
+
+  uint64_t domain_size() const override { return m_; }
+  int height() const override { return height_; }
+  uint64_t NumIntervals(int level) const override;
+  uint64_t IntervalIndexOf(uint64_t value, int level) const override;
+  Interval IntervalAt(int level, uint64_t index) const override;
+  Status Decompose(Interval range,
+                   std::vector<LevelInterval>* out) const override;
+
+  uint32_t fanout() const { return fanout_; }
+  /// Padded domain size b^h (>= m).
+  uint64_t padded_size() const { return padded_; }
+
+ private:
+  void DecomposeRec(int level, uint64_t index, const Interval& target,
+                    std::vector<LevelInterval>* out) const;
+
+  uint64_t m_;
+  uint32_t fanout_;
+  int height_;
+  uint64_t padded_;
+  /// interval_length_[j] = length of each interval on level j = b^(h-j).
+  std::vector<uint64_t> interval_length_;
+};
+
+/// Two-level hierarchy for categorical dimensions.
+class CategoricalHierarchy : public DimHierarchy {
+ public:
+  explicit CategoricalHierarchy(uint64_t c);
+
+  uint64_t domain_size() const override { return c_; }
+  int height() const override { return 1; }
+  uint64_t NumIntervals(int level) const override;
+  uint64_t IntervalIndexOf(uint64_t value, int level) const override;
+  Interval IntervalAt(int level, uint64_t index) const override;
+  Status Decompose(Interval range,
+                   std::vector<LevelInterval>* out) const override;
+
+ private:
+  uint64_t c_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_HIERARCHY_DIM_HIERARCHY_H_

@@ -1,0 +1,18 @@
+#include "hierarchy/interval.h"
+
+#include <algorithm>
+
+namespace ldp {
+
+std::string Interval::ToString() const {
+  return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+std::optional<Interval> Intersect(const Interval& a, const Interval& b) {
+  const uint64_t lo = std::max(a.lo, b.lo);
+  const uint64_t hi = std::min(a.hi, b.hi);
+  if (lo > hi) return std::nullopt;
+  return Interval{lo, hi};
+}
+
+}  // namespace ldp

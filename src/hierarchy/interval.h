@@ -1,0 +1,36 @@
+#ifndef LDPMDA_HIERARCHY_INTERVAL_H_
+#define LDPMDA_HIERARCHY_INTERVAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ldp {
+
+/// A closed integer interval [lo, hi] over ordinal value codes.
+struct Interval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  uint64_t length() const { return hi - lo + 1; }
+  bool Contains(uint64_t v) const { return lo <= v && v <= hi; }
+  bool Contains(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  bool Overlaps(const Interval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  std::string ToString() const;
+};
+
+/// Intersection of two intervals, or nullopt if disjoint.
+std::optional<Interval> Intersect(const Interval& a, const Interval& b);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_HIERARCHY_INTERVAL_H_

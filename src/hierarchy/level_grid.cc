@@ -1,0 +1,101 @@
+#include "hierarchy/level_grid.h"
+
+#include "common/logging.h"
+
+namespace ldp {
+
+LevelGrid::LevelGrid(std::vector<std::unique_ptr<DimHierarchy>> hierarchies)
+    : dims_(std::move(hierarchies)) {
+  LDP_CHECK(!dims_.empty());
+  for (const auto& d : dims_) {
+    num_level_tuples_ *= static_cast<uint64_t>(d->num_levels());
+  }
+}
+
+void LevelGrid::LevelsOf(uint64_t flat, std::vector<int>* levels) const {
+  levels->assign(num_dims(), 0);
+  for (int i = num_dims() - 1; i >= 0; --i) {
+    const uint64_t radix = dims_[i]->num_levels();
+    (*levels)[i] = static_cast<int>(flat % radix);
+    flat /= radix;
+  }
+  LDP_DCHECK(flat == 0);
+}
+
+uint64_t LevelGrid::FlatOf(std::span<const int> levels) const {
+  LDP_DCHECK(static_cast<int>(levels.size()) == num_dims());
+  uint64_t flat = 0;
+  for (int i = 0; i < num_dims(); ++i) {
+    const uint64_t radix = dims_[i]->num_levels();
+    LDP_DCHECK(levels[i] >= 0 && levels[i] < static_cast<int>(radix));
+    flat = flat * radix + static_cast<uint64_t>(levels[i]);
+  }
+  return flat;
+}
+
+uint64_t LevelGrid::NumCells(std::span<const int> levels) const {
+  uint64_t cells = 1;
+  for (int i = 0; i < num_dims(); ++i) {
+    cells *= dims_[i]->NumIntervals(levels[i]);
+  }
+  return cells;
+}
+
+uint64_t LevelGrid::CellOfValues(std::span<const int> levels,
+                                 std::span<const uint32_t> values) const {
+  LDP_DCHECK(static_cast<int>(values.size()) == num_dims());
+  uint64_t cell = 0;
+  for (int i = 0; i < num_dims(); ++i) {
+    cell = cell * dims_[i]->NumIntervals(levels[i]) +
+           dims_[i]->IntervalIndexOf(values[i], levels[i]);
+  }
+  return cell;
+}
+
+uint64_t LevelGrid::CellOfIntervals(
+    std::span<const int> levels, std::span<const uint64_t> interval_indices) const {
+  uint64_t cell = 0;
+  for (int i = 0; i < num_dims(); ++i) {
+    LDP_DCHECK(interval_indices[i] < dims_[i]->NumIntervals(levels[i]));
+    cell = cell * dims_[i]->NumIntervals(levels[i]) + interval_indices[i];
+  }
+  return cell;
+}
+
+Status LevelGrid::DecomposeBox(std::span<const Interval> ranges,
+                               std::vector<SubQuery>* out,
+                               uint64_t max_sub_queries) const {
+  if (static_cast<int>(ranges.size()) != num_dims()) {
+    return Status::InvalidArgument("DecomposeBox needs one range per dim");
+  }
+  std::vector<std::vector<LevelInterval>> pieces(num_dims());
+  uint64_t product = 1;
+  for (int i = 0; i < num_dims(); ++i) {
+    LDP_RETURN_NOT_OK(dims_[i]->Decompose(ranges[i], &pieces[i]));
+    product *= pieces[i].size();
+    if (product > max_sub_queries) {
+      return Status::ResourceExhausted(
+          "box decomposes into too many sub-queries");
+    }
+  }
+  // Cartesian product over per-dimension pieces (odometer enumeration).
+  std::vector<size_t> pick(num_dims(), 0);
+  std::vector<int> levels(num_dims());
+  std::vector<uint64_t> interval_indices(num_dims());
+  out->reserve(out->size() + product);
+  for (uint64_t count = 0; count < product; ++count) {
+    for (int i = 0; i < num_dims(); ++i) {
+      levels[i] = pieces[i][pick[i]].level;
+      interval_indices[i] = pieces[i][pick[i]].index;
+    }
+    out->push_back(
+        {FlatOf(levels), CellOfIntervals(levels, interval_indices)});
+    for (int i = num_dims() - 1; i >= 0; --i) {
+      if (++pick[i] < pieces[i].size()) break;
+      pick[i] = 0;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ldp

@@ -1,0 +1,74 @@
+#ifndef LDPMDA_HIERARCHY_LEVEL_GRID_H_
+#define LDPMDA_HIERARCHY_LEVEL_GRID_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "hierarchy/dim_hierarchy.h"
+
+namespace ldp {
+
+/// One sub-query produced by decomposing an MDA box: the d-dim interval
+/// `cell` on the d-dim level `level_flat` (both flattened row-major).
+struct SubQuery {
+  uint64_t level_flat = 0;
+  uint64_t cell = 0;
+
+  friend bool operator==(const SubQuery& a, const SubQuery& b) {
+    return a.level_flat == b.level_flat && a.cell == b.cell;
+  }
+};
+
+/// The d-dimensional hierarchy I_{D1} ⊗ ... ⊗ I_{Dd} (Section 5.1.1).
+///
+/// A *level tuple* (j_1, ..., j_d) selects one level per dimension; there are
+/// Π_i (h_i + 1) tuples, flattened row-major (last dimension fastest). A
+/// *cell* of a level tuple is one d-dim interval I_1 I_2 ... I_d, also
+/// flattened row-major by per-dimension interval indices.
+class LevelGrid {
+ public:
+  explicit LevelGrid(std::vector<std::unique_ptr<DimHierarchy>> hierarchies);
+
+  int num_dims() const { return static_cast<int>(dims_.size()); }
+  const DimHierarchy& dim(int i) const { return *dims_[i]; }
+
+  /// Π_i (h_i + 1), the number of d-dim levels.
+  uint64_t num_level_tuples() const { return num_level_tuples_; }
+
+  /// Flat id -> per-dimension levels.
+  void LevelsOf(uint64_t flat, std::vector<int>* levels) const;
+  /// Per-dimension levels -> flat id.
+  uint64_t FlatOf(std::span<const int> levels) const;
+
+  /// Number of cells of the level tuple: Π_i NumIntervals(j_i).
+  uint64_t NumCells(std::span<const int> levels) const;
+
+  /// Cell containing a user's dimension values at the given level tuple —
+  /// the augmented dimension t[L^{j_1}_{D1} x ... x L^{j_d}_{Dd}].
+  uint64_t CellOfValues(std::span<const int> levels,
+                        std::span<const uint32_t> values) const;
+
+  /// Cell from explicit per-dimension interval indices.
+  uint64_t CellOfIntervals(std::span<const int> levels,
+                           std::span<const uint64_t> interval_indices) const;
+
+  /// Decomposes the axis-aligned box Π_i ranges[i] into sub-queries, one per
+  /// combination of per-dimension decomposed intervals (eq. 20). `ranges`
+  /// must supply one interval per dimension (use the full domain for
+  /// dimensions absent from the predicate). Fails with ResourceExhausted if
+  /// the product of decomposition sizes exceeds `max_sub_queries`.
+  Status DecomposeBox(std::span<const Interval> ranges,
+                      std::vector<SubQuery>* out,
+                      uint64_t max_sub_queries = 1ull << 22) const;
+
+ private:
+  std::vector<std::unique_ptr<DimHierarchy>> dims_;
+  uint64_t num_level_tuples_ = 1;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_HIERARCHY_LEVEL_GRID_H_

@@ -1,0 +1,44 @@
+#include "mech/factory.h"
+
+#include "mech/haar.h"
+#include "mech/hi.h"
+#include "mech/hio.h"
+#include "mech/mg.h"
+#include "mech/quadtree.h"
+#include "mech/sc.h"
+
+namespace ldp {
+
+Result<std::unique_ptr<Mechanism>> CreateMechanism(
+    MechanismKind kind, const Schema& schema, const MechanismParams& params) {
+  switch (kind) {
+    case MechanismKind::kHi: {
+      LDP_ASSIGN_OR_RETURN(auto mech, HiMechanism::Create(schema, params));
+      return {std::unique_ptr<Mechanism>(std::move(mech))};
+    }
+    case MechanismKind::kHio: {
+      LDP_ASSIGN_OR_RETURN(auto mech, HioMechanism::Create(schema, params));
+      return {std::unique_ptr<Mechanism>(std::move(mech))};
+    }
+    case MechanismKind::kSc: {
+      LDP_ASSIGN_OR_RETURN(auto mech, ScMechanism::Create(schema, params));
+      return {std::unique_ptr<Mechanism>(std::move(mech))};
+    }
+    case MechanismKind::kMg: {
+      LDP_ASSIGN_OR_RETURN(auto mech, MgMechanism::Create(schema, params));
+      return {std::unique_ptr<Mechanism>(std::move(mech))};
+    }
+    case MechanismKind::kQuadTree: {
+      LDP_ASSIGN_OR_RETURN(auto mech,
+                           QuadTreeMechanism::Create(schema, params));
+      return {std::unique_ptr<Mechanism>(std::move(mech))};
+    }
+    case MechanismKind::kHaar: {
+      LDP_ASSIGN_OR_RETURN(auto mech, HaarMechanism::Create(schema, params));
+      return {std::unique_ptr<Mechanism>(std::move(mech))};
+    }
+  }
+  return Status::InvalidArgument("unknown mechanism kind");
+}
+
+}  // namespace ldp

@@ -1,0 +1,17 @@
+#ifndef LDPMDA_MECH_FACTORY_H_
+#define LDPMDA_MECH_FACTORY_H_
+
+#include <memory>
+
+#include "mech/mechanism.h"
+
+namespace ldp {
+
+/// Instantiates the requested LDP mechanism for the schema's sensitive
+/// dimensions.
+Result<std::unique_ptr<Mechanism>> CreateMechanism(
+    MechanismKind kind, const Schema& schema, const MechanismParams& params);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_MECH_FACTORY_H_

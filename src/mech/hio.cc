@@ -1,0 +1,106 @@
+#include "mech/hio.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+HioMechanism::HioMechanism(const Schema& schema,
+                           const MechanismParams& params)
+    : Mechanism(params) {
+  grid_ = std::make_unique<LevelGrid>(BuildHierarchies(schema, params.fanout));
+  num_dims_ = grid_->num_dims();
+}
+
+Status HioMechanism::Init() {
+  const uint64_t tuples = grid_->num_level_tuples();
+  if (tuples > (1ull << 24)) {
+    return Status::ResourceExhausted("too many d-dim levels for HIO — use SC");
+  }
+  levels_of_tuple_.resize(tuples);
+  for (uint64_t flat = 0; flat < tuples; ++flat) {
+    grid_->LevelsOf(flat, &levels_of_tuple_[flat]);
+    LDP_ASSIGN_OR_RETURN(
+        auto oracle,
+        FrequencyOracle::Create(params_.fo_kind, params_.epsilon,
+                                grid_->NumCells(levels_of_tuple_[flat]),
+                                params_.hash_pool_size));
+    store_.AddGroup(std::move(oracle));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HioMechanism>> HioMechanism::Create(
+    const Schema& schema, const MechanismParams& params) {
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (schema.sensitive_dims().empty()) {
+    return Status::InvalidArgument("schema has no sensitive dimensions");
+  }
+  std::unique_ptr<HioMechanism> mech(new HioMechanism(schema, params));
+  LDP_RETURN_NOT_OK(mech->Init());
+  return mech;
+}
+
+LdpReport HioMechanism::EncodeUser(std::span<const uint32_t> values,
+                                   Rng& rng) const {
+  LDP_CHECK_EQ(static_cast<int>(values.size()), num_dims_);
+  // Line 1 of Algorithm 2: pick a random d-dim level.
+  const uint32_t flat =
+      static_cast<uint32_t>(rng.UniformInt(levels_of_tuple_.size()));
+  const uint64_t cell = grid_->CellOfValues(levels_of_tuple_[flat], values);
+  LdpReport report;
+  report.entries.push_back({flat, store_.Encode(flat, cell, rng)});
+  return report;
+}
+
+Status HioMechanism::AddReport(const LdpReport& report, uint64_t user) {
+  if (report.entries.size() != 1) {
+    return Status::InvalidArgument("HIO report must have exactly one entry");
+  }
+  const auto& entry = report.entries[0];
+  if (entry.group >= levels_of_tuple_.size()) {
+    return Status::OutOfRange("bad group id in HIO report");
+  }
+  store_.Add(entry.group, entry.fo, user);
+  ++num_reports_;
+  return Status::OK();
+}
+
+double HioMechanism::EstimateCell(uint64_t level_flat, uint64_t cell,
+                                  const WeightVector& weights) const {
+  // Eq. (24): scale the group estimate up by the inverse sampling rate.
+  const double scale = static_cast<double>(grid_->num_level_tuples());
+  return scale * store_.accumulator(static_cast<int>(level_flat))
+                     .EstimateWeighted(cell, weights);
+}
+
+Result<double> HioMechanism::VarianceBound(
+    std::span<const Interval> ranges, const WeightVector& weights) const {
+  std::vector<SubQuery> sub_queries;
+  LDP_RETURN_NOT_OK(grid_->DecomposeBox(ranges, &sub_queries));
+  // Prop. 5 with sampling rate 1/L, L = number of d-dim levels: per
+  // sub-query noise 4 L M2 e^eps/(e^eps-1)^2; the sampling terms
+  // (2L-1) M2(v) over disjoint cells total <= (2L-1) M2.
+  const double e = std::exp(params_.epsilon);
+  const double m2 = weights.sum_squares();
+  const double levels = static_cast<double>(grid_->num_level_tuples());
+  return static_cast<double>(sub_queries.size()) * 4.0 * levels * m2 * e /
+             ((e - 1.0) * (e - 1.0)) +
+         (2.0 * levels - 1.0) * m2;
+}
+
+Result<double> HioMechanism::EstimateBox(std::span<const Interval> ranges,
+                                         const WeightVector& weights) const {
+  std::vector<SubQuery> sub_queries;
+  LDP_RETURN_NOT_OK(grid_->DecomposeBox(ranges, &sub_queries));
+  double total = 0.0;
+  for (const SubQuery& sq : sub_queries) {
+    total += EstimateCell(sq.level_flat, sq.cell, weights);
+  }
+  return total;
+}
+
+}  // namespace ldp

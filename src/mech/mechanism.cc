@@ -1,0 +1,166 @@
+#include "mech/mechanism.h"
+
+#include "common/string_util.h"
+
+namespace ldp {
+
+std::string MechanismKindName(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kHi:
+      return "HI";
+    case MechanismKind::kHio:
+      return "HIO";
+    case MechanismKind::kSc:
+      return "SC";
+    case MechanismKind::kMg:
+      return "MG";
+    case MechanismKind::kQuadTree:
+      return "QuadTree";
+    case MechanismKind::kHaar:
+      return "Haar";
+  }
+  return "?";
+}
+
+Result<MechanismKind> MechanismKindFromString(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "hi") return MechanismKind::kHi;
+  if (lower == "hio") return MechanismKind::kHio;
+  if (lower == "sc") return MechanismKind::kSc;
+  if (lower == "mg") return MechanismKind::kMg;
+  if (lower == "quadtree" || lower == "qt") return MechanismKind::kQuadTree;
+  if (lower == "haar" || lower == "wavelet") return MechanismKind::kHaar;
+  return Status::InvalidArgument("unknown mechanism: " + std::string(name));
+}
+
+uint64_t LdpReport::SizeWords() const {
+  uint64_t words = 0;
+  for (const auto& e : entries) {
+    words += 1;  // group tag + OLH/GRR payload packed into one word
+    if (!e.fo.bits.empty()) words += e.fo.bits.size();
+  }
+  return words;
+}
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+bool GetU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>((*in)[i])) << (8 * i);
+  }
+  in->remove_prefix(8);
+  return true;
+}
+
+}  // namespace
+
+std::string LdpReport::Serialize() const {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    PutU32(&out, e.group);
+    PutU32(&out, e.fo.seed);
+    PutU32(&out, e.fo.value);
+    PutU32(&out, static_cast<uint32_t>(e.fo.bits.size()));
+    for (const uint64_t word : e.fo.bits) PutU64(&out, word);
+  }
+  return out;
+}
+
+Result<LdpReport> LdpReport::Deserialize(std::string_view bytes) {
+  LdpReport report;
+  uint32_t count = 0;
+  if (!GetU32(&bytes, &count)) {
+    return Status::ParseError("truncated LDP report header");
+  }
+  if (count > (1u << 24)) {
+    return Status::ParseError("implausible LDP report entry count");
+  }
+  report.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry entry;
+    uint32_t bit_words = 0;
+    if (!GetU32(&bytes, &entry.group) || !GetU32(&bytes, &entry.fo.seed) ||
+        !GetU32(&bytes, &entry.fo.value) || !GetU32(&bytes, &bit_words)) {
+      return Status::ParseError("truncated LDP report entry");
+    }
+    if (static_cast<uint64_t>(bit_words) * 8 > bytes.size()) {
+      return Status::ParseError("truncated LDP report bit payload");
+    }
+    entry.fo.bits.resize(bit_words);
+    for (uint32_t w = 0; w < bit_words; ++w) {
+      (void)GetU64(&bytes, &entry.fo.bits[w]);
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  if (!bytes.empty()) {
+    return Status::ParseError("trailing bytes after LDP report");
+  }
+  return report;
+}
+
+bool operator==(const LdpReport& a, const LdpReport& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    const auto& x = a.entries[i];
+    const auto& y = b.entries[i];
+    if (x.group != y.group || x.fo.seed != y.fo.seed ||
+        x.fo.value != y.fo.value || x.fo.bits != y.fo.bits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::unique_ptr<DimHierarchy>> BuildHierarchies(
+    const Schema& schema, uint32_t fanout) {
+  std::vector<std::unique_ptr<DimHierarchy>> out;
+  for (const int attr : schema.sensitive_dims()) {
+    const Attribute& a = schema.attribute(attr);
+    if (a.kind == AttributeKind::kSensitiveOrdinal) {
+      out.push_back(DimHierarchy::MakeOrdinal(a.domain_size, fanout));
+    } else {
+      out.push_back(DimHierarchy::MakeCategorical(a.domain_size));
+    }
+  }
+  return out;
+}
+
+Status ValidateSensitiveValues(const Schema& schema,
+                               std::span<const uint32_t> values) {
+  const auto& dims = schema.sensitive_dims();
+  if (values.size() != dims.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(dims.size()) +
+        " sensitive values, got " + std::to_string(values.size()));
+  }
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (values[i] >= schema.attribute(dims[i]).domain_size) {
+      return Status::OutOfRange("sensitive value out of domain for '" +
+                                schema.attribute(dims[i]).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ldp

@@ -1,0 +1,131 @@
+#ifndef LDPMDA_MECH_MECHANISM_H_
+#define LDPMDA_MECH_MECHANISM_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "fo/frequency_oracle.h"
+#include "hierarchy/level_grid.h"
+
+namespace ldp {
+
+/// The four LDP mechanisms evaluated in the paper (Section 6), plus the
+/// QuadTree and Haar-wavelet space-partitioning alternatives discussed in
+/// Section 7.
+enum class MechanismKind { kHi, kHio, kSc, kMg, kQuadTree, kHaar };
+
+std::string MechanismKindName(MechanismKind kind);
+Result<MechanismKind> MechanismKindFromString(std::string_view name);
+
+/// Tuning knobs shared by all mechanisms.
+struct MechanismParams {
+  /// Total per-user privacy budget epsilon; every mechanism is eps-LDP.
+  double epsilon = 1.0;
+  /// Hierarchy fan-out b (the paper uses b = 5, chosen to minimize the RHS
+  /// of Theorem 7's bound).
+  uint32_t fanout = 5;
+  /// Frequency oracle building block. SC requires OLH.
+  FoKind fo_kind = FoKind::kOlh;
+  /// OLH hash-seed pool size. 0 (default) draws seeds from the full 32-bit
+  /// space — the faithful universal-hash setting with exactly unbiased
+  /// estimates. A finite pool (e.g. 4096) lets the server fold reports into
+  /// per-seed histograms, making cell estimates O(pool) instead of
+  /// O(#reports) — essential for the MG baseline's O(m^d)-cell box sums —
+  /// at the cost of a small conditional bias of relative order
+  /// 1/sqrt(g * pool) per distinct value, which is negligible next to the
+  /// LDP noise at benchmark scales (see DESIGN.md).
+  uint32_t hash_pool_size = 0;
+};
+
+/// The LDP report a single user sends: one frequency-oracle report per
+/// "group". HI reports every d-dim level (group = flat level tuple), HIO
+/// one random level, SC one report per (dimension, non-root level), MG a
+/// single report on the full cross-product domain.
+struct LdpReport {
+  struct Entry {
+    uint32_t group = 0;
+    FoReport fo;
+  };
+  std::vector<Entry> entries;
+
+  /// Serialized size in 64-bit words (group tag + payload per entry);
+  /// the "Encoder space per user" column of Table 3.
+  uint64_t SizeWords() const;
+
+  /// Binary wire format (little-endian), for shipping reports from real
+  /// clients to a real server:
+  ///   u32 entry_count, then per entry: u32 group, u32 seed, u32 value,
+  ///   u32 bit_word_count, u64 bit_words[].
+  std::string Serialize() const;
+  static Result<LdpReport> Deserialize(std::string_view bytes);
+
+  friend bool operator==(const LdpReport& a, const LdpReport& b);
+};
+
+/// An LDP mechanism (A, P̄): a client-side encoder plus a server-side
+/// estimation processor for MDA box aggregates.
+///
+/// The server never sees sensitive values; it receives LdpReports (paired
+/// with public per-user weights at estimation time) and answers conjunctive
+/// box queries with unbiased estimates. AND-OR predicates, AVG/STDEV and
+/// public-dimension filtering are layered on top by the AnalyticsEngine.
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  virtual MechanismKind kind() const = 0;
+  const MechanismParams& params() const { return params_; }
+
+  /// --- Client side (algorithm A) ---
+  /// Encodes one user's sensitive dimension values (one value per sensitive
+  /// dimension, in Schema::sensitive_dims() order). eps-LDP overall.
+  virtual LdpReport EncodeUser(std::span<const uint32_t> values,
+                               Rng& rng) const = 0;
+
+  /// --- Server side (estimation processor P̄) ---
+  /// Ingests the report of user `user` (a dense row id; weights are indexed
+  /// by it at estimation time).
+  virtual Status AddReport(const LdpReport& report, uint64_t user) = 0;
+
+  /// Unbiased estimate of  sum of w_t  over users whose sensitive values lie
+  /// in the axis-aligned box (one closed interval per sensitive dimension,
+  /// in Schema::sensitive_dims() order; pass the full domain for dimensions
+  /// absent from the predicate).
+  virtual Result<double> EstimateBox(std::span<const Interval> ranges,
+                                     const WeightVector& weights) const = 0;
+
+  /// Number of ingested reports.
+  virtual uint64_t num_reports() const = 0;
+
+  /// An upper bound on the variance of EstimateBox(ranges, weights) — the
+  /// paper's closed-form error analyses (Prop. 4/5, Theorems 6-11)
+  /// instantiated for this mechanism's actual decomposition of the box.
+  /// Useful for reporting estimate +- stddev to analysts. Conservative: the
+  /// data-dependent M2_S(v) terms are bounded by the full sum of squares.
+  virtual Result<double> VarianceBound(std::span<const Interval> ranges,
+                                       const WeightVector& weights) const = 0;
+
+ protected:
+  explicit Mechanism(MechanismParams params) : params_(params) {}
+
+  MechanismParams params_;
+};
+
+/// Builds the per-dimension hierarchies for the schema's sensitive
+/// dimensions: b-ary for ordinal, two-level for categorical (Section 5.2).
+std::vector<std::unique_ptr<DimHierarchy>> BuildHierarchies(
+    const Schema& schema, uint32_t fanout);
+
+/// Validates an EncodeUser values span against the schema.
+Status ValidateSensitiveValues(const Schema& schema,
+                               std::span<const uint32_t> values);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_MECH_MECHANISM_H_

@@ -1,0 +1,129 @@
+#include "mech/mg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+namespace {
+/// Refuse to sum more cells than this per query (eq. 10 scans the box).
+constexpr uint64_t kMaxBoxCells = 1ull << 25;
+}  // namespace
+
+MgMechanism::MgMechanism(const Schema& schema, const MechanismParams& params)
+    : Mechanism(params) {
+  for (const int attr : schema.sensitive_dims()) {
+    domains_.push_back(schema.attribute(attr).domain_size);
+    total_cells_ *= schema.attribute(attr).domain_size;
+  }
+}
+
+Status MgMechanism::Init() {
+  LDP_ASSIGN_OR_RETURN(
+      auto oracle,
+      FrequencyOracle::Create(params_.fo_kind, params_.epsilon, total_cells_,
+                              params_.hash_pool_size));
+  store_.AddGroup(std::move(oracle));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MgMechanism>> MgMechanism::Create(
+    const Schema& schema, const MechanismParams& params) {
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (schema.sensitive_dims().empty()) {
+    return Status::InvalidArgument("schema has no sensitive dimensions");
+  }
+  uint64_t cells = 1;
+  for (const int attr : schema.sensitive_dims()) {
+    const uint64_t m = schema.attribute(attr).domain_size;
+    if (cells > (1ull << 50) / m) {
+      return Status::ResourceExhausted("MG cross-product domain too large");
+    }
+    cells *= m;
+  }
+  std::unique_ptr<MgMechanism> mech(new MgMechanism(schema, params));
+  LDP_RETURN_NOT_OK(mech->Init());
+  return mech;
+}
+
+LdpReport MgMechanism::EncodeUser(std::span<const uint32_t> values,
+                                  Rng& rng) const {
+  LDP_CHECK_EQ(values.size(), domains_.size());
+  uint64_t cell = 0;
+  for (size_t i = 0; i < domains_.size(); ++i) {
+    LDP_DCHECK(values[i] < domains_[i]);
+    cell = cell * domains_[i] + values[i];
+  }
+  LdpReport report;
+  report.entries.push_back({0, store_.Encode(0, cell, rng)});
+  return report;
+}
+
+Status MgMechanism::AddReport(const LdpReport& report, uint64_t user) {
+  if (report.entries.size() != 1 || report.entries[0].group != 0) {
+    return Status::InvalidArgument("MG report must have exactly one entry");
+  }
+  store_.Add(0, report.entries[0].fo, user);
+  ++num_reports_;
+  return Status::OK();
+}
+
+Result<double> MgMechanism::VarianceBound(std::span<const Interval> ranges,
+                                          const WeightVector& weights) const {
+  if (ranges.size() != domains_.size()) {
+    return Status::InvalidArgument("VarianceBound needs one range per dim");
+  }
+  double box_cells = 1.0;
+  for (size_t i = 0; i < domains_.size(); ++i) {
+    if (ranges[i].lo > ranges[i].hi || ranges[i].hi >= domains_[i]) {
+      return Status::OutOfRange("bad range for dimension " +
+                                std::to_string(i));
+    }
+    box_cells *= static_cast<double>(ranges[i].length());
+  }
+  // Eq. (11): covered cells x the Prop. 4 noise term, plus <= M2 of data
+  // terms.
+  const double e = std::exp(params_.epsilon);
+  const double m2 = weights.sum_squares();
+  return box_cells * 4.0 * m2 * e / ((e - 1.0) * (e - 1.0)) + m2;
+}
+
+Result<double> MgMechanism::EstimateBox(std::span<const Interval> ranges,
+                                        const WeightVector& weights) const {
+  if (ranges.size() != domains_.size()) {
+    return Status::InvalidArgument("EstimateBox needs one range per dim");
+  }
+  uint64_t box_cells = 1;
+  for (size_t i = 0; i < domains_.size(); ++i) {
+    if (ranges[i].lo > ranges[i].hi || ranges[i].hi >= domains_[i]) {
+      return Status::OutOfRange("bad range for dimension " +
+                                std::to_string(i));
+    }
+    box_cells *= ranges[i].length();
+    if (box_cells > kMaxBoxCells) {
+      return Status::ResourceExhausted("MG box covers too many cells");
+    }
+  }
+  // Odometer over the box, summing per-cell weighted estimates (eq. 10).
+  const FoAccumulator& acc = store_.accumulator(0);
+  std::vector<uint64_t> value(domains_.size());
+  for (size_t i = 0; i < domains_.size(); ++i) value[i] = ranges[i].lo;
+  double total = 0.0;
+  for (uint64_t count = 0; count < box_cells; ++count) {
+    uint64_t cell = 0;
+    for (size_t i = 0; i < domains_.size(); ++i) {
+      cell = cell * domains_[i] + value[i];
+    }
+    total += acc.EstimateWeighted(cell, weights);
+    for (size_t i = domains_.size(); i-- > 0;) {
+      if (++value[i] <= ranges[i].hi) break;
+      value[i] = ranges[i].lo;
+    }
+  }
+  return total;
+}
+
+}  // namespace ldp

@@ -1,0 +1,180 @@
+#include "mech/sc.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+namespace {
+constexpr uint64_t kMaxSubQueries = 1ull << 20;
+}  // namespace
+
+ScMechanism::ScMechanism(const Schema& schema, const MechanismParams& params)
+    : Mechanism(params) {
+  grid_ = std::make_unique<LevelGrid>(BuildHierarchies(schema, params.fanout));
+}
+
+Status ScMechanism::Init() {
+  int total_levels = 0;
+  group_offset_.resize(grid_->num_dims());
+  for (int i = 0; i < grid_->num_dims(); ++i) {
+    group_offset_[i] = total_levels;
+    total_levels += grid_->dim(i).height();
+  }
+  LDP_CHECK_GT(total_levels, 0);
+  per_report_epsilon_ = params_.epsilon / static_cast<double>(total_levels);
+  for (int i = 0; i < grid_->num_dims(); ++i) {
+    for (int j = 1; j <= grid_->dim(i).height(); ++j) {
+      protocols_.push_back(std::make_unique<OlhProtocol>(
+          per_report_epsilon_, grid_->dim(i).NumIntervals(j),
+          params_.hash_pool_size));
+    }
+  }
+  seeds_.resize(protocols_.size());
+  ys_.resize(protocols_.size());
+  // All groups share (eps', g), hence the same inverse-transition factors.
+  const OlhProtocol& proto = *protocols_[0];
+  c1_ = (1.0 - proto.q()) / (proto.p() - proto.q());
+  c0_ = -proto.q() / (proto.p() - proto.q());
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ScMechanism>> ScMechanism::Create(
+    const Schema& schema, const MechanismParams& params) {
+  if (params.epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (schema.sensitive_dims().empty()) {
+    return Status::InvalidArgument("schema has no sensitive dimensions");
+  }
+  if (params.fo_kind != FoKind::kOlh) {
+    return Status::InvalidArgument(
+        "SC's conjunctive estimator requires the OLH frequency oracle");
+  }
+  std::unique_ptr<ScMechanism> mech(new ScMechanism(schema, params));
+  LDP_RETURN_NOT_OK(mech->Init());
+  return mech;
+}
+
+LdpReport ScMechanism::EncodeUser(std::span<const uint32_t> values,
+                                  Rng& rng) const {
+  LDP_CHECK_EQ(static_cast<int>(values.size()), grid_->num_dims());
+  LdpReport report;
+  report.entries.reserve(protocols_.size());
+  for (int i = 0; i < grid_->num_dims(); ++i) {
+    for (int j = 1; j <= grid_->dim(i).height(); ++j) {
+      const int group = GroupOf(i, j);
+      const uint64_t interval = grid_->dim(i).IntervalIndexOf(values[i], j);
+      report.entries.push_back(
+          {static_cast<uint32_t>(group),
+           protocols_[group]->Encode(interval, rng)});
+    }
+  }
+  return report;
+}
+
+Status ScMechanism::AddReport(const LdpReport& report, uint64_t user) {
+  if (report.entries.size() != protocols_.size()) {
+    return Status::InvalidArgument("SC report must cover every (dim, level)");
+  }
+  for (const auto& entry : report.entries) {
+    if (entry.group >= protocols_.size()) {
+      return Status::OutOfRange("bad group id in SC report");
+    }
+    seeds_[entry.group].push_back(entry.fo.seed);
+    ys_[entry.group].push_back(entry.fo.value);
+  }
+  users_.push_back(user);
+  return Status::OK();
+}
+
+Result<double> ScMechanism::VarianceBound(std::span<const Interval> ranges,
+                                          const WeightVector& weights) const {
+  const int d = grid_->num_dims();
+  if (static_cast<int>(ranges.size()) != d) {
+    return Status::InvalidArgument("VarianceBound needs one range per dim");
+  }
+  // Per-dimension conjunctive-factor second moment (Prop. 10): the worst of
+  // the two input states B in {0, 1}.
+  const OlhProtocol& proto = *protocols_[0];
+  const double p = proto.p();
+  const double q = proto.q();
+  const double factor = std::max(c1_ * c1_ * p + c0_ * c0_ * (1.0 - p),
+                                 c1_ * c1_ * q + c0_ * c0_ * (1.0 - q));
+  double sub_queries = 1.0;
+  double per_user = 1.0;
+  for (int i = 0; i < d; ++i) {
+    std::vector<LevelInterval> pieces;
+    LDP_RETURN_NOT_OK(grid_->dim(i).Decompose(ranges[i], &pieces));
+    sub_queries *= static_cast<double>(pieces.size());
+    // A root piece ('*') contributes no factor.
+    if (!(pieces.size() == 1 && pieces[0].level == 0)) per_user *= factor;
+  }
+  return sub_queries * per_user * weights.sum_squares();
+}
+
+Result<double> ScMechanism::EstimateBox(std::span<const Interval> ranges,
+                                        const WeightVector& weights) const {
+  const int d = grid_->num_dims();
+  if (static_cast<int>(ranges.size()) != d) {
+    return Status::InvalidArgument("EstimateBox needs one range per dim");
+  }
+  // Per-dimension decompositions (eq. 20's pieces).
+  std::vector<std::vector<LevelInterval>> pieces(d);
+  uint64_t product = 1;
+  for (int i = 0; i < d; ++i) {
+    LDP_RETURN_NOT_OK(grid_->dim(i).Decompose(ranges[i], &pieces[i]));
+    product *= pieces[i].size();
+    if (product > kMaxSubQueries) {
+      return Status::ResourceExhausted("box decomposes into too many pieces");
+    }
+  }
+  const size_t n = users_.size();
+
+  // Precompute, per (dim, piece), the per-user conjunctive factor
+  // c(A_i(t)) in {c0, c1}; root pieces (level 0, '*') contribute factor 1
+  // and are marked with an empty vector.
+  std::vector<std::vector<std::vector<float>>> factors(d);
+  for (int i = 0; i < d; ++i) {
+    factors[i].resize(pieces[i].size());
+    for (size_t p = 0; p < pieces[i].size(); ++p) {
+      const LevelInterval& piece = pieces[i][p];
+      if (piece.level == 0) continue;  // '*': no constraint, factor 1
+      const int group = GroupOf(i, piece.level);
+      const OlhProtocol& proto = *protocols_[group];
+      std::vector<float>& f = factors[i][p];
+      f.resize(n);
+      const auto& seeds = seeds_[group];
+      const auto& ys = ys_[group];
+      for (size_t t = 0; t < n; ++t) {
+        f[t] = proto.Supports(seeds[t], ys[t], piece.index)
+                   ? static_cast<float>(c1_)
+                   : static_cast<float>(c0_);
+      }
+    }
+  }
+
+  // Sum the conjunctive estimates of all sub-queries (eq. 42).
+  std::vector<size_t> pick(d, 0);
+  double total = 0.0;
+  for (uint64_t count = 0; count < product; ++count) {
+    double sub = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      double prod = weights[users_[t]];
+      for (int i = 0; i < d; ++i) {
+        const auto& f = factors[i][pick[i]];
+        if (!f.empty()) prod *= f[t];
+      }
+      sub += prod;
+    }
+    total += sub;
+    for (int i = d - 1; i >= 0; --i) {
+      if (++pick[i] < pieces[i].size()) break;
+      pick[i] = 0;
+    }
+  }
+  return total;
+}
+
+}  // namespace ldp

@@ -1,0 +1,76 @@
+#ifndef LDPMDA_MECH_SC_H_
+#define LDPMDA_MECH_SC_H_
+
+#include <memory>
+#include <vector>
+
+#include "fo/olh.h"
+#include "mech/mechanism.h"
+
+namespace ldp {
+
+/// The Split-and-Conjunction mechanism (A_SC, P̄_SC) — Algorithm 5
+/// (Section 5.3), designed for data models with many sensitive dimensions
+/// but low-dimensional queries.
+///
+/// Client: each dimension's one-dim hierarchy is reported *independently* —
+/// one OLH report per (dimension i, level j in 1..h_i), each with budget
+/// eps / sum_i h_i. Root levels carry no information and are not reported.
+///
+/// Server: a box decomposes per dimension as in HI; each d_q-dim sub-query
+/// is answered by the conjunctive weighted estimator f̂^M (Section 5.3.1):
+/// with per-dimension output states A_i(t) = 1{H_t(I_i) = y_t}, the
+/// transition matrix P factors as a Kronecker product of 2x2 per-dimension
+/// matrices, so the estimate reduces to
+///    f̂^M(I_1...I_k) = sum_t w_t * prod_i c(A_i(t)),
+/// with c(1) = (1-q)/(p-q), c(0) = -q/(p-q) — the first row of P_i^{-1}.
+/// Dimensions whose decomposed piece is the root ('*') contribute factor 1.
+///
+/// Requires OLH as the frequency oracle (the conjunctive estimator evaluates
+/// per-report support bits).
+class ScMechanism : public Mechanism {
+ public:
+  static Result<std::unique_ptr<ScMechanism>> Create(
+      const Schema& schema, const MechanismParams& params);
+
+  MechanismKind kind() const override { return MechanismKind::kSc; }
+
+  LdpReport EncodeUser(std::span<const uint32_t> values,
+                       Rng& rng) const override;
+  Status AddReport(const LdpReport& report, uint64_t user) override;
+  Result<double> EstimateBox(std::span<const Interval> ranges,
+                             const WeightVector& weights) const override;
+  uint64_t num_reports() const override { return users_.size(); }
+  Result<double> VarianceBound(std::span<const Interval> ranges,
+                               const WeightVector& weights) const override;
+
+  /// Per-report budget eps / sum_i h_i.
+  double per_report_epsilon() const { return per_report_epsilon_; }
+  int num_groups() const { return static_cast<int>(protocols_.size()); }
+
+ private:
+  ScMechanism(const Schema& schema, const MechanismParams& params);
+  Status Init();
+
+  /// Dense group id for (dim, level); levels are 1-based (roots unreported).
+  int GroupOf(int dim, int level) const {
+    return group_offset_[dim] + level - 1;
+  }
+
+  std::unique_ptr<LevelGrid> grid_;
+  double per_report_epsilon_ = 0.0;
+  std::vector<int> group_offset_;  // per dim, into protocols_/seeds_/ys_
+  /// One OLH protocol per (dim, level) group; domains differ per level.
+  std::vector<std::unique_ptr<OlhProtocol>> protocols_;
+  /// Raw reports per group, aligned with users_ by position.
+  std::vector<std::vector<uint32_t>> seeds_;
+  std::vector<std::vector<uint32_t>> ys_;
+  std::vector<uint64_t> users_;
+  /// Conjunctive-estimator factors (identical across groups: same budget).
+  double c1_ = 0.0;
+  double c0_ = 0.0;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_MECH_SC_H_

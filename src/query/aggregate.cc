@@ -1,0 +1,75 @@
+#include "query/aggregate.h"
+
+#include <sstream>
+
+namespace ldp {
+
+std::string AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kAvg:
+      return "AVG";
+    case AggregateKind::kStdev:
+      return "STDEV";
+  }
+  return "?";
+}
+
+double MeasureExpr::Eval(const Table& table, uint64_t row) const {
+  double v = constant;
+  for (const auto& t : terms) v += t.coef * table.MeasureValue(t.attr, row);
+  return v;
+}
+
+std::vector<double> MeasureExpr::EvalColumn(const Table& table) const {
+  std::vector<double> out(table.num_rows(), constant);
+  for (const auto& t : terms) {
+    const auto& col = table.MeasureColumn(t.attr);
+    for (uint64_t i = 0; i < table.num_rows(); ++i) out[i] += t.coef * col[i];
+  }
+  return out;
+}
+
+std::string MeasureExpr::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& t : terms) {
+    if (!first) os << " + ";
+    first = false;
+    if (t.coef != 1.0) os << t.coef << "*";
+    os << schema.attribute(t.attr).name;
+  }
+  if (constant != 0.0 || first) {
+    if (!first) os << " + ";
+    os << constant;
+  }
+  return os.str();
+}
+
+std::string Aggregate::ToString(const Schema& schema) const {
+  if (kind == AggregateKind::kCount) return "COUNT(*)";
+  return AggregateKindName(kind) + "(" + expr.ToString(schema) + ")";
+}
+
+Status ValidateAggregate(const Schema& schema, const Aggregate& agg) {
+  if (agg.kind == AggregateKind::kCount) return Status::OK();
+  if (agg.expr.terms.empty()) {
+    return Status::InvalidArgument(AggregateKindName(agg.kind) +
+                                   " needs at least one measure term");
+  }
+  for (const auto& t : agg.expr.terms) {
+    if (t.attr < 0 || t.attr >= schema.num_attributes()) {
+      return Status::InvalidArgument("aggregate references a bad attribute");
+    }
+    if (schema.attribute(t.attr).kind != AttributeKind::kMeasure) {
+      return Status::InvalidArgument("aggregate over non-measure attribute '" +
+                                     schema.attribute(t.attr).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ldp

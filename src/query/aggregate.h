@@ -1,0 +1,65 @@
+#ifndef LDPMDA_QUERY_AGGREGATE_H_
+#define LDPMDA_QUERY_AGGREGATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/table.h"
+
+namespace ldp {
+
+/// Aggregation functions supported by MDA queries (Sections 2.1 and 7).
+/// COUNT and SUM are primitive; AVG = SUM/COUNT and STDEV is derived from
+/// SUM(M^2), SUM(M), COUNT — all on the same LDP reports (post-processing).
+enum class AggregateKind { kCount, kSum, kAvg, kStdev };
+
+std::string AggregateKindName(AggregateKind kind);
+
+/// A linear expression over public measures: sum_j coef_j * M_j + constant.
+/// Section 7 supports SUM(a*M1 + b*M2) since all measures are public; this
+/// generalizes a single measure attribute.
+struct MeasureExpr {
+  struct Term {
+    int attr = -1;    // schema index of a measure attribute
+    double coef = 1.0;
+  };
+  std::vector<Term> terms;
+  double constant = 0.0;
+
+  /// Value of the expression for `row` of `table`.
+  double Eval(const Table& table, uint64_t row) const;
+
+  /// Per-row weights (the w_t of the weighted frequency oracle) for all rows.
+  std::vector<double> EvalColumn(const Table& table) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// The F(M) part of an MDA query.
+struct Aggregate {
+  AggregateKind kind = AggregateKind::kCount;
+  /// Unused for COUNT(*).
+  MeasureExpr expr;
+
+  static Aggregate Count() { return {AggregateKind::kCount, {}}; }
+  static Aggregate Sum(int measure_attr) {
+    return {AggregateKind::kSum, MeasureExpr{{{measure_attr, 1.0}}, 0.0}};
+  }
+  static Aggregate Avg(int measure_attr) {
+    return {AggregateKind::kAvg, MeasureExpr{{{measure_attr, 1.0}}, 0.0}};
+  }
+  static Aggregate Stdev(int measure_attr) {
+    return {AggregateKind::kStdev, MeasureExpr{{{measure_attr, 1.0}}, 0.0}};
+  }
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Validates that every attribute referenced by `agg` is a measure.
+Status ValidateAggregate(const Schema& schema, const Aggregate& agg);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_QUERY_AGGREGATE_H_

@@ -1,0 +1,53 @@
+#include "query/exact.h"
+
+#include <cmath>
+
+namespace ldp {
+
+Result<double> ExactAnswer(const Table& table, const Query& query) {
+  LDP_RETURN_NOT_OK(ValidateQuery(table.schema(), query));
+  double count = 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const bool needs_expr = query.aggregate.kind != AggregateKind::kCount;
+  for (uint64_t row = 0; row < table.num_rows(); ++row) {
+    if (query.where != nullptr && !query.where->EvalRow(table, row)) continue;
+    count += 1.0;
+    if (needs_expr) {
+      const double v = query.aggregate.expr.Eval(table, row);
+      sum += v;
+      sum_sq += v * v;
+    }
+  }
+  switch (query.aggregate.kind) {
+    case AggregateKind::kCount:
+      return count;
+    case AggregateKind::kSum:
+      return sum;
+    case AggregateKind::kAvg:
+      return count > 0.0 ? sum / count : 0.0;
+    case AggregateKind::kStdev: {
+      if (count <= 0.0) return 0.0;
+      const double mean = sum / count;
+      return std::sqrt(std::max(0.0, sum_sq / count - mean * mean));
+    }
+  }
+  return Status::Internal("bad aggregate kind");
+}
+
+uint64_t ExactMatchCount(const Table& table, const Predicate* where) {
+  if (where == nullptr) return table.num_rows();
+  uint64_t count = 0;
+  for (uint64_t row = 0; row < table.num_rows(); ++row) {
+    if (where->EvalRow(table, row)) ++count;
+  }
+  return count;
+}
+
+double ExactSelectivity(const Table& table, const Predicate* where) {
+  if (table.num_rows() == 0) return 0.0;
+  return static_cast<double>(ExactMatchCount(table, where)) /
+         static_cast<double>(table.num_rows());
+}
+
+}  // namespace ldp

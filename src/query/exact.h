@@ -1,0 +1,23 @@
+#ifndef LDPMDA_QUERY_EXACT_H_
+#define LDPMDA_QUERY_EXACT_H_
+
+#include "common/status.h"
+#include "data/table.h"
+#include "query/query.h"
+
+namespace ldp {
+
+/// Ground-truth (non-private) evaluation of an MDA query by a full scan.
+/// AVG and STDEV over zero matching rows return 0. Used for error metrics
+/// and tests; a real deployment never evaluates sensitive columns directly.
+Result<double> ExactAnswer(const Table& table, const Query& query);
+
+/// Number of rows matching the predicate (nullptr = all rows).
+uint64_t ExactMatchCount(const Table& table, const Predicate* where);
+
+/// Selectivity = matching rows / total rows (0 if the table is empty).
+double ExactSelectivity(const Table& table, const Predicate* where);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_QUERY_EXACT_H_

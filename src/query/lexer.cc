@@ -1,0 +1,78 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace ldp {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == Kind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i + 1;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      out.push_back({Token::Kind::kIdent, std::string(sql.substr(i, j - i)), 0});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        ++j;
+      }
+      const std::string_view text = sql.substr(i, j - i);
+      auto value = ParseDouble(text);
+      if (!value.ok()) {
+        return Status::ParseError("bad number '" + std::string(text) + "'");
+      }
+      Token t;
+      t.kind = Token::Kind::kNumber;
+      t.text = std::string(text);
+      t.number = value.value();
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '<' || c == '>') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        out.push_back({Token::Kind::kSymbol, std::string(sql.substr(i, 2)), 0});
+        i += 2;
+      } else {
+        out.push_back({Token::Kind::kSymbol, std::string(1, c), 0});
+        ++i;
+      }
+      continue;
+    }
+    if (std::string_view("()[],*+-=").find(c) != std::string_view::npos) {
+      out.push_back({Token::Kind::kSymbol, std::string(1, c), 0});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  out.push_back({Token::Kind::kEnd, "", 0});
+  return out;
+}
+
+}  // namespace ldp

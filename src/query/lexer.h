@@ -1,0 +1,35 @@
+#ifndef LDPMDA_QUERY_LEXER_H_
+#define LDPMDA_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldp {
+
+/// Token of the small SQL dialect used for MDA queries.
+struct Token {
+  enum class Kind { kIdent, kNumber, kSymbol, kEnd };
+
+  Kind kind = Kind::kEnd;
+  /// Identifier text, or the symbol spelling ("(", "<=", ...).
+  std::string text;
+  double number = 0.0;
+
+  bool IsSymbol(std::string_view s) const {
+    return kind == Kind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword match on identifiers.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes `sql`. Symbols: ( ) [ ] , * + - = < > <= >= . Identifiers are
+/// [A-Za-z_][A-Za-z0-9_]*; numbers are decimal with optional fraction and
+/// exponent. Whitespace separates tokens. A trailing kEnd token is appended.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_QUERY_LEXER_H_

@@ -1,0 +1,278 @@
+#include "query/parser.h"
+
+#include <cmath>
+
+#include "query/lexer.h"
+
+namespace ldp {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class ParserImpl {
+ public:
+  ParserImpl(const Schema& schema, std::vector<Token> tokens)
+      : schema_(schema), tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    LDP_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    Query query;
+    LDP_ASSIGN_OR_RETURN(query.aggregate, ParseAggregate());
+    LDP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected table name after FROM");
+    }
+    Next();  // table name is informational only
+    if (Peek().IsKeyword("WHERE")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(query.where, ParseOr());
+    }
+    if (Peek().kind != Token::Kind::kEnd) {
+      return Status::ParseError("unexpected trailing token '" + Peek().text +
+                                "'");
+    }
+    LDP_RETURN_NOT_OK(ValidateQuery(schema_, query));
+    return query;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Status::ParseError("expected " + std::string(kw) + ", got '" +
+                                Peek().text + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view s) {
+    if (!Peek().IsSymbol(s)) {
+      return Status::ParseError("expected '" + std::string(s) + "', got '" +
+                                Peek().text + "'");
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Result<Aggregate> ParseAggregate() {
+    const Token& fn = Peek();
+    AggregateKind kind;
+    if (fn.IsKeyword("COUNT")) {
+      kind = AggregateKind::kCount;
+    } else if (fn.IsKeyword("SUM")) {
+      kind = AggregateKind::kSum;
+    } else if (fn.IsKeyword("AVG")) {
+      kind = AggregateKind::kAvg;
+    } else if (fn.IsKeyword("STDEV")) {
+      kind = AggregateKind::kStdev;
+    } else {
+      return Status::ParseError("expected COUNT/SUM/AVG/STDEV, got '" +
+                                fn.text + "'");
+    }
+    Next();
+    LDP_RETURN_NOT_OK(ExpectSymbol("("));
+    Aggregate agg;
+    agg.kind = kind;
+    if (kind == AggregateKind::kCount) {
+      if (Peek().IsSymbol("*")) Next();  // COUNT(*) — the '*' is optional
+    } else {
+      LDP_ASSIGN_OR_RETURN(agg.expr, ParseMeasureExpr());
+    }
+    LDP_RETURN_NOT_OK(ExpectSymbol(")"));
+    return agg;
+  }
+
+  Result<MeasureExpr> ParseMeasureExpr() {
+    MeasureExpr expr;
+    double sign = 1.0;
+    if (Peek().IsSymbol("-")) {
+      Next();
+      sign = -1.0;
+    }
+    LDP_RETURN_NOT_OK(ParseMeasureTerm(sign, &expr));
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      const double s = Peek().IsSymbol("+") ? 1.0 : -1.0;
+      Next();
+      LDP_RETURN_NOT_OK(ParseMeasureTerm(s, &expr));
+    }
+    return expr;
+  }
+
+  Status ParseMeasureTerm(double sign, MeasureExpr* expr) {
+    double coef = sign;
+    bool saw_number = false;
+    if (Peek().kind == Token::Kind::kNumber) {
+      coef *= Peek().number;
+      saw_number = true;
+      Next();
+      if (Peek().IsSymbol("*")) {
+        Next();
+      } else {
+        expr->constant += coef;  // bare constant term
+        return Status::OK();
+      }
+    }
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::ParseError(saw_number
+                                    ? "expected measure after '*'"
+                                    : "expected measure or number, got '" +
+                                          Peek().text + "'");
+    }
+    LDP_ASSIGN_OR_RETURN(const int attr, schema_.FindAttribute(Next().text));
+    expr->terms.push_back({attr, coef});
+    return Status::OK();
+  }
+
+  Result<PredicatePtr> ParseOr() {
+    std::vector<PredicatePtr> children;
+    LDP_ASSIGN_OR_RETURN(PredicatePtr first, ParseAnd());
+    children.push_back(std::move(first));
+    while (Peek().IsKeyword("OR")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(PredicatePtr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    return Predicate::MakeOr(std::move(children));
+  }
+
+  Result<PredicatePtr> ParseAnd() {
+    std::vector<PredicatePtr> children;
+    LDP_ASSIGN_OR_RETURN(PredicatePtr first, ParsePrimary());
+    children.push_back(std::move(first));
+    while (Peek().IsKeyword("AND")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(PredicatePtr next, ParsePrimary());
+      children.push_back(std::move(next));
+    }
+    return Predicate::MakeAnd(std::move(children));
+  }
+
+  Result<PredicatePtr> ParsePrimary() {
+    if (Peek().IsKeyword("NOT")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(PredicatePtr inner, ParsePrimary());
+      return Predicate::MakeNot(std::move(inner));
+    }
+    if (Peek().IsSymbol("(")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(PredicatePtr inner, ParseOr());
+      LDP_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParseConstraint();
+  }
+
+  /// Parses a (possibly negative) numeric literal.
+  Result<double> ParseNumber() {
+    double sign = 1.0;
+    if (Peek().IsSymbol("-")) {
+      Next();
+      sign = -1.0;
+    }
+    if (Peek().kind != Token::Kind::kNumber) {
+      return Status::ParseError("expected number, got '" + Peek().text + "'");
+    }
+    return sign * Next().number;
+  }
+
+  Result<PredicatePtr> ParseConstraint() {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected dimension name, got '" +
+                                Peek().text + "'");
+    }
+    LDP_ASSIGN_OR_RETURN(const int attr, schema_.FindAttribute(Next().text));
+    if (!IsDimension(schema_.attribute(attr).kind)) {
+      return Status::ParseError("'" + schema_.attribute(attr).name +
+                                "' is a measure and cannot appear in WHERE");
+    }
+    const uint64_t m = schema_.attribute(attr).domain_size;
+    const Token& op = Peek();
+    if (op.IsSymbol("=")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(const double v, ParseNumber());
+      return MakeRange(attr, m, v, v);
+    }
+    if (op.IsSymbol("<=")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(const double v, ParseNumber());
+      return MakeRange(attr, m, 0.0, v);
+    }
+    if (op.IsSymbol(">=")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(const double v, ParseNumber());
+      return MakeRange(attr, m, v, static_cast<double>(m) - 1.0);
+    }
+    if (op.IsSymbol("<")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(const double v, ParseNumber());
+      return MakeRange(attr, m, 0.0, v - 1.0 + 0.5);  // hi = ceil(v) - 1
+    }
+    if (op.IsSymbol(">")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(const double v, ParseNumber());
+      return MakeRange(attr, m, v + 0.5, static_cast<double>(m) - 1.0);
+    }
+    if (op.IsKeyword("BETWEEN")) {
+      Next();
+      LDP_ASSIGN_OR_RETURN(const double lo, ParseNumber());
+      LDP_RETURN_NOT_OK(ExpectKeyword("AND"));
+      LDP_ASSIGN_OR_RETURN(const double hi, ParseNumber());
+      return MakeRange(attr, m, lo, hi);
+    }
+    if (op.IsKeyword("IN")) {
+      Next();
+      LDP_RETURN_NOT_OK(ExpectSymbol("["));
+      LDP_ASSIGN_OR_RETURN(const double lo, ParseNumber());
+      LDP_RETURN_NOT_OK(ExpectSymbol(","));
+      LDP_ASSIGN_OR_RETURN(const double hi, ParseNumber());
+      LDP_RETURN_NOT_OK(ExpectSymbol("]"));
+      return MakeRange(attr, m, lo, hi);
+    }
+    return Status::ParseError("expected a comparison after '" +
+                              schema_.attribute(attr).name + "', got '" +
+                              op.text + "'");
+  }
+
+  /// Builds a constraint clamped to the domain [0, m). A range that becomes
+  /// empty (or an equality on a non-integer) is an always-false constraint.
+  Result<PredicatePtr> MakeRange(int attr, uint64_t m, double lo_d,
+                                 double hi_d) {
+    static constexpr Interval kEmpty{1, 0};
+    const double lo_c = std::ceil(lo_d);
+    const double hi_c = std::floor(hi_d);
+    if (lo_c > hi_c) return Predicate::MakeConstraint(attr, kEmpty);
+    const uint64_t lo = lo_c <= 0.0 ? 0 : static_cast<uint64_t>(lo_c);
+    if (lo_c >= static_cast<double>(m)) {
+      return Predicate::MakeConstraint(attr, kEmpty);
+    }
+    uint64_t hi;
+    if (hi_c < 0.0) return Predicate::MakeConstraint(attr, kEmpty);
+    if (hi_c >= static_cast<double>(m)) {
+      hi = m - 1;
+    } else {
+      hi = static_cast<uint64_t>(hi_c);
+    }
+    if (lo > hi) return Predicate::MakeConstraint(attr, kEmpty);
+    return Predicate::MakeConstraint(attr, Interval{lo, hi});
+  }
+
+  const Schema& schema_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const Schema& schema, std::string_view sql) {
+  LDP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  ParserImpl parser(schema, std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace ldp

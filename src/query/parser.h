@@ -1,0 +1,33 @@
+#ifndef LDPMDA_QUERY_PARSER_H_
+#define LDPMDA_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "query/query.h"
+
+namespace ldp {
+
+/// Parses the SQL dialect for MDA queries against `schema`:
+///
+///   SELECT COUNT(*) | SUM(expr) | AVG(expr) | STDEV(expr)
+///   FROM <ident>
+///   [WHERE predicate]
+///
+///   expr      := term (('+'|'-') term)*          over measure attributes
+///   term      := [number '*'] measure | number
+///   predicate := conj (OR conj)*
+///   conj      := prim (AND prim)*
+///   prim      := NOT prim | '(' predicate ')' | constraint
+///   constraint:= dim ('='|'<'|'<='|'>'|'>=') number
+///              | dim BETWEEN number AND number
+///              | dim IN '[' number ',' number ']'
+///
+/// Ranges are clamped to the dimension's domain; constraints that become
+/// empty parse into always-false constraints (the query answers 0).
+Result<Query> ParseQuery(const Schema& schema, std::string_view sql);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_QUERY_PARSER_H_

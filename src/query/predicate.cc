@@ -1,0 +1,103 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+PredicatePtr Predicate::MakeConstraint(int attr, Interval range) {
+  return PredicatePtr(
+      new Predicate(Kind::kConstraint, Constraint{attr, range}, {}));
+}
+
+PredicatePtr Predicate::MakeEquals(int attr, uint64_t value) {
+  return MakeConstraint(attr, Interval{value, value});
+}
+
+PredicatePtr Predicate::MakeAnd(std::vector<PredicatePtr> children) {
+  LDP_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  return PredicatePtr(new Predicate(Kind::kAnd, {}, std::move(children)));
+}
+
+PredicatePtr Predicate::MakeOr(std::vector<PredicatePtr> children) {
+  LDP_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  return PredicatePtr(new Predicate(Kind::kOr, {}, std::move(children)));
+}
+
+PredicatePtr Predicate::MakeNot(PredicatePtr child) {
+  LDP_CHECK(child != nullptr);
+  // Double negation cancels immediately.
+  if (child->kind() == Kind::kNot) return child->children()[0];
+  return PredicatePtr(new Predicate(Kind::kNot, {}, {std::move(child)}));
+}
+
+bool Predicate::EvalRow(const Table& table, uint64_t row) const {
+  switch (kind_) {
+    case Kind::kConstraint: {
+      const uint32_t v = table.DimValue(constraint_.attr, row);
+      return constraint_.range.Contains(v);
+    }
+    case Kind::kAnd:
+      for (const auto& c : children_) {
+        if (!c->EvalRow(table, row)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children_) {
+        if (c->EvalRow(table, row)) return true;
+      }
+      return false;
+    case Kind::kNot:
+      return !children_[0]->EvalRow(table, row);
+  }
+  return false;
+}
+
+void Predicate::CollectAttributes(std::vector<int>* attrs) const {
+  if (kind_ == Kind::kConstraint) {
+    if (std::find(attrs->begin(), attrs->end(), constraint_.attr) ==
+        attrs->end()) {
+      attrs->push_back(constraint_.attr);
+    }
+    return;
+  }
+  for (const auto& c : children_) c->CollectAttributes(attrs);
+}
+
+std::string Predicate::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kConstraint: {
+      const auto& name = schema.attribute(constraint_.attr).name;
+      if (constraint_.range.lo > constraint_.range.hi) {
+        os << "FALSE(" << name << ")";
+      } else if (constraint_.range.length() == 1) {
+        os << name << " = " << constraint_.range.lo;
+      } else {
+        os << name << " IN " << constraint_.range.ToString();
+      }
+      break;
+    }
+    case Kind::kNot:
+      os << "NOT " << children_[0]->ToString(schema);
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " AND " : " OR ";
+      os << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children_[i]->ToString(schema);
+      }
+      os << ")";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ldp

@@ -1,0 +1,76 @@
+#ifndef LDPMDA_QUERY_PREDICATE_H_
+#define LDPMDA_QUERY_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "hierarchy/interval.h"
+
+namespace ldp {
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// A single constraint "attr in [range.lo, range.hi]" over a dimension
+/// attribute (point constraints are ranges of length one; an empty range,
+/// lo > hi, is an always-false constraint).
+struct Constraint {
+  int attr = -1;
+  Interval range;
+};
+
+/// Immutable predicate tree over AND / OR / NOT / constraints
+/// (Sections 2.1, 7; NOT is an extension — it rewrites exactly via range
+/// complements and De Morgan, see rewriter.h).
+class Predicate {
+ public:
+  enum class Kind { kConstraint, kAnd, kOr, kNot };
+
+  static PredicatePtr MakeConstraint(int attr, Interval range);
+  /// Equality / point constraint.
+  static PredicatePtr MakeEquals(int attr, uint64_t value);
+  static PredicatePtr MakeAnd(std::vector<PredicatePtr> children);
+  static PredicatePtr MakeOr(std::vector<PredicatePtr> children);
+  static PredicatePtr MakeNot(PredicatePtr child);
+
+  Kind kind() const { return kind_; }
+  const Constraint& constraint() const { return constraint_; }
+  const std::vector<PredicatePtr>& children() const { return children_; }
+
+  /// Exact evaluation for one row (used by the ground-truth evaluator and by
+  /// the server for public dimensions).
+  bool EvalRow(const Table& table, uint64_t row) const;
+
+  /// True iff the predicate references only attributes for which `pred`
+  /// holds (e.g., only sensitive, only public).
+  template <typename Fn>
+  bool ReferencesOnly(Fn&& pred) const {
+    if (kind_ == Kind::kConstraint) return pred(constraint_.attr);
+    for (const auto& c : children_) {
+      if (!c->ReferencesOnly(pred)) return false;
+    }
+    return true;
+  }
+
+  /// Collects the distinct attributes referenced.
+  void CollectAttributes(std::vector<int>* attrs) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  Predicate(Kind kind, Constraint constraint,
+            std::vector<PredicatePtr> children)
+      : kind_(kind),
+        constraint_(constraint),
+        children_(std::move(children)) {}
+
+  Kind kind_;
+  Constraint constraint_;
+  std::vector<PredicatePtr> children_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_QUERY_PREDICATE_H_

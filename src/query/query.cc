@@ -1,0 +1,31 @@
+#include "query/query.h"
+
+namespace ldp {
+
+std::string Query::ToString(const Schema& schema) const {
+  std::string out = "SELECT " + aggregate.ToString(schema) + " FROM T";
+  if (where != nullptr) out += " WHERE " + where->ToString(schema);
+  return out;
+}
+
+Status ValidateQuery(const Schema& schema, const Query& query) {
+  LDP_RETURN_NOT_OK(ValidateAggregate(schema, query.aggregate));
+  if (query.where != nullptr) {
+    std::vector<int> attrs;
+    query.where->CollectAttributes(&attrs);
+    for (const int attr : attrs) {
+      if (attr < 0 || attr >= schema.num_attributes()) {
+        return Status::InvalidArgument("predicate references a bad attribute");
+      }
+      if (!IsDimension(schema.attribute(attr).kind)) {
+        return Status::InvalidArgument(
+            "predicate over measure attribute '" +
+            schema.attribute(attr).name +
+            "' (only dimensions may appear in WHERE)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ldp

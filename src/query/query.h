@@ -1,0 +1,25 @@
+#ifndef LDPMDA_QUERY_QUERY_H_
+#define LDPMDA_QUERY_QUERY_H_
+
+#include <string>
+
+#include "query/aggregate.h"
+#include "query/predicate.h"
+
+namespace ldp {
+
+/// An MDA query Q_T(F(M), C):  SELECT F(M) FROM T WHERE C  (eq. 3).
+struct Query {
+  Aggregate aggregate;
+  /// Null means no WHERE clause (the whole table).
+  PredicatePtr where;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Validates the aggregate and that every predicate attribute is a dimension.
+Status ValidateQuery(const Schema& schema, const Query& query);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_QUERY_QUERY_H_

@@ -1,0 +1,230 @@
+#include "query/rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+bool ConjunctiveBox::IsEmpty() const {
+  for (const auto& c : constraints) {
+    if (c.range.lo > c.range.hi) return true;
+  }
+  return false;
+}
+
+Interval ConjunctiveBox::RangeOf(int attr, uint64_t domain_size) const {
+  for (const auto& c : constraints) {
+    if (c.attr == attr) return c.range;
+  }
+  return Interval{0, domain_size - 1};
+}
+
+bool ConjunctiveBox::EvalRow(const Table& table, uint64_t row) const {
+  for (const auto& c : constraints) {
+    if (!c.range.Contains(table.DimValue(c.attr, row))) return false;
+  }
+  return true;
+}
+
+std::string ConjunctiveBox::ToString(const Schema& schema) const {
+  if (constraints.empty()) return "TRUE";
+  std::ostringstream os;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (i > 0) os << " AND ";
+    os << schema.attribute(constraints[i].attr).name << " IN "
+       << constraints[i].range.ToString();
+  }
+  return os.str();
+}
+
+namespace {
+
+using Clause = std::vector<Constraint>;
+
+/// Negation-normal form: pushes NOT down through AND/OR (De Morgan) and
+/// complements leaf constraints against their attribute's domain. The
+/// complement of a range is a union of at most two ranges, so the result is
+/// still an AND/OR/constraint tree and the DNF machinery below applies.
+PredicatePtr ToNnf(const Predicate& pred, const Schema& schema, bool negate) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kConstraint: {
+      if (!negate) {
+        return Predicate::MakeConstraint(pred.constraint().attr,
+                                         pred.constraint().range);
+      }
+      const Constraint& c = pred.constraint();
+      const uint64_t m = schema.attribute(c.attr).domain_size;
+      if (c.range.lo > c.range.hi) {
+        // NOT(false) = true: the full domain.
+        return Predicate::MakeConstraint(c.attr, Interval{0, m - 1});
+      }
+      std::vector<PredicatePtr> parts;
+      if (c.range.lo > 0) {
+        parts.push_back(
+            Predicate::MakeConstraint(c.attr, Interval{0, c.range.lo - 1}));
+      }
+      if (c.range.hi < m - 1) {
+        parts.push_back(
+            Predicate::MakeConstraint(c.attr, Interval{c.range.hi + 1, m - 1}));
+      }
+      if (parts.empty()) {
+        // NOT(full domain) = false.
+        return Predicate::MakeConstraint(c.attr, Interval{1, 0});
+      }
+      return Predicate::MakeOr(std::move(parts));
+    }
+    case Predicate::Kind::kNot:
+      return ToNnf(*pred.children()[0], schema, !negate);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      std::vector<PredicatePtr> children;
+      children.reserve(pred.children().size());
+      for (const auto& child : pred.children()) {
+        children.push_back(ToNnf(*child, schema, negate));
+      }
+      const bool make_and = (pred.kind() == Predicate::Kind::kAnd) != negate;
+      return make_and ? Predicate::MakeAnd(std::move(children))
+                      : Predicate::MakeOr(std::move(children));
+    }
+  }
+  return nullptr;
+}
+
+/// Intersects the constraints of a clause per attribute, producing a
+/// canonical sorted box. Returns an empty-range box if contradictory.
+ConjunctiveBox NormalizeClause(const Clause& clause) {
+  std::map<int, Interval> ranges;
+  bool contradiction = false;
+  for (const auto& c : clause) {
+    auto [it, inserted] = ranges.emplace(c.attr, c.range);
+    if (!inserted) {
+      const auto isect = Intersect(it->second, c.range);
+      if (isect.has_value()) {
+        it->second = *isect;
+      } else {
+        contradiction = true;
+        it->second = Interval{1, 0};
+      }
+    }
+    if (c.range.lo > c.range.hi) contradiction = true;
+  }
+  ConjunctiveBox box;
+  for (const auto& [attr, range] : ranges) {
+    box.constraints.push_back({attr, contradiction ? Interval{1, 0} : range});
+  }
+  if (contradiction && box.constraints.empty()) {
+    box.constraints.push_back({0, Interval{1, 0}});
+  }
+  return box;
+}
+
+/// Recursive DNF conversion with a clause cap.
+Status ToDnf(const Predicate& pred, int max_clauses,
+             std::vector<Clause>* out) {
+  switch (pred.kind()) {
+    case Predicate::Kind::kConstraint:
+      out->push_back({pred.constraint()});
+      return Status::OK();
+    case Predicate::Kind::kOr: {
+      for (const auto& child : pred.children()) {
+        LDP_RETURN_NOT_OK(ToDnf(*child, max_clauses, out));
+        if (static_cast<int>(out->size()) > max_clauses) {
+          return Status::ResourceExhausted("predicate DNF too large");
+        }
+      }
+      return Status::OK();
+    }
+    case Predicate::Kind::kNot:
+      return Status::Internal("NOT must be eliminated before DNF (NNF pass)");
+    case Predicate::Kind::kAnd: {
+      std::vector<Clause> acc = {{}};
+      for (const auto& child : pred.children()) {
+        std::vector<Clause> child_dnf;
+        LDP_RETURN_NOT_OK(ToDnf(*child, max_clauses, &child_dnf));
+        std::vector<Clause> next;
+        next.reserve(acc.size() * child_dnf.size());
+        for (const auto& a : acc) {
+          for (const auto& b : child_dnf) {
+            Clause merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+            if (static_cast<int>(next.size()) > max_clauses) {
+              return Status::ResourceExhausted("predicate DNF too large");
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      out->insert(out->end(), acc.begin(), acc.end());
+      if (static_cast<int>(out->size()) > max_clauses) {
+        return Status::ResourceExhausted("predicate DNF too large");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad predicate kind");
+}
+
+/// Canonical key for merging identical boxes.
+std::string BoxKey(const ConjunctiveBox& box) {
+  std::ostringstream os;
+  for (const auto& c : box.constraints) {
+    os << c.attr << ":" << c.range.lo << "-" << c.range.hi << ";";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Result<std::vector<IeTerm>> RewritePredicate(const Schema& schema,
+                                             const Predicate* where,
+                                             int max_clauses) {
+  std::vector<IeTerm> terms;
+  if (where == nullptr) {
+    terms.push_back({1.0, ConjunctiveBox{}});
+    return terms;
+  }
+  const PredicatePtr nnf = ToNnf(*where, schema, /*negate=*/false);
+  std::vector<Clause> clauses;
+  LDP_RETURN_NOT_OK(ToDnf(*nnf, max_clauses, &clauses));
+
+  // Drop always-false clauses up front.
+  std::vector<ConjunctiveBox> boxes;
+  for (const auto& clause : clauses) {
+    ConjunctiveBox box = NormalizeClause(clause);
+    if (!box.IsEmpty()) boxes.push_back(std::move(box));
+  }
+  if (boxes.empty()) return terms;  // predicate is unsatisfiable: empty sum
+
+  // Inclusion–exclusion over non-empty subsets of clauses; the intersection
+  // of conjunctive boxes is itself a conjunctive box.
+  LDP_CHECK_LE(boxes.size(), 63u);
+  std::map<std::string, std::pair<ConjunctiveBox, double>> merged;
+  const uint64_t subsets = 1ull << boxes.size();
+  for (uint64_t mask = 1; mask < subsets; ++mask) {
+    Clause all;
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      if (mask & (1ull << i)) {
+        all.insert(all.end(), boxes[i].constraints.begin(),
+                   boxes[i].constraints.end());
+      }
+    }
+    ConjunctiveBox box = NormalizeClause(all);
+    if (box.IsEmpty()) continue;
+    const double sign = (__builtin_popcountll(mask) % 2 == 1) ? 1.0 : -1.0;
+    const std::string key = BoxKey(box);
+    auto [it, inserted] = merged.emplace(key, std::make_pair(box, sign));
+    if (!inserted) it->second.second += sign;
+  }
+  for (auto& [key, entry] : merged) {
+    if (entry.second != 0.0) {
+      terms.push_back({entry.second, std::move(entry.first)});
+    }
+  }
+  return terms;
+}
+
+}  // namespace ldp

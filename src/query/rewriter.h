@@ -1,0 +1,50 @@
+#ifndef LDPMDA_QUERY_REWRITER_H_
+#define LDPMDA_QUERY_REWRITER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "query/predicate.h"
+
+namespace ldp {
+
+/// A conjunction of per-attribute range constraints (an axis-aligned box
+/// over a subset of dimensions). Attributes are unique and sorted.
+struct ConjunctiveBox {
+  std::vector<Constraint> constraints;
+
+  /// True iff some constraint has an empty range (always-false box).
+  bool IsEmpty() const;
+
+  /// Range of `attr`, or the full domain if unconstrained.
+  Interval RangeOf(int attr, uint64_t domain_size) const;
+
+  /// Exact evaluation of the box for one row.
+  bool EvalRow(const Table& table, uint64_t row) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// One inclusion–exclusion term: `coefficient` times the box aggregate.
+struct IeTerm {
+  double coefficient = 1.0;
+  ConjunctiveBox box;
+};
+
+/// Rewrites an arbitrary AND-OR predicate into a signed sum of conjunctive
+/// boxes (Section 7): the predicate is converted to DNF, and
+/// inclusion–exclusion is applied over the DNF clauses, so that
+///   Q(C) = sum_i coefficient_i * Q(box_i)
+/// for any additive aggregate Q. Empty boxes are pruned and identical boxes
+/// are merged. `where == nullptr` yields one unconstrained box.
+///
+/// Fails with ResourceExhausted if the DNF exceeds `max_clauses` clauses
+/// (inclusion–exclusion enumerates 2^clauses - 1 subsets).
+Result<std::vector<IeTerm>> RewritePredicate(const Schema& schema,
+                                             const Predicate* where,
+                                             int max_clauses = 12);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_QUERY_REWRITER_H_

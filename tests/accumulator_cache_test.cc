@@ -1,0 +1,86 @@
+// Exercises the accumulator-side caches: per-weight-vector histogram /
+// spectrum caches must evict beyond their bound and stay correct across
+// eviction and re-insertion, and adding a report must invalidate them.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fo/grr.h"
+#include "fo/hadamard.h"
+#include "fo/olh.h"
+
+namespace ldp {
+namespace {
+
+std::vector<std::unique_ptr<WeightVector>> ManyWeightSets(uint64_t n,
+                                                          int count) {
+  std::vector<std::unique_ptr<WeightVector>> out;
+  for (int k = 0; k < count; ++k) {
+    std::vector<double> w(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      w[i] = 1.0 + static_cast<double>((i + k) % 5);
+    }
+    out.push_back(std::make_unique<WeightVector>(std::move(w)));
+  }
+  return out;
+}
+
+template <typename Protocol, typename Accumulator>
+void CheckEvictionStaysCorrect(const Protocol& proto, uint64_t n,
+                               uint64_t probe) {
+  Accumulator acc(proto);
+  Rng rng(5);
+  for (uint64_t u = 0; u < n; ++u) acc.Add(proto.Encode(u % 16, rng), u);
+  const auto weight_sets = ManyWeightSets(n, 12);  // > the 8-entry cache cap
+  // First pass records the answers; cycling through 12 sets forces
+  // evictions between passes.
+  std::vector<double> first;
+  for (const auto& w : weight_sets) {
+    first.push_back(acc.EstimateWeighted(probe, *w));
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t k = 0; k < weight_sets.size(); ++k) {
+      EXPECT_DOUBLE_EQ(acc.EstimateWeighted(probe, *weight_sets[k]),
+                       first[k])
+          << "weight set " << k << " pass " << pass;
+    }
+  }
+}
+
+TEST(AccumulatorCacheTest, OlhHistogramEviction) {
+  // Pooled with a large group so the histogram path is active.
+  const OlhProtocol proto(1.0, 16, 32);
+  CheckEvictionStaysCorrect<OlhProtocol, OlhAccumulator>(proto, 200, 7);
+}
+
+TEST(AccumulatorCacheTest, GrrHistogramEviction) {
+  const GrrProtocol proto(1.0, 16);
+  CheckEvictionStaysCorrect<GrrProtocol, GrrAccumulator>(proto, 200, 7);
+}
+
+TEST(AccumulatorCacheTest, HadamardSpectrumEviction) {
+  const HadamardProtocol proto(1.0, 16);
+  CheckEvictionStaysCorrect<HadamardProtocol, HadamardAccumulator>(proto, 200,
+                                                                   7);
+}
+
+TEST(AccumulatorCacheTest, AddInvalidatesCachedHistogram) {
+  const OlhProtocol proto(2.0, 16, 16);
+  OlhAccumulator acc(proto);
+  Rng rng(9);
+  for (uint64_t u = 0; u < 100; ++u) acc.Add(proto.Encode(3, rng), u);
+  const WeightVector w = WeightVector::Ones(101);
+  const double before = acc.EstimateWeighted(3, w);
+  acc.Add(proto.Encode(3, rng), 100);  // must drop any cached histogram
+  const double after = acc.EstimateWeighted(3, w);
+  // 101 reports of the same value: the estimate must reflect the new report
+  // (with overwhelming probability it changes; equality would indicate a
+  // stale cache since the support count or total changed).
+  EXPECT_NE(before, after);
+  EXPECT_EQ(acc.num_reports(), 101u);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,93 @@
+#include "query/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("d", 8).ok());
+  EXPECT_TRUE(schema.AddMeasure("m1").ok());
+  EXPECT_TRUE(schema.AddMeasure("m2").ok());
+  return schema;
+}
+
+Table TestTable() {
+  Table table(TestSchema());
+  EXPECT_TRUE(table.AppendRow({1}, {2.0, 10.0}).ok());
+  EXPECT_TRUE(table.AppendRow({2}, {3.0, 20.0}).ok());
+  return table;
+}
+
+TEST(MeasureExprTest, EvalSingleMeasure) {
+  const Table table = TestTable();
+  MeasureExpr expr{{{1, 1.0}}, 0.0};
+  EXPECT_DOUBLE_EQ(expr.Eval(table, 0), 2.0);
+  EXPECT_DOUBLE_EQ(expr.Eval(table, 1), 3.0);
+}
+
+TEST(MeasureExprTest, EvalLinearCombination) {
+  const Table table = TestTable();
+  // 2*m1 - 0.5*m2 + 7 (Section 7: SUM(a*M1 + b*M2)).
+  MeasureExpr expr{{{1, 2.0}, {2, -0.5}}, 7.0};
+  EXPECT_DOUBLE_EQ(expr.Eval(table, 0), 4.0 - 5.0 + 7.0);
+  EXPECT_DOUBLE_EQ(expr.Eval(table, 1), 6.0 - 10.0 + 7.0);
+}
+
+TEST(MeasureExprTest, EvalColumnMatchesEval) {
+  const Table table = TestTable();
+  MeasureExpr expr{{{1, 1.5}, {2, 0.25}}, -1.0};
+  const auto col = expr.EvalColumn(table);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_DOUBLE_EQ(col[0], expr.Eval(table, 0));
+  EXPECT_DOUBLE_EQ(col[1], expr.Eval(table, 1));
+}
+
+TEST(MeasureExprTest, ToString) {
+  const Schema schema = TestSchema();
+  MeasureExpr expr{{{1, 1.0}, {2, 2.0}}, 0.0};
+  const std::string s = expr.ToString(schema);
+  EXPECT_NE(s.find("m1"), std::string::npos);
+  EXPECT_NE(s.find("2*m2"), std::string::npos);
+}
+
+TEST(AggregateTest, Factories) {
+  const Aggregate count = Aggregate::Count();
+  EXPECT_EQ(count.kind, AggregateKind::kCount);
+  const Aggregate sum = Aggregate::Sum(1);
+  EXPECT_EQ(sum.kind, AggregateKind::kSum);
+  ASSERT_EQ(sum.expr.terms.size(), 1u);
+  EXPECT_EQ(sum.expr.terms[0].attr, 1);
+  EXPECT_EQ(Aggregate::Avg(2).kind, AggregateKind::kAvg);
+  EXPECT_EQ(Aggregate::Stdev(2).kind, AggregateKind::kStdev);
+}
+
+TEST(AggregateTest, ToString) {
+  const Schema schema = TestSchema();
+  EXPECT_EQ(Aggregate::Count().ToString(schema), "COUNT(*)");
+  EXPECT_EQ(Aggregate::Sum(1).ToString(schema), "SUM(m1)");
+  EXPECT_EQ(Aggregate::Avg(2).ToString(schema), "AVG(m2)");
+}
+
+TEST(ValidateAggregateTest, AcceptsMeasures) {
+  const Schema schema = TestSchema();
+  EXPECT_TRUE(ValidateAggregate(schema, Aggregate::Count()).ok());
+  EXPECT_TRUE(ValidateAggregate(schema, Aggregate::Sum(1)).ok());
+}
+
+TEST(ValidateAggregateTest, RejectsDimensionsAndBadIndices) {
+  const Schema schema = TestSchema();
+  EXPECT_FALSE(ValidateAggregate(schema, Aggregate::Sum(0)).ok());  // ordinal
+  EXPECT_FALSE(ValidateAggregate(schema, Aggregate::Sum(5)).ok());  // bad idx
+  Aggregate empty{AggregateKind::kSum, {}};
+  EXPECT_FALSE(ValidateAggregate(schema, empty).ok());  // SUM of nothing
+}
+
+TEST(AggregateKindTest, Names) {
+  EXPECT_EQ(AggregateKindName(AggregateKind::kCount), "COUNT");
+  EXPECT_EQ(AggregateKindName(AggregateKind::kStdev), "STDEV");
+}
+
+}  // namespace
+}  // namespace ldp

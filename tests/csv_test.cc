@@ -1,0 +1,91 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace ldp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Schema SmallSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("d1", 8).ok());
+  EXPECT_TRUE(schema.AddCategorical("d2", 3).ok());
+  EXPECT_TRUE(schema.AddMeasure("m").ok());
+  return schema;
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table table(SmallSchema());
+  ASSERT_TRUE(table.AppendRow({3, 1}, {2.5}).ok());
+  ASSERT_TRUE(table.AppendRow({7, 0}, {-1.25}).ok());
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+
+  const Table back = ReadCsv(SmallSchema(), path).ValueOrDie();
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.DimValue(0, 0), 3u);
+  EXPECT_EQ(back.DimValue(1, 0), 1u);
+  EXPECT_DOUBLE_EQ(back.MeasureValue(2, 1), -1.25);
+}
+
+TEST(CsvTest, RoundTripGeneratedTable) {
+  const Table table = MakeAdultLike(200, 64, 9);
+  const std::string path = TempPath("adult.csv");
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+  const Table back = ReadCsv(table.schema(), path).ValueOrDie();
+  ASSERT_EQ(back.num_rows(), table.num_rows());
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_EQ(back.DimValue(0, r), table.DimValue(0, r));
+    EXPECT_NEAR(back.MeasureValue(1, r), table.MeasureValue(1, r), 1e-4);
+  }
+}
+
+TEST(CsvTest, MissingFileFails) {
+  const auto r = ReadCsv(SmallSchema(), TempPath("does_not_exist.csv"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, HeaderMismatchFails) {
+  const std::string path = TempPath("badheader.csv");
+  std::ofstream(path) << "x,y,z\n1,2,3\n";
+  const auto r = ReadCsv(SmallSchema(), path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, BadFieldCountFails) {
+  const std::string path = TempPath("badcount.csv");
+  std::ofstream(path) << "d1,d2,m\n1,2\n";
+  EXPECT_FALSE(ReadCsv(SmallSchema(), path).ok());
+}
+
+TEST(CsvTest, OutOfDomainValueFails) {
+  const std::string path = TempPath("baddomain.csv");
+  std::ofstream(path) << "d1,d2,m\n9,0,1.0\n";
+  EXPECT_FALSE(ReadCsv(SmallSchema(), path).ok());
+}
+
+TEST(CsvTest, NegativeDimensionFails) {
+  const std::string path = TempPath("negdim.csv");
+  std::ofstream(path) << "d1,d2,m\n-1,0,1.0\n";
+  EXPECT_FALSE(ReadCsv(SmallSchema(), path).ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  std::ofstream(path) << "d1,d2,m\n1,0,1.0\n\n2,1,2.0\n";
+  const Table t = ReadCsv(SmallSchema(), path).ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace ldp

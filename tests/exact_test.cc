@@ -1,0 +1,124 @@
+#include "query/exact.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace ldp {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("age", 100).ok());
+  EXPECT_TRUE(schema.AddCategorical("state", 4).ok());
+  EXPECT_TRUE(schema.AddMeasure("purchase").ok());
+  return schema;
+}
+
+Table PaperTable() {
+  // Table 1 of the paper (ages in years, purchases in dollars; State coded
+  // NY=0, WA=1).
+  Table table(TestSchema());
+  EXPECT_TRUE(table.AppendRow({30, 0}, {120.0}).ok());
+  EXPECT_TRUE(table.AppendRow({60, 1}, {100.0}).ok());
+  EXPECT_TRUE(table.AppendRow({50, 0}, {100.0}).ok());
+  EXPECT_TRUE(table.AppendRow({40, 0}, {100.0}).ok());
+  return table;
+}
+
+TEST(ExactTest, CountAll) {
+  const Table t = PaperTable();
+  const Query q = ParseQuery(t.schema(), "SELECT COUNT(*) FROM T").ValueOrDie();
+  EXPECT_DOUBLE_EQ(ExactAnswer(t, q).ValueOrDie(), 4.0);
+}
+
+TEST(ExactTest, PaperExample31) {
+  // Example 3.1: SELECT SUM(Purchase) WHERE State = NY -> 120+100+100 = 320.
+  const Table t = PaperTable();
+  const Query q =
+      ParseQuery(t.schema(), "SELECT SUM(purchase) FROM T WHERE state = 0")
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(ExactAnswer(t, q).ValueOrDie(), 320.0);
+}
+
+TEST(ExactTest, RangePredicate) {
+  const Table t = PaperTable();
+  const Query q = ParseQuery(t.schema(),
+                             "SELECT SUM(purchase) FROM T WHERE age BETWEEN "
+                             "30 AND 40")
+                      .ValueOrDie();
+  EXPECT_DOUBLE_EQ(ExactAnswer(t, q).ValueOrDie(), 220.0);
+}
+
+TEST(ExactTest, Avg) {
+  const Table t = PaperTable();
+  const Query q =
+      ParseQuery(t.schema(), "SELECT AVG(purchase) FROM T WHERE state = 0")
+          .ValueOrDie();
+  EXPECT_NEAR(ExactAnswer(t, q).ValueOrDie(), 320.0 / 3.0, 1e-12);
+}
+
+TEST(ExactTest, AvgOfEmptyGroupIsZero) {
+  const Table t = PaperTable();
+  const Query q =
+      ParseQuery(t.schema(), "SELECT AVG(purchase) FROM T WHERE age = 99")
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(ExactAnswer(t, q).ValueOrDie(), 0.0);
+}
+
+TEST(ExactTest, Stdev) {
+  const Table t = PaperTable();
+  const Query q =
+      ParseQuery(t.schema(), "SELECT STDEV(purchase) FROM T").ValueOrDie();
+  // Values 120,100,100,100: mean 105, var = (225*3 + ... ) population stdev.
+  const double mean = 105.0;
+  const double var =
+      ((120 - mean) * (120 - mean) + 3 * (100 - mean) * (100 - mean)) / 4.0;
+  EXPECT_NEAR(ExactAnswer(t, q).ValueOrDie(), std::sqrt(var), 1e-12);
+}
+
+TEST(ExactTest, OrPredicate) {
+  const Table t = PaperTable();
+  const Query q = ParseQuery(t.schema(),
+                             "SELECT COUNT(*) FROM T WHERE age <= 30 OR "
+                             "state = 1")
+                      .ValueOrDie();
+  EXPECT_DOUBLE_EQ(ExactAnswer(t, q).ValueOrDie(), 2.0);
+}
+
+TEST(ExactTest, LinearExpressionAggregate) {
+  const Table t = PaperTable();
+  const Query q =
+      ParseQuery(t.schema(), "SELECT SUM(2*purchase + 1) FROM T").ValueOrDie();
+  EXPECT_DOUBLE_EQ(ExactAnswer(t, q).ValueOrDie(), 2.0 * 420.0 + 4.0);
+}
+
+TEST(ExactTest, MatchCountAndSelectivity) {
+  const Table t = PaperTable();
+  const Query q =
+      ParseQuery(t.schema(), "SELECT COUNT(*) FROM T WHERE state = 0")
+          .ValueOrDie();
+  EXPECT_EQ(ExactMatchCount(t, q.where.get()), 3u);
+  EXPECT_DOUBLE_EQ(ExactSelectivity(t, q.where.get()), 0.75);
+  EXPECT_EQ(ExactMatchCount(t, nullptr), 4u);
+  EXPECT_DOUBLE_EQ(ExactSelectivity(t, nullptr), 1.0);
+}
+
+TEST(ExactTest, EmptyTable) {
+  Table t(TestSchema());
+  const Query q = ParseQuery(t.schema(), "SELECT COUNT(*) FROM T").ValueOrDie();
+  EXPECT_DOUBLE_EQ(ExactAnswer(t, q).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(ExactSelectivity(t, nullptr), 0.0);
+}
+
+TEST(ExactTest, RejectsInvalidQuery) {
+  const Table t = PaperTable();
+  Query q;
+  q.aggregate = Aggregate::Sum(0);  // aggregating a dimension
+  EXPECT_FALSE(ExactAnswer(t, q).ok());
+}
+
+}  // namespace
+}  // namespace ldp

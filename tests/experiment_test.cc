@@ -1,0 +1,112 @@
+#include "engine/experiment.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "engine/query_gen.h"
+
+namespace ldp {
+namespace {
+
+Table TestTable() { return MakeAdultLike(3000, 64, 5); }
+
+std::vector<Query> MakeWorkload(const Table& table, int count) {
+  QueryGenerator gen(table, 9);
+  const int measure =
+      table.schema().FindAttribute("hours").ValueOrDie();
+  std::vector<Query> queries;
+  for (int i = 0; i < count; ++i) {
+    queries.push_back(
+        gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, 0.25));
+  }
+  return queries;
+}
+
+TEST(EvaluateQueriesTest, ProducesFiniteErrors) {
+  const Table table = TestTable();
+  EngineOptions options;
+  options.mechanism = MechanismKind::kHio;
+  options.params.epsilon = 2.0;
+  options.params.hash_pool_size = 128;
+  auto engine = AnalyticsEngine::Create(table, options).ValueOrDie();
+  const auto queries = MakeWorkload(table, 5);
+  const EvalStats stats = EvaluateQueries(*engine, queries).ValueOrDie();
+  EXPECT_EQ(stats.mnae.count(), 5u);
+  EXPECT_EQ(stats.mre.count(), 5u);
+  EXPECT_GE(stats.mnae.mean(), 0.0);
+  EXPECT_LT(stats.mnae.mean(), 0.5);  // MNAE is normalized to [0, ~1]
+}
+
+TEST(EvaluateMechanismsTest, ComparesMechanisms) {
+  const Table table = TestTable();
+  const auto queries = MakeWorkload(table, 3);
+  MechanismParams params;
+  params.epsilon = 2.0;
+  params.fanout = 5;
+  params.hash_pool_size = 128;
+  const std::vector<MechanismSpec> specs = {
+      {MechanismKind::kHio, params, ""},
+      {MechanismKind::kMg, params, "marginal"},
+  };
+  const auto evals =
+      EvaluateMechanisms(table, specs, queries, 7).ValueOrDie();
+  ASSERT_EQ(evals.size(), 2u);
+  EXPECT_EQ(evals[0].label, "HIO");
+  EXPECT_EQ(evals[1].label, "marginal");
+  for (const auto& e : evals) {
+    EXPECT_EQ(e.stats.mnae.count(), 3u);
+    EXPECT_GE(e.collect_seconds, 0.0);
+    EXPECT_GE(e.query_seconds, 0.0);
+  }
+}
+
+TEST(EvaluateMechanismsTest, UnbuildableSpecYieldsNaN) {
+  const Table table = TestTable();
+  const auto queries = MakeWorkload(table, 2);
+  MechanismParams bad;
+  bad.epsilon = -1.0;  // invalid
+  const std::vector<MechanismSpec> specs = {{MechanismKind::kHio, bad, ""}};
+  const auto evals =
+      EvaluateMechanisms(table, specs, queries, 7).ValueOrDie();
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_TRUE(std::isnan(evals[0].stats.mnae.mean()));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"col_a", "b"});
+  printer.AddRow({"1", "second"});
+  printer.AddRow({"longer_value", "x"});
+  std::ostringstream os;
+  printer.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("longer_value"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  int lines = 0;
+  for (const char c : out) lines += (c == '\n');
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TablePrinterTest, ToleratesShortRows) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"1"});
+  std::ostringstream os;
+  printer.Print(os);
+  EXPECT_NE(os.str().find("1"), std::string::npos);
+}
+
+TEST(FormattingTest, FormatErr) {
+  EXPECT_EQ(FormatErr(0.12345, 0.01), "0.1235+-0.0100");
+  EXPECT_EQ(FormatErr(std::nan(""), 0.0), "n/a");
+}
+
+TEST(FormattingTest, FormatF) {
+  EXPECT_EQ(FormatF(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatF(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,85 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+struct Fixture {
+  int64_t n = 100;
+  double eps = 1.5;
+  std::string name = "default";
+  bool full = false;
+  FlagParser parser{"test", "test flags"};
+
+  Fixture() {
+    parser.AddInt64("n", &n, "count");
+    parser.AddDouble("eps", &eps, "epsilon");
+    parser.AddString("name", &name, "a name");
+    parser.AddBool("full", &full, "paper scale");
+  }
+};
+
+TEST(FlagsTest, EqualsSyntax) {
+  Fixture f;
+  ASSERT_TRUE(f.parser.ParseOrError({"--n=250", "--eps=2.5", "--name=abc"}).ok());
+  EXPECT_EQ(f.n, 250);
+  EXPECT_DOUBLE_EQ(f.eps, 2.5);
+  EXPECT_EQ(f.name, "abc");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Fixture f;
+  ASSERT_TRUE(f.parser.ParseOrError({"--n", "7", "--name", "xy"}).ok());
+  EXPECT_EQ(f.n, 7);
+  EXPECT_EQ(f.name, "xy");
+}
+
+TEST(FlagsTest, BareBooleanIsTrue) {
+  Fixture f;
+  ASSERT_TRUE(f.parser.ParseOrError({"--full"}).ok());
+  EXPECT_TRUE(f.full);
+}
+
+TEST(FlagsTest, BooleanExplicitValues) {
+  Fixture f;
+  ASSERT_TRUE(f.parser.ParseOrError({"--full=false"}).ok());
+  EXPECT_FALSE(f.full);
+  ASSERT_TRUE(f.parser.ParseOrError({"--full", "true"}).ok());
+  EXPECT_TRUE(f.full);
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  Fixture f;
+  const Status st = f.parser.ParseOrError({"--bogus=1"});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  Fixture f;
+  EXPECT_FALSE(f.parser.ParseOrError({"--n"}).ok());
+}
+
+TEST(FlagsTest, BadNumberFails) {
+  Fixture f;
+  EXPECT_FALSE(f.parser.ParseOrError({"--n=abc"}).ok());
+  EXPECT_FALSE(f.parser.ParseOrError({"--eps=zz"}).ok());
+  EXPECT_FALSE(f.parser.ParseOrError({"--full=maybe"}).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentFails) {
+  Fixture f;
+  EXPECT_FALSE(f.parser.ParseOrError({"positional"}).ok());
+}
+
+TEST(FlagsTest, UsageMentionsFlagsAndDefaults) {
+  Fixture f;
+  const std::string usage = f.parser.Usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("100"), std::string::npos);
+  EXPECT_NE(usage.find("epsilon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldp

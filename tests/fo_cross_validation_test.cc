@@ -1,0 +1,94 @@
+// Cross-validation across frequency oracles: on identical data, OLH, GRR,
+// OUE and Hadamard response must all estimate the same quantities (they are
+// interchangeable building blocks), and their relative accuracies must rank
+// the way their variance formulas say.
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "fo/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+struct FoRun {
+  double mean = 0.0;
+  double mse = 0.0;
+};
+
+FoRun RunOracle(FoKind kind, double eps, uint64_t domain, uint64_t n,
+          uint64_t true_count, int runs, uint64_t seed) {
+  auto oracle = FrequencyOracle::Create(kind, eps, domain).ValueOrDie();
+  Rng rng(seed);
+  const WeightVector w = WeightVector::Ones(n);
+  FoRun out;
+  for (int run = 0; run < runs; ++run) {
+    auto acc = oracle->MakeAccumulator();
+    for (uint64_t u = 0; u < n; ++u) {
+      // true value 3; everything else spread over the rest of the domain.
+      uint64_t v = u < true_count ? 3 : 4 + (u % (domain - 4));
+      acc->Add(oracle->Encode(v, rng), u);
+    }
+    const double est = acc->EstimateWeighted(3, w);
+    out.mean += est;
+    const double err = est - static_cast<double>(true_count);
+    out.mse += err * err;
+  }
+  out.mean /= runs;
+  out.mse /= runs;
+  return out;
+}
+
+TEST(FoCrossValidationTest, AllOraclesAgreeOnTheMean) {
+  const double eps = 1.0;
+  const uint64_t domain = 32;
+  const uint64_t n = 2000;
+  const uint64_t truth = 400;
+  const int runs = 80;
+  for (const FoKind kind :
+       {FoKind::kOlh, FoKind::kGrr, FoKind::kOue, FoKind::kHr}) {
+    const FoRun r = RunOracle(kind, eps, domain, n, truth, runs, 555);
+    // All unbiased: mean within 4 standard errors (using each oracle's own
+    // empirical MSE as the variance proxy).
+    EXPECT_NEAR(r.mean, static_cast<double>(truth),
+                4.0 * std::sqrt(r.mse / runs))
+        << FoKindName(kind);
+  }
+}
+
+TEST(FoCrossValidationTest, AccuracyRanking) {
+  // At eps = 1 on a 32-value domain: OLH and OUE are asymptotically optimal
+  // and nearly tied; HR trails by a small constant; GRR pays the full domain
+  // size (m >> 3 e^eps + 2 here).
+  const double eps = 1.0;
+  const uint64_t domain = 32;
+  const uint64_t n = 2000;
+  const uint64_t truth = 400;
+  const int runs = 120;
+  std::map<FoKind, double> mse;
+  for (const FoKind kind :
+       {FoKind::kOlh, FoKind::kGrr, FoKind::kOue, FoKind::kHr}) {
+    mse[kind] = RunOracle(kind, eps, domain, n, truth, runs, 777).mse;
+  }
+  EXPECT_LT(mse[FoKind::kOlh], mse[FoKind::kGrr]);
+  EXPECT_LT(mse[FoKind::kOue], mse[FoKind::kGrr]);
+  EXPECT_LT(mse[FoKind::kHr], mse[FoKind::kGrr]);
+  // OLH and OUE within 2x of each other.
+  EXPECT_LT(mse[FoKind::kOlh], mse[FoKind::kOue] * 2.0);
+  EXPECT_LT(mse[FoKind::kOue], mse[FoKind::kOlh] * 2.0);
+}
+
+TEST(FoCrossValidationTest, AdaptiveMatchesItsTarget) {
+  // On a small domain the adaptive oracle IS GRR; their estimates under the
+  // same rng stream coincide distributionally.
+  const double eps = 2.0;
+  const FoRun adaptive = RunOracle(FoKind::kAdaptive, eps, 8, 2000, 500, 60, 888);
+  const FoRun grr = RunOracle(FoKind::kGrr, eps, 8, 2000, 500, 60, 888);
+  EXPECT_NEAR(adaptive.mean, grr.mean, 1e-9);  // identical streams
+  EXPECT_NEAR(adaptive.mse, grr.mse, 1e-9);
+}
+
+}  // namespace
+}  // namespace ldp

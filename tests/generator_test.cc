@@ -1,0 +1,159 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+TEST(GenerateTableTest, ShapesAndDeterminism) {
+  TableSpec spec;
+  spec.dims.push_back({"a", AttributeKind::kSensitiveOrdinal, 16,
+                       ColumnDist::kUniform, 1.0});
+  spec.dims.push_back({"b", AttributeKind::kSensitiveCategorical, 4,
+                       ColumnDist::kZipf, 1.2});
+  spec.measures.push_back({"m", 0.0, 10.0, ColumnDist::kUniform, 1.0, -1, 0.0});
+  const Table t1 = GenerateTable(spec, 500, 99).ValueOrDie();
+  const Table t2 = GenerateTable(spec, 500, 99).ValueOrDie();
+  EXPECT_EQ(t1.num_rows(), 500u);
+  EXPECT_EQ(t1.schema().num_attributes(), 3);
+  for (uint64_t r = 0; r < 500; ++r) {
+    EXPECT_EQ(t1.DimValue(0, r), t2.DimValue(0, r));
+    EXPECT_DOUBLE_EQ(t1.MeasureValue(2, r), t2.MeasureValue(2, r));
+    EXPECT_LT(t1.DimValue(0, r), 16u);
+    EXPECT_LT(t1.DimValue(1, r), 4u);
+    EXPECT_GE(t1.MeasureValue(2, r), 0.0);
+    EXPECT_LE(t1.MeasureValue(2, r), 10.0);
+  }
+}
+
+TEST(GenerateTableTest, DifferentSeedsDiffer) {
+  TableSpec spec;
+  spec.dims.push_back({"a", AttributeKind::kSensitiveOrdinal, 1024,
+                       ColumnDist::kUniform, 1.0});
+  const Table t1 = GenerateTable(spec, 100, 1).ValueOrDie();
+  const Table t2 = GenerateTable(spec, 100, 2).ValueOrDie();
+  int same = 0;
+  for (uint64_t r = 0; r < 100; ++r) same += (t1.DimValue(0, r) == t2.DimValue(0, r));
+  EXPECT_LT(same, 10);
+}
+
+TEST(GenerateTableTest, ValidatesSpec) {
+  TableSpec bad_dim;
+  bad_dim.dims.push_back(
+      {"a", AttributeKind::kSensitiveOrdinal, 0, ColumnDist::kUniform, 1.0});
+  EXPECT_FALSE(GenerateTable(bad_dim, 10, 1).ok());
+
+  TableSpec bad_measure;
+  bad_measure.dims.push_back(
+      {"a", AttributeKind::kSensitiveOrdinal, 4, ColumnDist::kUniform, 1.0});
+  bad_measure.measures.push_back(
+      {"m", 5.0, 1.0, ColumnDist::kUniform, 1.0, -1, 0.0});
+  EXPECT_FALSE(GenerateTable(bad_measure, 10, 1).ok());
+
+  TableSpec bad_corr;
+  bad_corr.dims.push_back(
+      {"a", AttributeKind::kSensitiveOrdinal, 4, ColumnDist::kUniform, 1.0});
+  bad_corr.measures.push_back(
+      {"m", 0.0, 1.0, ColumnDist::kUniform, 1.0, 5, 0.5});
+  EXPECT_FALSE(GenerateTable(bad_corr, 10, 1).ok());
+}
+
+TEST(GenerateTableTest, GaussianBellConcentratesInMiddle) {
+  TableSpec spec;
+  spec.dims.push_back({"a", AttributeKind::kSensitiveOrdinal, 100,
+                       ColumnDist::kGaussianBell, 1.0});
+  const Table t = GenerateTable(spec, 20000, 5).ValueOrDie();
+  uint64_t middle = 0;
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    const uint32_t v = t.DimValue(0, r);
+    if (v >= 25 && v < 75) ++middle;
+  }
+  // The middle half is +-1.5 sigma for sigma = m/6 -> ~86.6% of mass.
+  EXPECT_GT(static_cast<double>(middle) / t.num_rows(), 0.80);
+}
+
+TEST(GenerateTableTest, ZipfSkewsTowardZero) {
+  TableSpec spec;
+  spec.dims.push_back({"a", AttributeKind::kSensitiveOrdinal, 100,
+                       ColumnDist::kZipf, 1.3});
+  const Table t = GenerateTable(spec, 20000, 5).ValueOrDie();
+  std::vector<int> counts(100, 0);
+  for (uint64_t r = 0; r < t.num_rows(); ++r) ++counts[t.DimValue(0, r)];
+  EXPECT_GT(counts[0], counts[50] * 3);
+}
+
+TEST(GenerateTableTest, CorrelatedMeasureTracksDimension) {
+  TableSpec spec;
+  spec.dims.push_back({"a", AttributeKind::kSensitiveOrdinal, 100,
+                       ColumnDist::kUniform, 1.0});
+  spec.measures.push_back(
+      {"m", 0.0, 100.0, ColumnDist::kUniform, 1.0, 0, 0.9});
+  const Table t = GenerateTable(spec, 10000, 5).ValueOrDie();
+  // Pearson correlation between dim value and measure should be strong.
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double syy = 0;
+  double sxy = 0;
+  const double n = static_cast<double>(t.num_rows());
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    const double x = t.DimValue(0, r);
+    const double y = t.MeasureValue(1, r);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double corr = (n * sxy - sx * sy) /
+                      std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+  EXPECT_GT(corr, 0.8);
+}
+
+TEST(NamedDatasetsTest, AdultLike) {
+  const Table t = MakeAdultLike(1000, 1024, 3);
+  EXPECT_EQ(t.num_rows(), 1000u);
+  EXPECT_EQ(t.schema().sensitive_dims().size(), 1u);
+  EXPECT_EQ(t.schema().attribute(0).domain_size, 1024u);
+  EXPECT_EQ(t.schema().measures().size(), 1u);
+}
+
+TEST(NamedDatasetsTest, IpumsNumeric) {
+  const Table t = MakeIpumsNumeric(500, {256, 64}, 3);
+  EXPECT_EQ(t.schema().sensitive_dims().size(), 2u);
+  EXPECT_EQ(t.schema().attribute(0).domain_size, 256u);
+  EXPECT_EQ(t.schema().attribute(1).domain_size, 64u);
+}
+
+TEST(NamedDatasetsTest, Ipums4DAnd8D) {
+  const Table t4 = MakeIpums4D(200, 54, 3);
+  EXPECT_EQ(t4.schema().sensitive_dims().size(), 4u);
+  int ordinals = 0;
+  int categoricals = 0;
+  for (const int attr : t4.schema().sensitive_dims()) {
+    if (t4.schema().attribute(attr).kind == AttributeKind::kSensitiveOrdinal) {
+      ++ordinals;
+    } else {
+      ++categoricals;
+    }
+  }
+  EXPECT_EQ(ordinals, 2);
+  EXPECT_EQ(categoricals, 2);
+
+  const Table t8 = MakeIpums8D(200, 54, 3);
+  EXPECT_EQ(t8.schema().sensitive_dims().size(), 8u);
+}
+
+TEST(NamedDatasetsTest, EcommerceLike) {
+  const Table t = MakeEcommerceLike(300, 3);
+  EXPECT_EQ(t.schema().sensitive_dims().size(), 3u);
+  const auto postage = t.schema().FindAttribute("postage");
+  ASSERT_TRUE(postage.ok());
+  EXPECT_EQ(t.schema().attribute(postage.ValueOrDie()).kind,
+            AttributeKind::kMeasure);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,213 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fo/grr.h"
+#include "fo/oue.h"
+
+namespace ldp {
+namespace {
+
+TEST(GrrProtocolTest, Parameters) {
+  const GrrProtocol proto(1.0, 10);
+  const double e = std::exp(1.0);
+  EXPECT_NEAR(proto.p(), e / (e + 9.0), 1e-12);
+  EXPECT_NEAR(proto.q(), 1.0 / (e + 9.0), 1e-12);
+  EXPECT_EQ(proto.kind(), FoKind::kGrr);
+  EXPECT_EQ(proto.ReportSizeWords(), 1u);
+}
+
+TEST(GrrProtocolTest, EncodeStaysWithProbabilityP) {
+  const GrrProtocol proto(2.0, 8);
+  Rng rng(1);
+  int stays = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) stays += (proto.Encode(5, rng).value == 5);
+  EXPECT_NEAR(static_cast<double>(stays) / trials, proto.p(), 0.01);
+}
+
+TEST(GrrProtocolTest, FlipIsUniformOverOthers) {
+  const GrrProtocol proto(1.0, 4);
+  Rng rng(2);
+  std::vector<int> counts(4, 0);
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) ++counts[proto.Encode(2, rng).value];
+  // The three non-true values should be hit equally often.
+  EXPECT_NEAR(counts[0], counts[1], trials * 0.02);
+  EXPECT_NEAR(counts[1], counts[3], trials * 0.02);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(GrrAccumulatorTest, UnbiasedCountEstimate) {
+  const double eps = 1.5;
+  const uint64_t domain = 12;
+  const uint64_t n = 3000;
+  const uint64_t true_count = 600;
+  const GrrProtocol proto(eps, domain);
+  Rng rng(3);
+  double sum_est = 0.0;
+  const int runs = 80;
+  for (int run = 0; run < runs; ++run) {
+    GrrAccumulator acc(proto);
+    for (uint64_t u = 0; u < n; ++u) {
+      const uint64_t v = u < true_count ? 4 : (u % 11 == 4 ? 11 : u % 11);
+      acc.Add(proto.Encode(v, rng), u);
+    }
+    sum_est += acc.EstimateWeighted(4, WeightVector::Ones(n));
+  }
+  // GRR variance ~ n q (1-q) / (p-q)^2.
+  const double var = n * proto.q() * (1 - proto.q()) /
+                     ((proto.p() - proto.q()) * (proto.p() - proto.q()));
+  EXPECT_NEAR(sum_est / runs, static_cast<double>(true_count),
+              4.0 * std::sqrt(var / runs));
+}
+
+TEST(GrrAccumulatorTest, WeightedEstimate) {
+  const GrrProtocol proto(3.0, 6);
+  Rng rng(4);
+  GrrAccumulator acc(proto);
+  std::vector<double> weights;
+  // With a large eps the estimate should be close to the weighted truth.
+  double truth = 0.0;
+  const uint64_t n = 20000;
+  for (uint64_t u = 0; u < n; ++u) {
+    const uint64_t v = u % 6;
+    const double w = 1.0 + (u % 3);
+    weights.push_back(w);
+    if (v == 2) truth += w;
+    acc.Add(proto.Encode(v, rng), u);
+  }
+  const WeightVector w(weights);
+  EXPECT_NEAR(acc.EstimateWeighted(2, w), truth, truth * 0.15);
+  EXPECT_NEAR(acc.GroupWeight(w), w.total(), 1e-6);
+}
+
+TEST(OueProtocolTest, Parameters) {
+  const OueProtocol proto(1.0, 20);
+  EXPECT_DOUBLE_EQ(proto.p(), 0.5);
+  EXPECT_NEAR(proto.q(), 1.0 / (std::exp(1.0) + 1.0), 1e-12);
+  EXPECT_EQ(proto.ReportSizeWords(), 1u);  // 20 bits fit one word
+  EXPECT_EQ(OueProtocol(1.0, 65).ReportSizeWords(), 2u);
+}
+
+TEST(OueProtocolTest, BitProbabilities) {
+  const OueProtocol proto(2.0, 16);
+  Rng rng(5);
+  int true_bits = 0;
+  int false_bits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const FoReport r = proto.Encode(3, rng);
+    ASSERT_EQ(r.bits.size(), 1u);
+    true_bits += (r.bits[0] >> 3) & 1;
+    false_bits += (r.bits[0] >> 9) & 1;
+  }
+  EXPECT_NEAR(static_cast<double>(true_bits) / trials, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(false_bits) / trials, proto.q(), 0.01);
+}
+
+TEST(OueAccumulatorTest, UnbiasedCountEstimate) {
+  const double eps = 1.0;
+  const OueProtocol proto(eps, 16);
+  Rng rng(6);
+  double sum_est = 0.0;
+  const int runs = 60;
+  const uint64_t n = 2000;
+  const uint64_t true_count = 500;
+  for (int run = 0; run < runs; ++run) {
+    OueAccumulator acc(proto);
+    for (uint64_t u = 0; u < n; ++u) {
+      acc.Add(proto.Encode(u < true_count ? 9 : u % 8, rng), u);
+    }
+    sum_est += acc.EstimateWeighted(9, WeightVector::Ones(n));
+  }
+  // OUE variance = 4 n e^eps / (e^eps - 1)^2 (+ small term).
+  const double e = std::exp(eps);
+  const double var = 4.0 * n * e / ((e - 1.0) * (e - 1.0));
+  EXPECT_NEAR(sum_est / runs, static_cast<double>(true_count),
+              4.0 * std::sqrt(var / runs));
+}
+
+TEST(FoFactoryTest, CreateAllKinds) {
+  EXPECT_TRUE(FrequencyOracle::Create(FoKind::kOlh, 1.0, 100, 64).ok());
+  EXPECT_TRUE(FrequencyOracle::Create(FoKind::kGrr, 1.0, 100).ok());
+  EXPECT_TRUE(FrequencyOracle::Create(FoKind::kOue, 1.0, 100).ok());
+}
+
+TEST(FoFactoryTest, Validation) {
+  EXPECT_FALSE(FrequencyOracle::Create(FoKind::kOlh, 0.0, 100).ok());
+  EXPECT_FALSE(FrequencyOracle::Create(FoKind::kOlh, -1.0, 100).ok());
+  EXPECT_FALSE(FrequencyOracle::Create(FoKind::kOlh, 1.0, 0).ok());
+  EXPECT_FALSE(FrequencyOracle::Create(FoKind::kOue, 1.0, 1ull << 30).ok());
+}
+
+TEST(FoFactoryTest, GrrSingleValueDomainWidened) {
+  // A 1-value domain is widened to 2 so GRR's math stays defined.
+  auto oracle = FrequencyOracle::Create(FoKind::kGrr, 1.0, 1);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle.value()->domain_size(), 2u);
+}
+
+TEST(FoFactoryTest, AdaptiveSelectsByDomainSize) {
+  // [35]: GRR beats OLH iff m < 3 e^eps + 2. At eps = 1 the threshold is
+  // ~10.2.
+  auto small =
+      FrequencyOracle::Create(FoKind::kAdaptive, 1.0, 8).ValueOrDie();
+  EXPECT_EQ(small->kind(), FoKind::kGrr);
+  auto large =
+      FrequencyOracle::Create(FoKind::kAdaptive, 1.0, 64).ValueOrDie();
+  EXPECT_EQ(large->kind(), FoKind::kOlh);
+  // Higher budget moves the threshold up.
+  auto mid =
+      FrequencyOracle::Create(FoKind::kAdaptive, 3.0, 32).ValueOrDie();
+  EXPECT_EQ(mid->kind(), FoKind::kGrr);  // 3 e^3 + 2 ~ 62
+}
+
+TEST(FoKindTest, NamesRoundTrip) {
+  for (FoKind kind :
+       {FoKind::kOlh, FoKind::kGrr, FoKind::kOue, FoKind::kAdaptive}) {
+    EXPECT_EQ(FoKindFromString(FoKindName(kind)).ValueOrDie(), kind);
+  }
+  EXPECT_EQ(FoKindFromString("OLH").ValueOrDie(), FoKind::kOlh);
+  EXPECT_FALSE(FoKindFromString("nope").ok());
+}
+
+TEST(WeightVectorTest, Statistics) {
+  const WeightVector w(std::vector<double>{1.0, -2.0, 3.0});
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.total(), 2.0);
+  EXPECT_DOUBLE_EQ(w.sum_squares(), 14.0);
+  EXPECT_DOUBLE_EQ(w[1], -2.0);
+}
+
+TEST(WeightVectorTest, UniqueIds) {
+  const WeightVector a(std::vector<double>{1.0});
+  const WeightVector b(std::vector<double>{1.0});
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(WeightVectorTest, Ones) {
+  const WeightVector w = WeightVector::Ones(5);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_DOUBLE_EQ(w.total(), 5.0);
+  EXPECT_DOUBLE_EQ(w.sum_squares(), 5.0);
+}
+
+TEST(ReportStoreTest, GroupsAreDense) {
+  ReportStore store;
+  const int g0 = store.AddGroup(
+      FrequencyOracle::Create(FoKind::kOlh, 1.0, 8, 16).ValueOrDie());
+  const int g1 = store.AddGroup(
+      FrequencyOracle::Create(FoKind::kOlh, 1.0, 64, 16).ValueOrDie());
+  EXPECT_EQ(g0, 0);
+  EXPECT_EQ(g1, 1);
+  EXPECT_EQ(store.num_groups(), 2);
+  EXPECT_EQ(store.oracle(1).domain_size(), 64u);
+  Rng rng(1);
+  store.Add(0, store.Encode(0, 3, rng), 0);
+  EXPECT_EQ(store.accumulator(0).num_reports(), 1u);
+  EXPECT_EQ(store.accumulator(1).num_reports(), 0u);
+}
+
+}  // namespace
+}  // namespace ldp

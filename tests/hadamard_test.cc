@@ -1,0 +1,163 @@
+#include "fo/hadamard.h"
+
+#include "mech/factory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+TEST(HadamardProtocolTest, Parameters) {
+  const HadamardProtocol proto(1.0, 100);
+  EXPECT_EQ(proto.transform_size(), 128u);  // next power of two
+  const double e = std::exp(1.0);
+  EXPECT_NEAR(proto.p(), e / (e + 1.0), 1e-12);
+  EXPECT_NEAR(proto.scale(), (e + 1.0) / (e - 1.0), 1e-12);
+  EXPECT_EQ(proto.kind(), FoKind::kHr);
+  EXPECT_EQ(proto.ReportSizeWords(), 1u);
+  EXPECT_EQ(HadamardProtocol(1.0, 1).transform_size(), 2u);
+}
+
+TEST(HadamardProtocolTest, WalshEntries) {
+  // H[0][v] = +1 for every v; H[j][0] = +1 for every j.
+  for (uint64_t v = 0; v < 16; ++v) EXPECT_EQ(HadamardProtocol::Entry(0, v), 1);
+  for (uint64_t j = 0; j < 16; ++j) EXPECT_EQ(HadamardProtocol::Entry(j, 0), 1);
+  EXPECT_EQ(HadamardProtocol::Entry(1, 1), -1);
+  EXPECT_EQ(HadamardProtocol::Entry(3, 3), 1);  // popcount(3) = 2
+  // Orthogonality: sum_j H[j][a] H[j][b] = D * delta_{ab}.
+  const uint64_t D = 16;
+  for (uint64_t a = 0; a < D; ++a) {
+    for (uint64_t b = 0; b < D; ++b) {
+      int sum = 0;
+      for (uint64_t j = 0; j < D; ++j) {
+        sum += HadamardProtocol::Entry(j, a) * HadamardProtocol::Entry(j, b);
+      }
+      EXPECT_EQ(sum, a == b ? static_cast<int>(D) : 0)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(HadamardProtocolTest, KeepProbabilityMatchesP) {
+  const HadamardProtocol proto(2.0, 64);
+  Rng rng(1);
+  const uint64_t value = 37;
+  int kept = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const FoReport r = proto.Encode(value, rng);
+    const int x = HadamardProtocol::Entry(r.seed, value);
+    const int y = r.value != 0 ? 1 : -1;
+    kept += (x == y);
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / trials, proto.p(), 0.01);
+}
+
+TEST(HadamardProtocolTest, IndexIsUniform) {
+  const HadamardProtocol proto(1.0, 4);
+  Rng rng(2);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[proto.Encode(2, rng).seed];
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(counts[j], trials / 4, trials * 0.02);
+}
+
+TEST(HadamardAccumulatorTest, UnbiasedCountEstimate) {
+  const double eps = 1.0;
+  const uint64_t n = 2000;
+  const uint64_t true_count = 500;
+  const HadamardProtocol proto(eps, 32);
+  Rng rng(3);
+  double sum_est = 0.0;
+  const int runs = 100;
+  for (int run = 0; run < runs; ++run) {
+    HadamardAccumulator acc(proto);
+    for (uint64_t u = 0; u < n; ++u) {
+      const uint64_t v = u < true_count ? 13 : (u % 13 == 13 ? 14 : u % 13);
+      acc.Add(proto.Encode(v, rng), u);
+    }
+    sum_est += acc.EstimateWeighted(13, WeightVector::Ones(n));
+  }
+  // Var ~ n * scale^2.
+  const double var = n * proto.scale() * proto.scale();
+  EXPECT_NEAR(sum_est / runs, static_cast<double>(true_count),
+              4.0 * std::sqrt(var / runs));
+}
+
+TEST(HadamardAccumulatorTest, VarianceNearTheory) {
+  const double eps = 2.0;
+  const uint64_t n = 2000;
+  const HadamardProtocol proto(eps, 16);
+  Rng rng(4);
+  const double truth = 100.0;
+  double mse = 0.0;
+  const int runs = 120;
+  for (int run = 0; run < runs; ++run) {
+    HadamardAccumulator acc(proto);
+    for (uint64_t u = 0; u < n; ++u) {
+      acc.Add(proto.Encode(u < 100 ? 7 : u % 7, rng), u);
+    }
+    const double est = acc.EstimateWeighted(7, WeightVector::Ones(n));
+    mse += (est - truth) * (est - truth);
+  }
+  mse /= runs;
+  const double theory = n * proto.scale() * proto.scale();
+  EXPECT_GT(mse, theory * 0.5);
+  EXPECT_LT(mse, theory * 2.0);
+}
+
+TEST(HadamardAccumulatorTest, WeightedEstimate) {
+  const HadamardProtocol proto(4.0, 8);
+  Rng rng(5);
+  HadamardAccumulator acc(proto);
+  std::vector<double> weights;
+  double truth = 0.0;
+  const uint64_t n = 30000;
+  for (uint64_t u = 0; u < n; ++u) {
+    const uint64_t v = u % 8;
+    const double w = 1.0 + (u % 4);
+    weights.push_back(w);
+    if (v == 5) truth += w;
+    acc.Add(proto.Encode(v, rng), u);
+  }
+  const WeightVector w(weights);
+  EXPECT_NEAR(acc.EstimateWeighted(5, w), truth, truth * 0.15);
+  EXPECT_NEAR(acc.GroupWeight(w), w.total(), 1e-6);
+}
+
+TEST(HadamardFactoryTest, CreateAndValidate) {
+  EXPECT_TRUE(FrequencyOracle::Create(FoKind::kHr, 1.0, 1000).ok());
+  EXPECT_FALSE(FrequencyOracle::Create(FoKind::kHr, 1.0, 1ull << 40).ok());
+  EXPECT_EQ(FoKindFromString("hr").ValueOrDie(), FoKind::kHr);
+  EXPECT_EQ(FoKindFromString("Hadamard").ValueOrDie(), FoKind::kHr);
+  EXPECT_EQ(FoKindName(FoKind::kHr), "hr");
+}
+
+// HR inside HIO end-to-end (via the mechanism factory path).
+TEST(HadamardFactoryTest, WorksInsideHio) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddOrdinal("d", 16).ok());
+  ASSERT_TRUE(schema.AddMeasure("w").ok());
+  MechanismParams params;
+  params.epsilon = 4.0;
+  params.fanout = 2;
+  params.fo_kind = FoKind::kHr;
+  auto mech = CreateMechanism(MechanismKind::kHio, schema, params).ValueOrDie();
+  Rng rng(6);
+  const uint64_t n = 20000;
+  double truth = 0.0;
+  for (uint64_t u = 0; u < n; ++u) {
+    const uint32_t v = static_cast<uint32_t>(u % 16);
+    if (v >= 4 && v <= 11) truth += 1.0;
+    const std::vector<uint32_t> values = {v};
+    ASSERT_TRUE(mech->AddReport(mech->EncodeUser(values, rng), u).ok());
+  }
+  const WeightVector w = WeightVector::Ones(n);
+  const std::vector<Interval> ranges = {{4, 11}};
+  EXPECT_NEAR(mech->EstimateBox(ranges, w).ValueOrDie(), truth, n * 0.2);
+}
+
+}  // namespace
+}  // namespace ldp

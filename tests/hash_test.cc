@@ -1,0 +1,80 @@
+#include "common/hash.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(Mix64Test, DeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(123), Mix64(123));
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);  // no collisions on consecutive inputs
+}
+
+TEST(HashCombineTest, SensitiveToBothArguments) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(1, 3));
+  EXPECT_EQ(HashCombine(7, 9), HashCombine(7, 9));
+}
+
+TEST(SeededHashFamilyTest, EvalInRange) {
+  for (uint32_t g : {2u, 5u, 17u, 1000u}) {
+    for (uint32_t seed = 0; seed < 50; ++seed) {
+      for (uint64_t v = 0; v < 50; ++v) {
+        EXPECT_LT(SeededHashFamily::Eval(seed, v, g), g);
+      }
+    }
+  }
+}
+
+TEST(SeededHashFamilyTest, PooledSeedsStayInPool) {
+  SeededHashFamily family(16);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(family.SampleSeed(rng), 16u);
+}
+
+TEST(SeededHashFamilyTest, UnboundedSeedsSpread) {
+  SeededHashFamily family(0);
+  Rng rng(2);
+  std::set<uint32_t> seeds;
+  for (int i = 0; i < 1000; ++i) seeds.insert(family.SampleSeed(rng));
+  EXPECT_GT(seeds.size(), 990u);
+}
+
+// The family should behave approximately pairwise-independently: for two
+// distinct values, collision probability over random seeds is ~1/g.
+TEST(SeededHashFamilyTest, CollisionRateNearOneOverG) {
+  const uint32_t g = 8;
+  int collisions = 0;
+  const int trials = 40000;
+  for (int s = 0; s < trials; ++s) {
+    if (SeededHashFamily::Eval(s, 1001, g) ==
+        SeededHashFamily::Eval(s, 2002, g)) {
+      ++collisions;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / trials, 1.0 / g, 0.01);
+}
+
+// Over random seeds, each bucket should be hit roughly uniformly.
+TEST(SeededHashFamilyTest, BucketUniformityOverSeeds) {
+  const uint32_t g = 10;
+  std::vector<int> counts(g, 0);
+  const int trials = 50000;
+  for (int s = 0; s < trials; ++s) {
+    ++counts[SeededHashFamily::Eval(s, 12345, g)];
+  }
+  for (uint32_t b = 0; b < g; ++b) {
+    EXPECT_NEAR(counts[b], trials / g, trials / g * 0.1) << "bucket " << b;
+  }
+}
+
+}  // namespace
+}  // namespace ldp

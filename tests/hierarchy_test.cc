@@ -1,0 +1,195 @@
+#include "hierarchy/dim_hierarchy.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/privacy_math.h"
+#include "common/random.h"
+#include "hierarchy/interval.h"
+
+namespace ldp {
+namespace {
+
+TEST(IntervalTest, Basics) {
+  const Interval i{3, 7};
+  EXPECT_EQ(i.length(), 5u);
+  EXPECT_TRUE(i.Contains(3));
+  EXPECT_TRUE(i.Contains(7));
+  EXPECT_FALSE(i.Contains(8));
+  EXPECT_TRUE(i.Contains(Interval{4, 6}));
+  EXPECT_FALSE(i.Contains(Interval{4, 8}));
+  EXPECT_TRUE(i.Overlaps(Interval{7, 9}));
+  EXPECT_FALSE(i.Overlaps(Interval{8, 9}));
+  EXPECT_EQ(i.ToString(), "[3, 7]");
+}
+
+TEST(IntervalTest, Intersect) {
+  EXPECT_EQ(Intersect({1, 5}, {3, 9}).value(), (Interval{3, 5}));
+  EXPECT_EQ(Intersect({3, 9}, {1, 5}).value(), (Interval{3, 5}));
+  EXPECT_EQ(Intersect({1, 5}, {5, 9}).value(), (Interval{5, 5}));
+  EXPECT_FALSE(Intersect({1, 4}, {5, 9}).has_value());
+}
+
+TEST(OrdinalHierarchyTest, PerfectPowerShape) {
+  const OrdinalHierarchy h(8, 2);
+  EXPECT_EQ(h.height(), 3);
+  EXPECT_EQ(h.num_levels(), 4);
+  EXPECT_EQ(h.padded_size(), 8u);
+  EXPECT_EQ(h.NumIntervals(0), 1u);
+  EXPECT_EQ(h.NumIntervals(1), 2u);
+  EXPECT_EQ(h.NumIntervals(3), 8u);
+  EXPECT_EQ(h.IntervalAt(0, 0), (Interval{0, 7}));
+  EXPECT_EQ(h.IntervalAt(2, 1), (Interval{2, 3}));
+  EXPECT_EQ(h.IntervalAt(3, 5), (Interval{5, 5}));
+}
+
+TEST(OrdinalHierarchyTest, PaddedShape) {
+  const OrdinalHierarchy h(1000, 5);
+  EXPECT_EQ(h.domain_size(), 1000u);
+  EXPECT_EQ(h.padded_size(), 3125u);  // 5^5
+  EXPECT_EQ(h.height(), 5);
+}
+
+TEST(OrdinalHierarchyTest, TrivialDomain) {
+  const OrdinalHierarchy h(1, 5);
+  EXPECT_EQ(h.height(), 1);
+  EXPECT_EQ(h.padded_size(), 5u);
+  std::vector<LevelInterval> out;
+  ASSERT_TRUE(h.Decompose({0, 0}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(OrdinalHierarchyTest, MembershipIsConsistent) {
+  const OrdinalHierarchy h(64, 4);
+  for (uint64_t v = 0; v < 64; ++v) {
+    for (int level = 0; level <= h.height(); ++level) {
+      const uint64_t idx = h.IntervalIndexOf(v, level);
+      EXPECT_TRUE(h.IntervalAt(level, idx).Contains(v))
+          << "v=" << v << " level=" << level;
+    }
+  }
+}
+
+TEST(OrdinalHierarchyTest, PaperExampleFigure2) {
+  // Figure 2: m = 8, b = 2; [2,7] (1-based) = [1,6] (0-based) decomposes into
+  // [1,1], [2,3], [4,5], [6,6].
+  const OrdinalHierarchy h(8, 2);
+  std::vector<LevelInterval> out;
+  ASSERT_TRUE(h.Decompose({1, 6}, &out).ok());
+  std::multiset<std::pair<uint64_t, uint64_t>> got;
+  for (const auto& li : out) {
+    const Interval iv = h.IntervalAt(li.level, li.index);
+    got.insert({iv.lo, iv.hi});
+  }
+  const std::multiset<std::pair<uint64_t, uint64_t>> want = {
+      {1, 1}, {2, 3}, {4, 5}, {6, 6}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(OrdinalHierarchyTest, FullRangeIsRoot) {
+  const OrdinalHierarchy h(1000, 5);  // padded
+  std::vector<LevelInterval> out;
+  ASSERT_TRUE(h.Decompose({0, 999}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].level, 0);
+  EXPECT_EQ(out[0].index, 0u);
+}
+
+TEST(OrdinalHierarchyTest, DecomposeRejectsBadRange) {
+  const OrdinalHierarchy h(16, 2);
+  std::vector<LevelInterval> out;
+  EXPECT_FALSE(h.Decompose({5, 3}, &out).ok());
+  EXPECT_FALSE(h.Decompose({0, 16}, &out).ok());
+}
+
+// Property test: for many random ranges, the decomposition is disjoint,
+// covers exactly the range, and respects the 2(b-1)log_b(m) bound.
+class DecomposePropertyTest
+    : public testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(DecomposePropertyTest, DisjointExactCoverWithinBound) {
+  const auto [m, b] = GetParam();
+  const OrdinalHierarchy h(m, b);
+  Rng rng(m * 31 + b);
+  const uint64_t bound = MaxDecomposedIntervals(b, m);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t lo = rng.UniformInt(m);
+    const uint64_t hi = rng.UniformRange(lo, m - 1);
+    std::vector<LevelInterval> out;
+    ASSERT_TRUE(h.Decompose({lo, hi}, &out).ok());
+    EXPECT_LE(out.size(), bound) << "[" << lo << "," << hi << "]";
+    // Exact disjoint cover: every value in [lo,hi] in exactly one piece,
+    // every value outside in none. (The root piece returned for the full
+    // range may extend into padding; no user holds padded values.)
+    const bool is_root_shortcut = out.size() == 1 && out[0].level == 0;
+    std::vector<int> cover(m, 0);
+    for (const auto& li : out) {
+      const Interval iv = h.IntervalAt(li.level, li.index);
+      for (uint64_t v = iv.lo; v <= iv.hi && v < m; ++v) ++cover[v];
+      if (!is_root_shortcut) {
+        // Non-root pieces lie entirely within the requested (real) range.
+        EXPECT_LE(iv.hi, m - 1);
+      }
+    }
+    for (uint64_t v = 0; v < m; ++v) {
+      EXPECT_EQ(cover[v], (v >= lo && v <= hi) ? 1 : 0)
+          << "v=" << v << " range=[" << lo << "," << hi << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, DecomposePropertyTest,
+    testing::Values(std::make_tuple(8ull, 2u), std::make_tuple(16ull, 2u),
+                    std::make_tuple(27ull, 3u), std::make_tuple(100ull, 5u),
+                    std::make_tuple(1024ull, 5u), std::make_tuple(1000ull, 4u),
+                    std::make_tuple(54ull, 5u), std::make_tuple(7ull, 2u)));
+
+TEST(CategoricalHierarchyTest, TwoLevels) {
+  const CategoricalHierarchy h(4);
+  EXPECT_EQ(h.height(), 1);
+  EXPECT_EQ(h.NumIntervals(0), 1u);
+  EXPECT_EQ(h.NumIntervals(1), 4u);
+  EXPECT_EQ(h.IntervalAt(0, 0), (Interval{0, 3}));
+  EXPECT_EQ(h.IntervalAt(1, 2), (Interval{2, 2}));
+  EXPECT_EQ(h.IntervalIndexOf(3, 0), 0u);
+  EXPECT_EQ(h.IntervalIndexOf(3, 1), 3u);
+}
+
+TEST(CategoricalHierarchyTest, DecomposePoint) {
+  const CategoricalHierarchy h(4);
+  std::vector<LevelInterval> out;
+  ASSERT_TRUE(h.Decompose({2, 2}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (LevelInterval{1, 2}));
+}
+
+TEST(CategoricalHierarchyTest, DecomposeFullIsStar) {
+  const CategoricalHierarchy h(4);
+  std::vector<LevelInterval> out;
+  ASSERT_TRUE(h.Decompose({0, 3}, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (LevelInterval{0, 0}));
+}
+
+TEST(CategoricalHierarchyTest, DecomposeSetIsSingletons) {
+  const CategoricalHierarchy h(5);
+  std::vector<LevelInterval> out;
+  ASSERT_TRUE(h.Decompose({1, 3}, &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i], (LevelInterval{1, i + 1}));
+  }
+}
+
+TEST(DimHierarchyFactoryTest, MakesRightTypes) {
+  auto ord = DimHierarchy::MakeOrdinal(100, 5);
+  auto cat = DimHierarchy::MakeCategorical(7);
+  EXPECT_NE(dynamic_cast<OrdinalHierarchy*>(ord.get()), nullptr);
+  EXPECT_NE(dynamic_cast<CategoricalHierarchy*>(cat.get()), nullptr);
+  EXPECT_EQ(cat->domain_size(), 7u);
+}
+
+}  // namespace
+}  // namespace ldp

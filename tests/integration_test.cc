@@ -1,0 +1,185 @@
+// Cross-module integration tests: the full client -> server -> SQL pipeline
+// exercised the way the benchmark harness uses it, including the paper's
+// qualitative claims in miniature (HIO vs MG crossover, SC for low-dim
+// queries over many dims).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/generator.h"
+#include "engine/experiment.h"
+#include "engine/query_gen.h"
+
+namespace ldp {
+namespace {
+
+MechanismParams Params(double eps) {
+  MechanismParams p;
+  p.epsilon = eps;
+  p.fanout = 5;
+  p.hash_pool_size = 0;  // exactly unbiased; tables here are small enough
+  return p;
+}
+
+// All four mechanisms must agree (within noise) with the exact answer on a
+// common workload — they estimate the same quantity.
+TEST(IntegrationTest, AllMechanismsEstimateTheSameAnswer) {
+  const Table table = MakeIpumsNumeric(6000, {32}, 21);
+  QueryGenerator gen(table, 3);
+  const int measure = 1;
+  std::vector<Query> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(
+        gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, 0.4));
+  }
+  const std::vector<MechanismSpec> specs = {
+      {MechanismKind::kHi, Params(5.0), ""},
+      {MechanismKind::kHio, Params(5.0), ""},
+      {MechanismKind::kSc, Params(5.0), ""},
+      {MechanismKind::kMg, Params(5.0), ""},
+  };
+  const auto evals =
+      EvaluateMechanisms(table, specs, queries, 5).ValueOrDie();
+  for (const auto& e : evals) {
+    EXPECT_LT(e.stats.mnae.mean(), 0.25) << e.label;
+  }
+}
+
+// Section 5.4 / Figure 4: at large query volume HIO beats the marginal
+// baseline decisively.
+TEST(IntegrationTest, HioBeatsMarginalAtLargeVolume) {
+  // Paper configuration: m = 1024, where a volume-0.8 range covers ~819
+  // marginal cells and MG's error is ~3x HIO's (Figure 4).
+  const Table table = MakeAdultLike(20000, 1024, 22);
+  QueryGenerator gen(table, 4);
+  const int measure = table.schema().FindAttribute("hours").ValueOrDie();
+  std::vector<Query> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(
+        gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, 0.8));
+  }
+  const std::vector<MechanismSpec> specs = {
+      {MechanismKind::kHio, Params(2.0), ""},
+      {MechanismKind::kMg, Params(2.0), ""},
+  };
+  const auto evals =
+      EvaluateMechanisms(table, specs, queries, 6).ValueOrDie();
+  EXPECT_LT(evals[0].stats.mnae.mean(), evals[1].stats.mnae.mean());
+}
+
+// Section 6.2.2 / Figure 12: with many sensitive dimensions and a
+// low-dimensional query, SC beats HIO.
+TEST(IntegrationTest, ScBeatsHioInHighDimLowQueryDim) {
+  const Table table = MakeIpums8D(8000, 54, 23);
+  QueryGenerator gen(table, 5);
+  const int measure =
+      table.schema().FindAttribute("weekly_work_hour").ValueOrDie();
+  // 1+0 queries: one ordinal range, 7 dims unconstrained.
+  std::vector<Query> queries;
+  for (int i = 0; i < 5; ++i) {
+    queries.push_back(
+        gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, 0.5));
+  }
+  const std::vector<MechanismSpec> specs = {
+      {MechanismKind::kHio, Params(2.0), ""},
+      {MechanismKind::kSc, Params(2.0), ""},
+  };
+  const auto evals =
+      EvaluateMechanisms(table, specs, queries, 8).ValueOrDie();
+  EXPECT_LT(evals[1].stats.mnae.mean(), evals[0].stats.mnae.mean());
+}
+
+// Error shrinks as epsilon grows (Figure 5's monotonicity), averaged over a
+// workload to keep the test stable.
+TEST(IntegrationTest, ErrorShrinksWithEpsilon) {
+  const Table table = MakeAdultLike(6000, 256, 24);
+  QueryGenerator gen(table, 6);
+  const int measure = table.schema().FindAttribute("hours").ValueOrDie();
+  std::vector<Query> queries;
+  for (int i = 0; i < 6; ++i) {
+    queries.push_back(
+        gen.RandomVolumeQuery(Aggregate::Sum(measure), {0}, 0.25));
+  }
+  double prev = 1e18;
+  for (const double eps : {0.5, 2.0, 8.0}) {
+    const std::vector<MechanismSpec> specs = {
+        {MechanismKind::kHio, Params(eps), ""}};
+    const auto evals =
+        EvaluateMechanisms(table, specs, queries, 9).ValueOrDie();
+    const double err = evals[0].stats.mnae.mean();
+    EXPECT_LT(err, prev * 1.2) << "eps " << eps;  // mild slack for noise
+    prev = err;
+  }
+}
+
+// A CSV round trip feeds the engine identically to the in-memory table.
+TEST(IntegrationTest, CsvRoundTripFeedsEngine) {
+  const Table table = MakeIpums4D(2000, 54, 25);
+  const std::string path = testing::TempDir() + "/integration.csv";
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+  const Table loaded = ReadCsv(table.schema(), path).ValueOrDie();
+
+  EngineOptions options;
+  options.mechanism = MechanismKind::kHio;
+  options.params = Params(3.0);
+  options.seed = 11;
+  auto e1 = AnalyticsEngine::Create(table, options).ValueOrDie();
+  auto e2 = AnalyticsEngine::Create(loaded, options).ValueOrDie();
+  const char* sql =
+      "SELECT AVG(weekly_work_hour) FROM T WHERE marital_status = 0";
+  // Same data, same seeds -> identical reports -> identical estimates
+  // modulo the rounding the CSV applies to measures.
+  EXPECT_NEAR(e1->ExecuteSql(sql).ValueOrDie(),
+              e2->ExecuteSql(sql).ValueOrDie(), 0.2);
+}
+
+// Deterministic replay: the same seed reproduces the same estimate exactly.
+TEST(IntegrationTest, DeterministicGivenSeed) {
+  const Table table = MakeIpums4D(2000, 54, 26);
+  EngineOptions options;
+  options.mechanism = MechanismKind::kHio;
+  options.params = Params(2.0);
+  options.seed = 1234;
+  auto e1 = AnalyticsEngine::Create(table, options).ValueOrDie();
+  auto e2 = AnalyticsEngine::Create(table, options).ValueOrDie();
+  const char* sql =
+      "SELECT SUM(weekly_work_hour) FROM T WHERE age BETWEEN 10 AND 40";
+  EXPECT_DOUBLE_EQ(e1->ExecuteSql(sql).ValueOrDie(),
+                   e2->ExecuteSql(sql).ValueOrDie());
+}
+
+// Example 1.1 of the paper, end to end via SQL over all mechanisms.
+TEST(IntegrationTest, PaperExampleQueryRuns) {
+  TableSpec spec;
+  spec.dims.push_back({"age", AttributeKind::kSensitiveOrdinal, 100,
+                       ColumnDist::kGaussianBell, 1.0});
+  spec.dims.push_back({"salary", AttributeKind::kSensitiveOrdinal, 200,
+                       ColumnDist::kZipf, 1.1});
+  spec.dims.push_back({"state", AttributeKind::kSensitiveCategorical, 50,
+                       ColumnDist::kZipf, 1.0});
+  spec.dims.push_back(
+      {"os", AttributeKind::kPublicDimension, 2, ColumnDist::kUniform, 1.0});
+  spec.measures.push_back(
+      {"purchase", 0.0, 200.0, ColumnDist::kUniform, 1.0, 1, 0.4});
+  const Table table = GenerateTable(spec, 20000, 27).ValueOrDie();
+  const char* sql =
+      "SELECT SUM(purchase) FROM T WHERE age BETWEEN 30 AND 40 AND salary "
+      "BETWEEN 50 AND 150";
+  const Query q = ParseQuery(table.schema(), sql).ValueOrDie();
+
+  EngineOptions options;
+  options.mechanism = MechanismKind::kHio;
+  options.params = Params(5.0);
+  auto engine = AnalyticsEngine::Create(table, options).ValueOrDie();
+  const double truth = engine->ExecuteExact(q).ValueOrDie();
+  const double est = engine->ExecuteSql(sql).ValueOrDie();
+  const double sigma = engine->AbsWeightTotal(q);
+  // d = 3 sensitive dims with a 2-dim range predicate: the Theorem 9 noise
+  // at this scale allows a few percent of Sigma_S.
+  EXPECT_LT(std::abs(est - truth) / sigma, 0.2);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,159 @@
+#include "hierarchy/level_grid.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+std::unique_ptr<LevelGrid> Make2DGrid(uint64_t m1, uint64_t m2, uint32_t b) {
+  std::vector<std::unique_ptr<DimHierarchy>> dims;
+  dims.push_back(DimHierarchy::MakeOrdinal(m1, b));
+  dims.push_back(DimHierarchy::MakeOrdinal(m2, b));
+  return std::make_unique<LevelGrid>(std::move(dims));
+}
+
+std::unique_ptr<LevelGrid> MakeMixedGrid(uint64_t m, uint64_t c, uint32_t b) {
+  std::vector<std::unique_ptr<DimHierarchy>> dims;
+  dims.push_back(DimHierarchy::MakeOrdinal(m, b));
+  dims.push_back(DimHierarchy::MakeCategorical(c));
+  return std::make_unique<LevelGrid>(std::move(dims));
+}
+
+TEST(LevelGridTest, TupleCounts) {
+  // m = 8, b = 2 -> h = 3 -> 4 levels per dim -> 16 2-dim levels (Fig. 3).
+  auto grid = Make2DGrid(8, 8, 2);
+  EXPECT_EQ(grid->num_dims(), 2);
+  EXPECT_EQ(grid->num_level_tuples(), 16u);
+  // Ordinal (h=3 -> 4 levels) x categorical (2 levels) = 8 (Fig. 13).
+  auto mixed = MakeMixedGrid(8, 4, 2);
+  EXPECT_EQ(mixed->num_level_tuples(), 8u);
+}
+
+TEST(LevelGridTest, FlatRoundTrip) {
+  auto grid = MakeMixedGrid(8, 4, 2);
+  std::vector<int> levels;
+  for (uint64_t flat = 0; flat < grid->num_level_tuples(); ++flat) {
+    grid->LevelsOf(flat, &levels);
+    EXPECT_EQ(grid->FlatOf(levels), flat);
+  }
+}
+
+TEST(LevelGridTest, NumCells) {
+  auto grid = Make2DGrid(8, 8, 2);
+  const std::vector<int> l00 = {0, 0};
+  const std::vector<int> l21 = {2, 1};
+  const std::vector<int> l33 = {3, 3};
+  EXPECT_EQ(grid->NumCells(l00), 1u);
+  EXPECT_EQ(grid->NumCells(l21), 8u);   // 4 * 2
+  EXPECT_EQ(grid->NumCells(l33), 64u);  // 8 * 8
+}
+
+TEST(LevelGridTest, CellOfValuesMatchesPaperExample) {
+  // Example 5.1: t[D1] = 3, t[D2] = 5 (1-based) -> 0-based values (2, 4).
+  // On level (2, 1), D1's intervals are [0,1][2,3][4,5][6,7] -> index 1;
+  // D2's intervals are [0,3][4,7] -> index 1. Row-major cell = 1*2 + 1 = 3.
+  auto grid = Make2DGrid(8, 8, 2);
+  const std::vector<int> levels = {2, 1};
+  const std::vector<uint32_t> values = {2, 4};
+  EXPECT_EQ(grid->CellOfValues(levels, values), 3u);
+  const std::vector<uint64_t> indices = {1, 1};
+  EXPECT_EQ(grid->CellOfIntervals(levels, indices), 3u);
+}
+
+TEST(LevelGridTest, CellOfValuesConsistentWithIntervalMembership) {
+  auto grid = MakeMixedGrid(16, 3, 2);
+  Rng rng(1);
+  std::vector<int> levels;
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint32_t v1 = static_cast<uint32_t>(rng.UniformInt(16));
+    const uint32_t v2 = static_cast<uint32_t>(rng.UniformInt(3));
+    const uint64_t flat = rng.UniformInt(grid->num_level_tuples());
+    grid->LevelsOf(flat, &levels);
+    const std::vector<uint32_t> values = {v1, v2};
+    const uint64_t cell = grid->CellOfValues(levels, values);
+    // Decode the row-major cell back into per-dim indices and check
+    // membership.
+    const uint64_t n2 = grid->dim(1).NumIntervals(levels[1]);
+    const uint64_t i1 = cell / n2;
+    const uint64_t i2 = cell % n2;
+    EXPECT_TRUE(grid->dim(0).IntervalAt(levels[0], i1).Contains(v1));
+    EXPECT_TRUE(grid->dim(1).IntervalAt(levels[1], i2).Contains(v2));
+  }
+}
+
+TEST(LevelGridTest, DecomposeBoxCountsMultiply) {
+  // Example 5.1 / Figure 3: [2,7]x[3,8] (1-based) over m=8 decomposes into
+  // 4 x 2 = 8 sub-queries.
+  auto grid = Make2DGrid(8, 8, 2);
+  std::vector<SubQuery> out;
+  const std::vector<Interval> ranges = {{1, 6}, {2, 7}};
+  ASSERT_TRUE(grid->DecomposeBox(ranges, &out).ok());
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(LevelGridTest, DecomposeBoxFullRangeUsesRoots) {
+  auto grid = Make2DGrid(8, 8, 2);
+  std::vector<SubQuery> out;
+  const std::vector<Interval> ranges = {{0, 7}, {0, 7}};
+  ASSERT_TRUE(grid->DecomposeBox(ranges, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].level_flat, 0u);
+  EXPECT_EQ(out[0].cell, 0u);
+}
+
+TEST(LevelGridTest, DecomposeBoxValidation) {
+  auto grid = Make2DGrid(8, 8, 2);
+  std::vector<SubQuery> out;
+  const std::vector<Interval> one_range = {{0, 7}};
+  EXPECT_FALSE(grid->DecomposeBox(one_range, &out).ok());
+  const std::vector<Interval> bad = {{0, 8}, {0, 7}};
+  EXPECT_FALSE(grid->DecomposeBox(bad, &out).ok());
+}
+
+TEST(LevelGridTest, DecomposeBoxRespectsCap) {
+  auto grid = Make2DGrid(1024, 1024, 2);
+  std::vector<SubQuery> out;
+  const std::vector<Interval> ranges = {{1, 1022}, {1, 1022}};
+  EXPECT_FALSE(grid->DecomposeBox(ranges, &out, /*max_sub_queries=*/4).ok());
+  EXPECT_TRUE(grid->DecomposeBox(ranges, &out).ok());
+}
+
+// Property: the decomposed sub-queries cover each box point exactly once.
+// Verified by brute force over a small grid: a point (v1, v2) is covered by
+// sub-query (levels, cell) iff CellOfValues(levels, point) == cell.
+TEST(LevelGridTest, DecompositionIsExactDisjointCover) {
+  auto grid = MakeMixedGrid(16, 3, 2);
+  Rng rng(2);
+  std::vector<int> levels;
+  for (int trial = 0; trial < 60; ++trial) {
+    const uint64_t l1 = rng.UniformInt(16);
+    const uint64_t h1 = rng.UniformRange(l1, 15);
+    const uint64_t v2 = rng.UniformInt(3);
+    const bool full_cat = rng.Bernoulli(0.5);
+    const std::vector<Interval> ranges = {
+        {l1, h1}, full_cat ? Interval{0, 2} : Interval{v2, v2}};
+    std::vector<SubQuery> subs;
+    ASSERT_TRUE(grid->DecomposeBox(ranges, &subs).ok());
+    for (uint32_t a = 0; a < 16; ++a) {
+      for (uint32_t b = 0; b < 3; ++b) {
+        const bool in_box =
+            ranges[0].Contains(a) && ranges[1].Contains(b);
+        int covered = 0;
+        for (const SubQuery& sq : subs) {
+          grid->LevelsOf(sq.level_flat, &levels);
+          const std::vector<uint32_t> point = {a, b};
+          covered += (grid->CellOfValues(levels, point) == sq.cell);
+        }
+        EXPECT_EQ(covered, in_box ? 1 : 0)
+            << "point (" << a << "," << b << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldp

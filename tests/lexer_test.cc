@@ -1,0 +1,81 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+TEST(LexerTest, BasicQuery) {
+  const auto tokens =
+      Tokenize("SELECT SUM(m) FROM T WHERE a BETWEEN 3 AND 7").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 14u);  // 13 tokens + end
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_TRUE(tokens[1].IsKeyword("SUM"));
+  EXPECT_TRUE(tokens[2].IsSymbol("("));
+  EXPECT_EQ(tokens[3].text, "m");
+  EXPECT_TRUE(tokens[4].IsSymbol(")"));
+  EXPECT_EQ(tokens[10].kind, Token::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[10].number, 3.0);
+  EXPECT_EQ(tokens.back().kind, Token::Kind::kEnd);
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = Tokenize("1 2.5 1e3 3.25E-2 .5").ValueOrDie();
+  EXPECT_DOUBLE_EQ(tokens[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.0325);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 0.5);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  const auto tokens = Tokenize("< <= > >= =").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsSymbol("<"));
+  EXPECT_TRUE(tokens[1].IsSymbol("<="));
+  EXPECT_TRUE(tokens[2].IsSymbol(">"));
+  EXPECT_TRUE(tokens[3].IsSymbol(">="));
+  EXPECT_TRUE(tokens[4].IsSymbol("="));
+}
+
+TEST(LexerTest, BracketsAndArithmetic) {
+  const auto tokens = Tokenize("[1, 2] * + -").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsSymbol("["));
+  EXPECT_TRUE(tokens[2].IsSymbol(","));
+  EXPECT_TRUE(tokens[4].IsSymbol("]"));
+  EXPECT_TRUE(tokens[5].IsSymbol("*"));
+  EXPECT_TRUE(tokens[6].IsSymbol("+"));
+  EXPECT_TRUE(tokens[7].IsSymbol("-"));
+}
+
+TEST(LexerTest, IdentifiersWithUnderscores) {
+  const auto tokens = Tokenize("weekly_work_hour _x a1").ValueOrDie();
+  EXPECT_EQ(tokens[0].text, "weekly_work_hour");
+  EXPECT_EQ(tokens[1].text, "_x");
+  EXPECT_EQ(tokens[2].text, "a1");
+}
+
+TEST(LexerTest, KeywordMatchingIsCaseInsensitive) {
+  const auto tokens = Tokenize("WhErE").ValueOrDie();
+  EXPECT_TRUE(tokens[0].IsKeyword("where"));
+  EXPECT_TRUE(tokens[0].IsKeyword("WHERE"));
+  EXPECT_FALSE(tokens[0].IsKeyword("were"));
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  const auto tokens = Tokenize("   \t\n ").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kEnd);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("a; b").ok());
+  EXPECT_FALSE(Tokenize("'quoted'").ok());
+}
+
+TEST(LexerTest, RejectsMalformedNumbers) {
+  EXPECT_FALSE(Tokenize("1.2.3").ok());
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, ChecksPassOnTrueConditions) {
+  LDP_CHECK(true);
+  LDP_CHECK_EQ(1, 1);
+  LDP_CHECK_NE(1, 2);
+  LDP_CHECK_LT(1, 2);
+  LDP_CHECK_LE(2, 2);
+  LDP_CHECK_GT(3, 2);
+  LDP_CHECK_GE(3, 3);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ LDP_CHECK(1 == 2); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOpFailurePrintsValues) {
+  EXPECT_DEATH({ LDP_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ LDP_LOG_STREAM(Fatal) << "goodbye"; }, "goodbye");
+}
+
+TEST(LoggingTest, InfoLogDoesNotAbort) {
+  LDP_LOG(Info) << "hello from the test";
+  LDP_LOG(Debug) << "suppressed by default level";
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,154 @@
+#include "mech/sc.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/privacy_math.h"
+
+namespace ldp {
+namespace {
+
+Schema FourDimSchema(uint64_t m) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("d1", m).ok());
+  EXPECT_TRUE(schema.AddOrdinal("d2", m).ok());
+  EXPECT_TRUE(schema.AddCategorical("c1", 4).ok());
+  EXPECT_TRUE(schema.AddCategorical("c2", 3).ok());
+  EXPECT_TRUE(schema.AddMeasure("w").ok());
+  return schema;
+}
+
+MechanismParams Params(double eps, uint32_t b = 2) {
+  MechanismParams p;
+  p.epsilon = eps;
+  p.fanout = b;
+  p.hash_pool_size = 0;
+  return p;
+}
+
+TEST(ScMechanismTest, RequiresOlh) {
+  MechanismParams p = Params(1.0);
+  p.fo_kind = FoKind::kGrr;
+  EXPECT_FALSE(ScMechanism::Create(FourDimSchema(16), p).ok());
+}
+
+TEST(ScMechanismTest, BudgetSplitsOverDimLevels) {
+  // m=16, b=2 -> h=4 per ordinal dim; categorical h=1. Total = 4+4+1+1 = 10.
+  auto mech = ScMechanism::Create(FourDimSchema(16), Params(1.0)).ValueOrDie();
+  EXPECT_EQ(mech->num_groups(), 10);
+  EXPECT_NEAR(mech->per_report_epsilon(), 0.1, 1e-12);
+}
+
+TEST(ScMechanismTest, EncodeReportsEveryDimLevel) {
+  auto mech = ScMechanism::Create(FourDimSchema(16), Params(1.0)).ValueOrDie();
+  Rng rng(1);
+  const std::vector<uint32_t> values = {3, 9, 2, 1};
+  const LdpReport report = mech->EncodeUser(values, rng);
+  EXPECT_EQ(report.entries.size(), 10u);
+  EXPECT_EQ(report.SizeWords(), 10u);
+}
+
+TEST(ScMechanismTest, AddReportValidates) {
+  auto mech = ScMechanism::Create(FourDimSchema(16), Params(1.0)).ValueOrDie();
+  LdpReport bad;
+  bad.entries.push_back({0, {}});
+  EXPECT_FALSE(mech->AddReport(bad, 0).ok());
+}
+
+TEST(ScMechanismTest, FullDomainBoxIsExactTotalWeight) {
+  // With every range at the root ('*'), the conjunctive product is empty and
+  // the estimate degenerates to the exact public total — zero noise.
+  const Schema schema = FourDimSchema(16);
+  auto mech = ScMechanism::Create(schema, Params(1.0)).ValueOrDie();
+  Rng rng(2);
+  std::vector<double> weights;
+  for (uint64_t u = 0; u < 300; ++u) {
+    const std::vector<uint32_t> values = {
+        static_cast<uint32_t>(u % 16), static_cast<uint32_t>((u / 2) % 16),
+        static_cast<uint32_t>(u % 4), static_cast<uint32_t>(u % 3)};
+    ASSERT_TRUE(mech->AddReport(mech->EncodeUser(values, rng), u).ok());
+    weights.push_back(static_cast<double>(u % 5));
+  }
+  const WeightVector w(weights);
+  const std::vector<Interval> full = {{0, 15}, {0, 15}, {0, 3}, {0, 2}};
+  EXPECT_NEAR(mech->EstimateBox(full, w).ValueOrDie(), w.total(), 1e-6);
+}
+
+// Unbiasedness of the conjunctive estimator on a 2-of-4-dims query
+// (Theorem 11 / Proposition 10).
+TEST(ScMechanismTest, LowDimQueryUnbiased) {
+  const double eps = 4.0;
+  const uint64_t n = 4000;
+  const Schema schema = FourDimSchema(8);
+  std::vector<std::vector<uint32_t>> values(n);
+  std::vector<double> weights(n);
+  double truth = 0.0;
+  Rng data_rng(3);
+  for (uint64_t u = 0; u < n; ++u) {
+    values[u] = {static_cast<uint32_t>(data_rng.UniformInt(8)),
+                 static_cast<uint32_t>(data_rng.UniformInt(8)),
+                 static_cast<uint32_t>(data_rng.UniformInt(4)),
+                 static_cast<uint32_t>(data_rng.UniformInt(3))};
+    weights[u] = 1.0 + static_cast<double>(u % 2);
+    // Query: d1 in [2,5] AND c1 = 1 (dims d2, c2 unconstrained).
+    if (values[u][0] >= 2 && values[u][0] <= 5 && values[u][2] == 1) {
+      truth += weights[u];
+    }
+  }
+  const WeightVector w(weights);
+  const std::vector<Interval> ranges = {{2, 5}, {0, 7}, {1, 1}, {0, 2}};
+
+  const int runs = 40;
+  Rng rng(4);
+  double sum_est = 0.0;
+  std::vector<double> errors;
+  for (int run = 0; run < runs; ++run) {
+    auto mech = ScMechanism::Create(schema, Params(eps)).ValueOrDie();
+    for (uint64_t u = 0; u < n; ++u) {
+      ASSERT_TRUE(mech->AddReport(mech->EncodeUser(values[u], rng), u).ok());
+    }
+    const double est = mech->EstimateBox(ranges, w).ValueOrDie();
+    sum_est += est;
+    errors.push_back(est - truth);
+  }
+  double mse = 0.0;
+  for (const double e : errors) mse += e * e;
+  mse /= runs;
+  EXPECT_NEAR(sum_est / runs, truth, 4.0 * std::sqrt(mse / runs) + 1e-9);
+}
+
+TEST(ScMechanismTest, EstimateBoxValidatesRanges) {
+  auto mech = ScMechanism::Create(FourDimSchema(8), Params(1.0)).ValueOrDie();
+  const WeightVector w = WeightVector::Ones(0);
+  const std::vector<Interval> wrong_arity = {{0, 7}};
+  EXPECT_FALSE(mech->EstimateBox(wrong_arity, w).ok());
+  const std::vector<Interval> out_of_domain = {{0, 8}, {0, 7}, {0, 3}, {0, 2}};
+  EXPECT_FALSE(mech->EstimateBox(out_of_domain, w).ok());
+}
+
+// The conjunctive-estimator factors satisfy E[c(A) | B] = B: over encoding
+// randomness, a user holding the value averages to 1, any other user to 0.
+TEST(ScMechanismTest, ConjunctiveFactorsCalibrated) {
+  const Schema schema = FourDimSchema(8);
+  const double eps = 2.0;
+  const uint64_t n = 8000;
+  // All users hold d1 = 3; half hold c1 = 1, half c1 = 0.
+  auto mech = ScMechanism::Create(schema, Params(eps)).ValueOrDie();
+  Rng rng(5);
+  for (uint64_t u = 0; u < n; ++u) {
+    const std::vector<uint32_t> values = {3, 0, static_cast<uint32_t>(u % 2),
+                                          0};
+    ASSERT_TRUE(mech->AddReport(mech->EncodeUser(values, rng), u).ok());
+  }
+  const WeightVector w = WeightVector::Ones(n);
+  // Query c1 = 1 only: truth = n/2.
+  const std::vector<Interval> ranges = {{0, 7}, {0, 7}, {1, 1}, {0, 2}};
+  const double est = mech->EstimateBox(ranges, w).ValueOrDie();
+  // Single mechanism instance: allow a few standard deviations of the
+  // Theorem 11-scale noise.
+  EXPECT_NEAR(est, n / 2.0, n * 0.35);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,67 @@
+#include "engine/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared devs = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(OnlineStatsTest, NumericallyStableForLargeOffsets) {
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000 / 999, 1e-3);
+}
+
+TEST(NormalizedAbsErrorTest, Definition) {
+  EXPECT_DOUBLE_EQ(NormalizedAbsError(110.0, 100.0, 1000.0), 0.01);
+  EXPECT_DOUBLE_EQ(NormalizedAbsError(90.0, 100.0, 1000.0), 0.01);
+  EXPECT_DOUBLE_EQ(NormalizedAbsError(5.0, 5.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedAbsError(1.0, 0.0, 0.0), 0.0);  // guarded
+}
+
+TEST(RelativeErrorTest, NormalizesByEstimate) {
+  // The paper's MRE divides by |P̄(q)| — the estimate, not the truth.
+  EXPECT_DOUBLE_EQ(RelativeError(200.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 200.0), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeError(-50.0, -100.0), 1.0);
+}
+
+TEST(RelativeErrorTest, GuardsZeroEstimate) {
+  const double r = RelativeError(0.0, 5.0);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_DOUBLE_EQ(r, 10.0);  // clipped
+}
+
+TEST(RelativeErrorTest, ClipsAtTen) {
+  EXPECT_DOUBLE_EQ(RelativeError(1.0, 1000.0), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 150.0), 0.5);  // unclipped path
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,185 @@
+#include "fo/olh.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/privacy_math.h"
+
+namespace ldp {
+namespace {
+
+TEST(OlhProtocolTest, ParametersMatchPaper) {
+  const OlhProtocol proto(2.0, 1024, 0);
+  EXPECT_EQ(proto.g(), OptimalOlhG(2.0));
+  EXPECT_DOUBLE_EQ(proto.p(), OlhP(2.0, proto.g()));
+  EXPECT_DOUBLE_EQ(proto.q(), 1.0 / proto.g());
+  EXPECT_EQ(proto.ReportSizeWords(), 1u);
+  EXPECT_EQ(proto.kind(), FoKind::kOlh);
+  EXPECT_EQ(proto.domain_size(), 1024u);
+}
+
+TEST(OlhProtocolTest, EncodeOutputsInRange) {
+  const OlhProtocol proto(1.0, 64, 16);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const FoReport r = proto.Encode(i % 64, rng);
+    EXPECT_LT(r.value, proto.g());
+    EXPECT_LT(r.seed, 16u);
+    EXPECT_TRUE(r.bits.empty());
+  }
+}
+
+TEST(OlhProtocolTest, StayProbabilityMatchesP) {
+  const OlhProtocol proto(2.0, 64, 0);
+  Rng rng(2);
+  const uint64_t value = 17;
+  int stays = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const FoReport r = proto.Encode(value, rng);
+    stays += (SeededHashFamily::Eval(r.seed, value, proto.g()) == r.value);
+  }
+  EXPECT_NEAR(static_cast<double>(stays) / trials, proto.p(), 0.01);
+}
+
+// Manual reimplementation of eq. (37) from raw reports, used as the ground
+// truth for both accumulator code paths.
+double ManualEstimate(const OlhProtocol& proto,
+                      const std::vector<FoReport>& reports,
+                      const std::vector<double>& weights, uint64_t value) {
+  double theta = 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    total += weights[i];
+    if (proto.Supports(reports[i].seed, reports[i].value, value)) {
+      theta += weights[i];
+    }
+  }
+  return proto.scale() * (theta - total / proto.g());
+}
+
+TEST(OlhAccumulatorTest, DirectPathMatchesManualFormula) {
+  const OlhProtocol proto(1.0, 32, 8);
+  Rng rng(3);
+  OlhAccumulator acc(proto);
+  std::vector<FoReport> reports;
+  std::vector<double> weights;
+  for (uint64_t u = 0; u < 10; ++u) {  // 10 < 2 * pool: direct path
+    const FoReport r = proto.Encode(u % 32, rng);
+    acc.Add(r, u);
+    reports.push_back(r);
+    weights.push_back(1.0 + static_cast<double>(u));
+  }
+  EXPECT_FALSE(acc.UsesHistograms());
+  const WeightVector w(weights);
+  for (uint64_t v : {0ull, 5ull, 31ull}) {
+    EXPECT_NEAR(acc.EstimateWeighted(v, w),
+                ManualEstimate(proto, reports, weights, v), 1e-9);
+  }
+  EXPECT_NEAR(acc.GroupWeight(w), 55.0, 1e-12);
+}
+
+TEST(OlhAccumulatorTest, HistogramPathMatchesManualFormula) {
+  const OlhProtocol proto(1.0, 32, 8);
+  Rng rng(4);
+  OlhAccumulator acc(proto);
+  std::vector<FoReport> reports;
+  std::vector<double> weights;
+  for (uint64_t u = 0; u < 200; ++u) {  // 200 >= 2 * pool: histogram path
+    const FoReport r = proto.Encode(u % 32, rng);
+    acc.Add(r, u);
+    reports.push_back(r);
+    weights.push_back(0.5 * static_cast<double>(u % 7));
+  }
+  EXPECT_TRUE(acc.UsesHistograms());
+  const WeightVector w(weights);
+  for (uint64_t v = 0; v < 32; ++v) {
+    EXPECT_NEAR(acc.EstimateWeighted(v, w),
+                ManualEstimate(proto, reports, weights, v), 1e-9)
+        << "value " << v;
+  }
+}
+
+TEST(OlhAccumulatorTest, UnboundedPoolNeverUsesHistograms) {
+  const OlhProtocol proto(1.0, 32, 0);
+  Rng rng(5);
+  OlhAccumulator acc(proto);
+  for (uint64_t u = 0; u < 500; ++u) acc.Add(proto.Encode(0, rng), u);
+  EXPECT_FALSE(acc.UsesHistograms());
+}
+
+TEST(OlhAccumulatorTest, EmptyGroupEstimatesZero) {
+  const OlhProtocol proto(1.0, 32, 8);
+  OlhAccumulator acc(proto);
+  const WeightVector w(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(acc.EstimateWeighted(3, w), 0.0);
+  EXPECT_DOUBLE_EQ(acc.GroupWeight(w), 0.0);
+}
+
+// Unbiasedness (Lemma 3): the mean estimate over many independent runs must
+// approach the true frequency, and the empirical MSE must match the stated
+// variance.
+TEST(OlhAccuracyTest, UnbiasedAndVarianceNearLemma3) {
+  const double eps = 1.0;
+  const uint64_t domain = 64;
+  const uint64_t n = 1500;
+  const uint64_t true_count = 300;  // users holding the probed value
+  const int runs = 150;
+  const OlhProtocol proto(eps, domain, 0);
+  Rng rng(6);
+
+  double sum_est = 0.0;
+  double sum_sq_err = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    OlhAccumulator acc(proto);
+    for (uint64_t u = 0; u < n; ++u) {
+      const uint64_t v = u < true_count ? 7 : 1 + (u % 50) + 8;
+      acc.Add(proto.Encode(v, rng), u);
+    }
+    const WeightVector w = WeightVector::Ones(n);
+    const double est = acc.EstimateWeighted(7, w);
+    sum_est += est;
+    const double err = est - static_cast<double>(true_count);
+    sum_sq_err += err * err;
+  }
+  const double mean_est = sum_est / runs;
+  const double theory_var =
+      Lemma3OlhVariance(eps, static_cast<double>(n),
+                        static_cast<double>(true_count));
+  // Unbiasedness: mean within ~4 standard errors.
+  EXPECT_NEAR(mean_est, static_cast<double>(true_count),
+              4.0 * std::sqrt(theory_var / runs));
+  // Variance: within a factor of the theoretical value.
+  const double emp_var = sum_sq_err / runs;
+  EXPECT_GT(emp_var, theory_var * 0.5);
+  EXPECT_LT(emp_var, theory_var * 2.0);
+}
+
+TEST(OlhAccuracyTest, PooledAndUnpooledAgreeStatistically) {
+  const double eps = 2.0;
+  const uint64_t n = 4000;
+  const uint64_t true_count = 800;
+  for (const uint32_t pool : {0u, 4096u}) {
+    const OlhProtocol proto(eps, 32, pool);
+    Rng rng(7 + pool);
+    double sum_est = 0.0;
+    const int runs = 60;
+    for (int run = 0; run < runs; ++run) {
+      OlhAccumulator acc(proto);
+      for (uint64_t u = 0; u < n; ++u) {
+        const uint64_t other = (u % 30 == 3) ? 31 : u % 30;
+        acc.Add(proto.Encode(u < true_count ? 3 : other, rng), u);
+      }
+      sum_est += acc.EstimateWeighted(3, WeightVector::Ones(n));
+    }
+    const double theory_var = Lemma3OlhVariance(eps, n, true_count);
+    EXPECT_NEAR(sum_est / runs, static_cast<double>(true_count),
+                4.0 * std::sqrt(theory_var / runs))
+        << "pool " << pool;
+  }
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,99 @@
+// Robustness: the SQL parser must return a Status (never crash, hang, or
+// abort) on arbitrary token soup, and must accept every string the library
+// itself prints for a valid query (print/parse closure).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/parser.h"
+
+namespace ldp {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("age", 100).ok());
+  EXPECT_TRUE(schema.AddOrdinal("salary", 200).ok());
+  EXPECT_TRUE(schema.AddCategorical("state", 50).ok());
+  EXPECT_TRUE(schema.AddMeasure("purchase").ok());
+  return schema;
+}
+
+const char* const kTokens[] = {
+    "SELECT", "FROM",  "WHERE",   "AND",  "OR",       "NOT",   "BETWEEN",
+    "IN",     "COUNT", "SUM",     "AVG",  "STDEV",    "T",     "age",
+    "salary", "state", "purchase", "bogus", "(",       ")",     "[",
+    "]",      ",",     "*",       "+",    "-",        "=",     "<",
+    "<=",     ">",     ">=",      "0",    "1",        "42",    "3.5",
+    "-7",     "1e3",   "999999999999",
+};
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  const Schema schema = TestSchema();
+  Rng rng(20260705);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string sql;
+    const int len = 1 + static_cast<int>(rng.UniformInt(24));
+    for (int i = 0; i < len; ++i) {
+      sql += kTokens[rng.UniformInt(std::size(kTokens))];
+      sql += ' ';
+    }
+    const auto result = ParseQuery(schema, sql);
+    parsed_ok += result.ok();
+    if (!result.ok()) {
+      // Errors must be structured, not internal faults.
+      EXPECT_NE(result.status().code(), StatusCode::kInternal) << sql;
+    }
+  }
+  // Sanity: pure noise occasionally forms a valid query, but mostly not.
+  EXPECT_LT(parsed_ok, 500);
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  const Schema schema = TestSchema();
+  Rng rng(77);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string sql;
+    const int len = static_cast<int>(rng.UniformInt(60));
+    for (int i = 0; i < len; ++i) {
+      sql += static_cast<char>(32 + rng.UniformInt(95));  // printable ASCII
+    }
+    (void)ParseQuery(schema, sql);  // must simply return
+  }
+}
+
+TEST(ParserFuzzTest, PrintParseClosureOnRandomQueries) {
+  const Schema schema = TestSchema();
+  Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Build a random valid query.
+    std::vector<PredicatePtr> clauses;
+    const int n_clauses = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int i = 0; i < n_clauses; ++i) {
+      const int attr = static_cast<int>(rng.UniformInt(3));
+      const uint64_t m = schema.attribute(attr).domain_size;
+      const uint64_t lo = rng.UniformInt(m);
+      const uint64_t hi = rng.UniformRange(lo, m - 1);
+      PredicatePtr c = Predicate::MakeConstraint(attr, {lo, hi});
+      if (rng.Bernoulli(0.2)) c = Predicate::MakeNot(c);
+      clauses.push_back(std::move(c));
+    }
+    Query query;
+    query.aggregate = rng.Bernoulli(0.5) ? Aggregate::Count()
+                                         : Aggregate::Sum(3);
+    query.where = rng.Bernoulli(0.5) ? Predicate::MakeAnd(clauses)
+                                     : Predicate::MakeOr(clauses);
+    const std::string printed = query.ToString(schema);
+    const auto reparsed = ParseQuery(schema, printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << " -> "
+                               << reparsed.status().ToString();
+    EXPECT_EQ(reparsed.value().ToString(schema), printed);
+  }
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,243 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("age", 100).ok());
+  EXPECT_TRUE(schema.AddOrdinal("salary", 200).ok());
+  EXPECT_TRUE(schema.AddCategorical("state", 50).ok());
+  EXPECT_TRUE(schema.AddPublicDimension("os", 3).ok());
+  EXPECT_TRUE(schema.AddMeasure("purchase").ok());
+  EXPECT_TRUE(schema.AddMeasure("active_time").ok());
+  return schema;
+}
+
+const Constraint& SoleConstraint(const Query& q) {
+  EXPECT_EQ(q.where->kind(), Predicate::Kind::kConstraint);
+  return q.where->constraint();
+}
+
+TEST(ParserTest, PaperExampleQuery) {
+  // Example 1.1 of the paper (with BETWEEN spelling).
+  const Schema schema = TestSchema();
+  const Query q = ParseQuery(schema,
+                             "SELECT SUM(purchase) FROM T WHERE age BETWEEN "
+                             "30 AND 40 AND salary BETWEEN 50 AND 150")
+                      .ValueOrDie();
+  EXPECT_EQ(q.aggregate.kind, AggregateKind::kSum);
+  ASSERT_EQ(q.aggregate.expr.terms.size(), 1u);
+  EXPECT_EQ(q.aggregate.expr.terms[0].attr, 4);
+  ASSERT_NE(q.where, nullptr);
+  EXPECT_EQ(q.where->kind(), Predicate::Kind::kAnd);
+  ASSERT_EQ(q.where->children().size(), 2u);
+  const Constraint& c0 = q.where->children()[0]->constraint();
+  EXPECT_EQ(c0.attr, 0);
+  EXPECT_EQ(c0.range, (Interval{30, 40}));
+  const Constraint& c1 = q.where->children()[1]->constraint();
+  EXPECT_EQ(c1.attr, 1);
+  EXPECT_EQ(c1.range, (Interval{50, 150}));
+}
+
+TEST(ParserTest, CountStar) {
+  const Query q =
+      ParseQuery(TestSchema(), "SELECT COUNT(*) FROM T").ValueOrDie();
+  EXPECT_EQ(q.aggregate.kind, AggregateKind::kCount);
+  EXPECT_EQ(q.where, nullptr);
+}
+
+TEST(ParserTest, AvgAndStdev) {
+  EXPECT_EQ(ParseQuery(TestSchema(), "SELECT AVG(active_time) FROM T")
+                .ValueOrDie()
+                .aggregate.kind,
+            AggregateKind::kAvg);
+  EXPECT_EQ(ParseQuery(TestSchema(), "SELECT STDEV(purchase) FROM T")
+                .ValueOrDie()
+                .aggregate.kind,
+            AggregateKind::kStdev);
+}
+
+TEST(ParserTest, LinearMeasureExpression) {
+  // Section 7: SUM(a*M1 + b*M2).
+  const Query q = ParseQuery(TestSchema(),
+                             "SELECT SUM(2*purchase + 0.5*active_time - 3) "
+                             "FROM T")
+                      .ValueOrDie();
+  ASSERT_EQ(q.aggregate.expr.terms.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.aggregate.expr.terms[0].coef, 2.0);
+  EXPECT_DOUBLE_EQ(q.aggregate.expr.terms[1].coef, 0.5);
+  EXPECT_DOUBLE_EQ(q.aggregate.expr.constant, -3.0);
+}
+
+TEST(ParserTest, ComparisonOperatorsBecomeRanges) {
+  const Schema schema = TestSchema();
+  EXPECT_EQ(SoleConstraint(ParseQuery(schema,
+                                      "SELECT COUNT(*) FROM T WHERE age <= 30")
+                               .ValueOrDie())
+                .range,
+            (Interval{0, 30}));
+  EXPECT_EQ(SoleConstraint(ParseQuery(schema,
+                                      "SELECT COUNT(*) FROM T WHERE age < 30")
+                               .ValueOrDie())
+                .range,
+            (Interval{0, 29}));
+  EXPECT_EQ(SoleConstraint(ParseQuery(schema,
+                                      "SELECT COUNT(*) FROM T WHERE age >= 30")
+                               .ValueOrDie())
+                .range,
+            (Interval{30, 99}));
+  EXPECT_EQ(SoleConstraint(ParseQuery(schema,
+                                      "SELECT COUNT(*) FROM T WHERE age > 30")
+                               .ValueOrDie())
+                .range,
+            (Interval{31, 99}));
+  EXPECT_EQ(SoleConstraint(ParseQuery(schema,
+                                      "SELECT COUNT(*) FROM T WHERE state = 7")
+                               .ValueOrDie())
+                .range,
+            (Interval{7, 7}));
+}
+
+TEST(ParserTest, InBracketSyntax) {
+  // The paper writes ranges as "D IN [l, r]".
+  const Query q = ParseQuery(TestSchema(),
+                             "SELECT COUNT(*) FROM T WHERE age IN [20, 35]")
+                      .ValueOrDie();
+  EXPECT_EQ(SoleConstraint(q).range, (Interval{20, 35}));
+}
+
+TEST(ParserTest, RangesClampToDomain) {
+  const Schema schema = TestSchema();
+  // age domain is [0, 99]; salary cap mirrors Example 1.1's 150K on a 200
+  // domain.
+  EXPECT_EQ(SoleConstraint(
+                ParseQuery(schema,
+                           "SELECT COUNT(*) FROM T WHERE age BETWEEN 90 AND 500")
+                    .ValueOrDie())
+                .range,
+            (Interval{90, 99}));
+  EXPECT_EQ(SoleConstraint(
+                ParseQuery(schema,
+                           "SELECT COUNT(*) FROM T WHERE age BETWEEN -5 AND 10")
+                    .ValueOrDie())
+                .range,
+            (Interval{0, 10}));
+}
+
+TEST(ParserTest, EmptyRangesBecomeAlwaysFalse) {
+  const Schema schema = TestSchema();
+  for (const char* sql : {
+           "SELECT COUNT(*) FROM T WHERE age BETWEEN 50 AND 40",
+           "SELECT COUNT(*) FROM T WHERE age = 1000",
+           "SELECT COUNT(*) FROM T WHERE age < 0",
+           "SELECT COUNT(*) FROM T WHERE age = 30.5",  // non-integer equality
+           "SELECT COUNT(*) FROM T WHERE age > 99",
+       }) {
+    const Query q = ParseQuery(schema, sql).ValueOrDie();
+    const Constraint& c = SoleConstraint(q);
+    EXPECT_GT(c.range.lo, c.range.hi) << sql;
+  }
+}
+
+TEST(ParserTest, FractionalBoundsRound) {
+  const Schema schema = TestSchema();
+  // <= 30.7 keeps 30; >= 30.7 starts at 31.
+  EXPECT_EQ(SoleConstraint(ParseQuery(schema,
+                                      "SELECT COUNT(*) FROM T WHERE age <= 30.7")
+                               .ValueOrDie())
+                .range,
+            (Interval{0, 30}));
+  EXPECT_EQ(SoleConstraint(ParseQuery(schema,
+                                      "SELECT COUNT(*) FROM T WHERE age >= 30.7")
+                               .ValueOrDie())
+                .range,
+            (Interval{31, 99}));
+}
+
+TEST(ParserTest, AndOrPrecedenceAndParens) {
+  const Schema schema = TestSchema();
+  const Query q =
+      ParseQuery(schema,
+                 "SELECT COUNT(*) FROM T WHERE age <= 10 OR age >= 90 AND "
+                 "state = 1")
+          .ValueOrDie();
+  // AND binds tighter: OR(age<=10, AND(age>=90, state=1)).
+  ASSERT_EQ(q.where->kind(), Predicate::Kind::kOr);
+  ASSERT_EQ(q.where->children().size(), 2u);
+  EXPECT_EQ(q.where->children()[1]->kind(), Predicate::Kind::kAnd);
+
+  const Query q2 =
+      ParseQuery(schema,
+                 "SELECT COUNT(*) FROM T WHERE (age <= 10 OR age >= 90) AND "
+                 "state = 1")
+          .ValueOrDie();
+  ASSERT_EQ(q2.where->kind(), Predicate::Kind::kAnd);
+  EXPECT_EQ(q2.where->children()[0]->kind(), Predicate::Kind::kOr);
+}
+
+TEST(ParserTest, NotPredicate) {
+  const Schema schema = TestSchema();
+  const Query q =
+      ParseQuery(schema,
+                 "SELECT COUNT(*) FROM T WHERE NOT age BETWEEN 30 AND 40")
+          .ValueOrDie();
+  ASSERT_EQ(q.where->kind(), Predicate::Kind::kNot);
+  const Query q2 =
+      ParseQuery(schema,
+                 "SELECT COUNT(*) FROM T WHERE NOT (age <= 10 OR state = 1) "
+                 "AND salary >= 5")
+          .ValueOrDie();
+  ASSERT_EQ(q2.where->kind(), Predicate::Kind::kAnd);
+  EXPECT_EQ(q2.where->children()[0]->kind(), Predicate::Kind::kNot);
+  // NOT NOT collapses.
+  const Query q3 =
+      ParseQuery(schema, "SELECT COUNT(*) FROM T WHERE NOT NOT age = 5")
+          .ValueOrDie();
+  EXPECT_EQ(q3.where->kind(), Predicate::Kind::kConstraint);
+}
+
+TEST(ParserTest, PublicDimensionAllowedInWhere) {
+  const Query q = ParseQuery(TestSchema(),
+                             "SELECT COUNT(*) FROM T WHERE os = 1 AND age < 50")
+                      .ValueOrDie();
+  EXPECT_EQ(q.where->kind(), Predicate::Kind::kAnd);
+}
+
+TEST(ParserTest, Errors) {
+  const Schema schema = TestSchema();
+  EXPECT_FALSE(ParseQuery(schema, "").ok());
+  EXPECT_FALSE(ParseQuery(schema, "SELECT").ok());
+  EXPECT_FALSE(ParseQuery(schema, "SELECT MAX(purchase) FROM T").ok());
+  EXPECT_FALSE(ParseQuery(schema, "SELECT SUM(purchase) WHERE age = 1").ok());
+  EXPECT_FALSE(ParseQuery(schema, "SELECT SUM(nope) FROM T").ok());
+  EXPECT_FALSE(ParseQuery(schema, "SELECT SUM(age) FROM T").ok());  // dim
+  EXPECT_FALSE(
+      ParseQuery(schema, "SELECT COUNT(*) FROM T WHERE purchase = 3").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "SELECT COUNT(*) FROM T WHERE age").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "SELECT COUNT(*) FROM T WHERE age BETWEEN 3").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "SELECT COUNT(*) FROM T WHERE age IN [3; 5]").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "SELECT COUNT(*) FROM T trailing junk").ok());
+  EXPECT_FALSE(
+      ParseQuery(schema, "SELECT COUNT(*) FROM T WHERE (age = 3").ok());
+}
+
+TEST(ParserTest, QueryToStringRoundTripsThroughParser) {
+  const Schema schema = TestSchema();
+  const Query q =
+      ParseQuery(schema,
+                 "SELECT SUM(purchase) FROM T WHERE age IN [30, 40] AND "
+                 "state = 2")
+          .ValueOrDie();
+  const Query q2 = ParseQuery(schema, q.ToString(schema)).ValueOrDie();
+  EXPECT_EQ(q2.ToString(schema), q.ToString(schema));
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,83 @@
+// Characterization of the OLH seed-pooling tradeoff (see DESIGN.md): a
+// finite pool of K hash functions has fixed pairwise collision-rate
+// deviations ~1/sqrt(gK) which the unbiasing scale turns into a conditional
+// bias — worst for tiny pools at small per-report budgets (g = 2), and
+// negligible for the pool sizes the benches use. These tests pin down both
+// regimes so a regression in either direction is caught.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fo/olh.h"
+
+namespace ldp {
+namespace {
+
+// Mean estimate over repeated encodings of a FIXED dataset with a FIXED
+// pool; deviations from the truth that survive averaging are the
+// pool-conditional bias.
+double MeanEstimate(uint32_t pool, double eps, uint64_t n, int runs,
+                    uint64_t probe, uint64_t seed) {
+  const OlhProtocol proto(eps, 16, pool);
+  Rng rng(seed);
+  double sum = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    OlhAccumulator acc(proto);
+    for (uint64_t u = 0; u < n; ++u) {
+      acc.Add(proto.Encode(u % 16, rng), u);
+    }
+    sum += acc.EstimateWeighted(probe, WeightVector::Ones(n));
+  }
+  return sum / runs;
+}
+
+TEST(PoolingBiasTest, TinyPoolAtSmallEpsilonIsVisiblyBiased) {
+  // eps = 0.4 -> g = 2, pool of 8: collision-rate deviations ~1/4 get
+  // amplified by the scale factor; the conditional bias dwarfs the standard
+  // error of the mean. This is exactly why small pools at split budgets are
+  // wrong, and why the library defaults to pool = 0.
+  const uint64_t n = 4000;
+  const int runs = 150;
+  const double truth = n / 16.0;
+  double worst_bias = 0.0;
+  for (uint64_t probe = 0; probe < 4; ++probe) {
+    const double mean =
+        MeanEstimate(/*pool=*/8, /*eps=*/0.4, n, runs, probe, 1234);
+    worst_bias = std::max(worst_bias, std::abs(mean - truth));
+  }
+  // Lemma 3 variance at eps=0.4, g=2: ~4 n e^eps/(e^eps-1)^2 ~ 100k ->
+  // std ~ 320, SE of the mean over 150 runs ~ 26.
+  EXPECT_GT(worst_bias, 100.0);
+}
+
+TEST(PoolingBiasTest, UnpooledIsUnbiased) {
+  const uint64_t n = 4000;
+  const int runs = 150;
+  const double truth = n / 16.0;
+  for (uint64_t probe = 0; probe < 4; ++probe) {
+    const double mean =
+        MeanEstimate(/*pool=*/0, /*eps=*/0.4, n, runs, probe, 1234);
+    // 4 standard errors of the mean.
+    EXPECT_NEAR(mean, truth, 4.0 * 320.0 / std::sqrt(150.0))
+        << "probe " << probe;
+  }
+}
+
+TEST(PoolingBiasTest, BenchSizedPoolBiasIsNegligible) {
+  // The benches use pool = 1024 at eps >= 2 (g >= 8): the conditional bias
+  // ~coeff/sqrt(gK) of the out-weight is far below the noise floor.
+  const uint64_t n = 4000;
+  const int runs = 120;
+  const double truth = n / 16.0;
+  for (uint64_t probe = 0; probe < 4; ++probe) {
+    const double mean =
+        MeanEstimate(/*pool=*/1024, /*eps=*/2.0, n, runs, probe, 999);
+    // Lemma 3 at eps=2: std ~ sqrt(4 n e^2/(e^2-1)^2) ~ 76; SE ~ 7. Allow
+    // bias + 4 SE within ~5% of the truth.
+    EXPECT_NEAR(mean, truth, truth * 0.15) << "probe " << probe;
+  }
+}
+
+}  // namespace
+}  // namespace ldp

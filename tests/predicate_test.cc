@@ -1,0 +1,122 @@
+#include "query/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("age", 100).ok());
+  EXPECT_TRUE(schema.AddCategorical("state", 4).ok());
+  EXPECT_TRUE(schema.AddPublicDimension("os", 2).ok());
+  EXPECT_TRUE(schema.AddMeasure("m").ok());
+  return schema;
+}
+
+Table TestTable() {
+  Table table(TestSchema());
+  //                     age state os   m
+  EXPECT_TRUE(table.AppendRow({30, 1, 0}, {1.0}).ok());
+  EXPECT_TRUE(table.AppendRow({60, 2, 1}, {2.0}).ok());
+  EXPECT_TRUE(table.AppendRow({45, 1, 1}, {3.0}).ok());
+  return table;
+}
+
+TEST(PredicateTest, ConstraintEval) {
+  const Table table = TestTable();
+  const PredicatePtr p = Predicate::MakeConstraint(0, {30, 50});
+  EXPECT_TRUE(p->EvalRow(table, 0));   // 30
+  EXPECT_FALSE(p->EvalRow(table, 1));  // 60
+  EXPECT_TRUE(p->EvalRow(table, 2));   // 45
+}
+
+TEST(PredicateTest, EqualsEval) {
+  const Table table = TestTable();
+  const PredicatePtr p = Predicate::MakeEquals(1, 1);
+  EXPECT_TRUE(p->EvalRow(table, 0));
+  EXPECT_FALSE(p->EvalRow(table, 1));
+}
+
+TEST(PredicateTest, EmptyRangeIsAlwaysFalse) {
+  const Table table = TestTable();
+  const PredicatePtr p = Predicate::MakeConstraint(0, {1, 0});
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    EXPECT_FALSE(p->EvalRow(table, r));
+  }
+}
+
+TEST(PredicateTest, AndOrEval) {
+  const Table table = TestTable();
+  const PredicatePtr age = Predicate::MakeConstraint(0, {30, 50});
+  const PredicatePtr state = Predicate::MakeEquals(1, 2);
+  const PredicatePtr both = Predicate::MakeAnd({age, state});
+  const PredicatePtr either = Predicate::MakeOr({age, state});
+  EXPECT_FALSE(both->EvalRow(table, 0));   // age yes, state no
+  EXPECT_FALSE(both->EvalRow(table, 1));   // age no, state yes
+  EXPECT_TRUE(either->EvalRow(table, 0));
+  EXPECT_TRUE(either->EvalRow(table, 1));
+  EXPECT_TRUE(either->EvalRow(table, 2));
+}
+
+TEST(PredicateTest, NotEval) {
+  const Table table = TestTable();
+  const PredicatePtr age = Predicate::MakeConstraint(0, {30, 50});
+  const PredicatePtr not_age = Predicate::MakeNot(age);
+  EXPECT_FALSE(not_age->EvalRow(table, 0));  // 30 in range
+  EXPECT_TRUE(not_age->EvalRow(table, 1));   // 60 outside
+  // Double negation collapses to the original node.
+  EXPECT_EQ(Predicate::MakeNot(not_age).get(), age.get());
+}
+
+TEST(PredicateTest, NotToString) {
+  const Schema schema = TestSchema();
+  const PredicatePtr p =
+      Predicate::MakeNot(Predicate::MakeEquals(1, 2));
+  EXPECT_EQ(p->ToString(schema), "NOT state = 2");
+}
+
+TEST(PredicateTest, SingleChildCollapses) {
+  const PredicatePtr c = Predicate::MakeEquals(0, 5);
+  EXPECT_EQ(Predicate::MakeAnd({c}).get(), c.get());
+  EXPECT_EQ(Predicate::MakeOr({c}).get(), c.get());
+}
+
+TEST(PredicateTest, CollectAttributesDeduplicates) {
+  const PredicatePtr p = Predicate::MakeAnd(
+      {Predicate::MakeConstraint(0, {1, 2}),
+       Predicate::MakeOr({Predicate::MakeEquals(1, 0),
+                          Predicate::MakeConstraint(0, {5, 9})})});
+  std::vector<int> attrs;
+  p->CollectAttributes(&attrs);
+  EXPECT_EQ(attrs, (std::vector<int>{0, 1}));
+}
+
+TEST(PredicateTest, ReferencesOnly) {
+  const Schema schema = TestSchema();
+  const PredicatePtr sensitive_only = Predicate::MakeAnd(
+      {Predicate::MakeConstraint(0, {1, 2}), Predicate::MakeEquals(1, 0)});
+  const PredicatePtr with_public = Predicate::MakeAnd(
+      {Predicate::MakeConstraint(0, {1, 2}), Predicate::MakeEquals(2, 0)});
+  auto is_sensitive = [&](int attr) {
+    return IsSensitive(schema.attribute(attr).kind);
+  };
+  EXPECT_TRUE(sensitive_only->ReferencesOnly(is_sensitive));
+  EXPECT_FALSE(with_public->ReferencesOnly(is_sensitive));
+}
+
+TEST(PredicateTest, ToString) {
+  const Schema schema = TestSchema();
+  const PredicatePtr p = Predicate::MakeOr(
+      {Predicate::MakeAnd({Predicate::MakeConstraint(0, {30, 40}),
+                           Predicate::MakeEquals(1, 2)}),
+       Predicate::MakeConstraint(0, {80, 90})});
+  const std::string s = p->ToString(schema);
+  EXPECT_NE(s.find("age IN [30, 40]"), std::string::npos);
+  EXPECT_NE(s.find("state = 2"), std::string::npos);
+  EXPECT_NE(s.find("OR"), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldp

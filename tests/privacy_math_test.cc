@@ -1,0 +1,144 @@
+#include "common/privacy_math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+TEST(OlhParamsTest, OptimalG) {
+  // g = round(e^eps) + 1.
+  EXPECT_EQ(OptimalOlhG(1.0), 4u);    // e ~ 2.718 -> 3 + 1
+  EXPECT_EQ(OptimalOlhG(2.0), 8u);    // e^2 ~ 7.39 -> 7 + 1
+  EXPECT_EQ(OptimalOlhG(std::log(4.0)), 5u);
+  EXPECT_GE(OptimalOlhG(0.1), 2u);    // never below binary
+}
+
+TEST(OlhParamsTest, ProbabilitiesAreConsistent) {
+  const double eps = 2.0;
+  const uint32_t g = OptimalOlhG(eps);
+  const double p = OlhP(eps, g);
+  const double q = OlhQ(g);
+  EXPECT_GT(p, q);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  EXPECT_DOUBLE_EQ(q, 1.0 / g);
+  EXPECT_DOUBLE_EQ(OlhScale(eps, g), 1.0 / (p - q));
+}
+
+TEST(OlhParamsTest, LdpRatioHolds) {
+  // The encode distribution must satisfy the eps-LDP ratio: stay/flip = e^eps.
+  for (double eps : {0.5, 1.0, 2.0, 5.0}) {
+    const uint32_t g = OptimalOlhG(eps);
+    const double e = std::exp(eps);
+    const double stay = e / (e + g - 1.0);
+    const double flip = 1.0 / (e + g - 1.0);
+    EXPECT_NEAR(stay / flip, e, 1e-9);
+  }
+}
+
+TEST(VarianceTest, Lemma3MatchesGeneralGAtOptimalG) {
+  // At g = e^eps + 1 the general-g formula reduces to 4 n e^eps/(e^eps-1)^2.
+  const double eps = std::log(7.0);  // e^eps = 7 exactly -> g = 8
+  const uint32_t g = OptimalOlhG(eps);
+  ASSERT_EQ(g, 8u);
+  const double n = 10000.0;
+  EXPECT_NEAR(OlhVarianceGeneralG(eps, g, n), Lemma3OlhVariance(eps, n, 0.0),
+              Lemma3OlhVariance(eps, n, 0.0) * 0.01);
+}
+
+TEST(VarianceTest, Prop4BoundDominatesVariance) {
+  const double eps = 1.0;
+  const double m2 = 5000.0;
+  // Bound must dominate the exact expression for any split of m2.
+  for (double m2v : {0.0, 100.0, 1000.0, m2}) {
+    EXPECT_LE(Prop4WeightedVariance(eps, m2, m2v),
+              Prop4WeightedVarianceBound(eps, m2) + 1e-9);
+  }
+}
+
+TEST(VarianceTest, Prop5ReducesToProp4AtK1) {
+  const double eps = 1.5;
+  EXPECT_NEAR(Prop5SampledVariance(eps, 1.0, 1000.0, 50.0),
+              Prop4WeightedVariance(eps, 1000.0, 50.0), 1e-9);
+}
+
+TEST(VarianceTest, Prop5BoundDominates) {
+  const double eps = 1.0;
+  for (double k : {1.0, 2.0, 8.0}) {
+    for (double m2v : {0.0, 500.0, 1000.0}) {
+      EXPECT_LE(Prop5SampledVariance(eps, k, 1000.0, m2v),
+                Prop5SampledVarianceBound(eps, k, 1000.0) + 1e-9);
+    }
+  }
+}
+
+TEST(VarianceTest, Prop5GrowsLinearlyInK) {
+  const double eps = 2.0;
+  const double v1 = Prop5SampledVarianceBound(eps, 1.0, 1000.0);
+  const double v4 = Prop5SampledVarianceBound(eps, 4.0, 1000.0);
+  EXPECT_NEAR(v4 / v1, 4.0, 1e-9);
+}
+
+TEST(DecompositionBoundTest, MatchesFormula) {
+  // 2 (b-1) ceil(log_b m).
+  EXPECT_EQ(MaxDecomposedIntervals(2, 8), 2u * 1 * 3);
+  EXPECT_EQ(MaxDecomposedIntervals(5, 1024), 2u * 4 * 5);  // 5^5 = 3125 >= 1024
+  EXPECT_EQ(MaxDecomposedIntervals(5, 125), 2u * 4 * 3);
+  EXPECT_EQ(MaxDecomposedIntervals(2, 2), 2u * 1 * 1);
+}
+
+TEST(TheoremBoundsTest, HioBeatsHi) {
+  // Theorem 7's bound should be well below Theorem 6's (budget splitting
+  // inflates the per-level noise exponentially in h).
+  const double eps = 1.0;
+  const double m2 = 1e6;
+  EXPECT_LT(Theorem7HioBound(eps, 5, 1024, m2),
+            Theorem6HiBound(eps, 5, 1024, m2));
+}
+
+TEST(TheoremBoundsTest, MultiDimHioBeatsHi) {
+  const double eps = 1.0;
+  const double m2 = 1e6;
+  EXPECT_LT(Theorem9HioBound(eps, 5, 256, 2, 2, m2),
+            Theorem8HiBound(eps, 5, 256, 2, 2, m2));
+}
+
+TEST(TheoremBoundsTest, ErrorGrowsWithQueryDims) {
+  const double eps = 2.0;
+  const double m2 = 1e6;
+  EXPECT_LT(Theorem9HioBound(eps, 5, 54, 4, 1, m2),
+            Theorem9HioBound(eps, 5, 54, 4, 2, m2));
+}
+
+TEST(TheoremBoundsTest, MarginalBaselineLinearInCells) {
+  const double eps = 1.0;
+  EXPECT_NEAR(MarginalBaselineVariance(eps, 200.0, 1e6) /
+                  MarginalBaselineVariance(eps, 100.0, 1e6),
+              2.0, 1e-9);
+}
+
+TEST(TheoremBoundsTest, HioCrossoverWithMarginal) {
+  // Section 5.4: MG beats HIO only for very small boxes; for a wide range
+  // the hierarchical bound must win. Compare eq. (11) with Theorem 7.
+  const double eps = 2.0;
+  const double m2 = 1e6;
+  const uint64_t m = 1024;
+  const double hio = Theorem7HioBound(eps, 5, m, m2);
+  EXPECT_LT(hio, MarginalBaselineVariance(eps, 0.8 * m, m2));
+  EXPECT_GT(hio, MarginalBaselineVariance(eps, 2.0, m2));
+}
+
+TEST(TheoremBoundsTest, ScAsymptoticSensitivity) {
+  // Theorem 11: error grows with d and dq, shrinks with eps.
+  EXPECT_LT(Theorem11ScAsymptotic(2.0, 54, 4, 1, 1e6, 99),
+            Theorem11ScAsymptotic(2.0, 54, 8, 1, 1e6, 99));
+  EXPECT_LT(Theorem11ScAsymptotic(2.0, 54, 4, 1, 1e6, 99),
+            Theorem11ScAsymptotic(2.0, 54, 4, 2, 1e6, 99));
+  EXPECT_GT(Theorem11ScAsymptotic(1.0, 54, 4, 1, 1e6, 99),
+            Theorem11ScAsymptotic(2.0, 54, 4, 1, 1e6, 99));
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,144 @@
+#include "engine/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("age", 54).ok());
+  EXPECT_TRUE(schema.AddCategorical("state", 6).ok());
+  EXPECT_TRUE(schema.AddPublicDimension("os", 2).ok());  // not collected
+  EXPECT_TRUE(schema.AddMeasure("purchase").ok());       // not collected
+  return schema;
+}
+
+CollectionSpec TestSpec() {
+  MechanismParams params;
+  params.epsilon = 2.0;
+  params.fanout = 5;
+  return CollectionSpec::FromSchema(TestSchema(), MechanismKind::kHio, params);
+}
+
+TEST(CollectionSpecTest, FromSchemaKeepsOnlySensitiveDims) {
+  const CollectionSpec spec = TestSpec();
+  ASSERT_EQ(spec.sensitive_attributes.size(), 2u);
+  EXPECT_EQ(spec.sensitive_attributes[0].name, "age");
+  EXPECT_EQ(spec.sensitive_attributes[1].name, "state");
+}
+
+TEST(CollectionSpecTest, SerializeParseRoundTrip) {
+  const CollectionSpec spec = TestSpec();
+  const std::string text = spec.Serialize();
+  const CollectionSpec back = CollectionSpec::Parse(text).ValueOrDie();
+  EXPECT_EQ(back.mechanism, spec.mechanism);
+  EXPECT_DOUBLE_EQ(back.params.epsilon, spec.params.epsilon);
+  EXPECT_EQ(back.params.fanout, spec.params.fanout);
+  EXPECT_EQ(back.params.fo_kind, spec.params.fo_kind);
+  EXPECT_EQ(back.params.hash_pool_size, spec.params.hash_pool_size);
+  ASSERT_EQ(back.sensitive_attributes.size(), 2u);
+  EXPECT_EQ(back.sensitive_attributes[0].name, "age");
+  EXPECT_EQ(back.sensitive_attributes[0].kind,
+            AttributeKind::kSensitiveOrdinal);
+  EXPECT_EQ(back.sensitive_attributes[0].domain_size, 54u);
+  EXPECT_EQ(back.sensitive_attributes[1].kind,
+            AttributeKind::kSensitiveCategorical);
+}
+
+TEST(CollectionSpecTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(CollectionSpec::Parse("").ok());
+  EXPECT_FALSE(CollectionSpec::Parse("not a spec\n").ok());
+  const char* header = "ldpmda-collection-spec v1\n";
+  EXPECT_FALSE(CollectionSpec::Parse(header).ok());  // no dims
+  EXPECT_FALSE(
+      CollectionSpec::Parse(std::string(header) + "bogus\n").ok());
+  EXPECT_FALSE(
+      CollectionSpec::Parse(std::string(header) + "mechanism=alien\n").ok());
+  EXPECT_FALSE(
+      CollectionSpec::Parse(std::string(header) + "dim=x weird 5\n").ok());
+  EXPECT_FALSE(
+      CollectionSpec::Parse(std::string(header) + "dim=x ordinal 0\n").ok());
+  EXPECT_FALSE(
+      CollectionSpec::Parse(std::string(header) + "fanout=1\ndim=x ordinal 4\n")
+          .ok());
+}
+
+TEST(CollectionSpecTest, ParseIgnoresCommentsAndBlankLines) {
+  const std::string text =
+      "ldpmda-collection-spec v1\n"
+      "# a comment\n"
+      "\n"
+      "mechanism=sc\n"
+      "epsilon=1.5\n"
+      "dim=a ordinal 16\n";
+  const CollectionSpec spec = CollectionSpec::Parse(text).ValueOrDie();
+  EXPECT_EQ(spec.mechanism, MechanismKind::kSc);
+  EXPECT_DOUBLE_EQ(spec.params.epsilon, 1.5);
+}
+
+TEST(ProtocolTest, ClientServerEndToEnd) {
+  const CollectionSpec spec = TestSpec();
+  // Ship the spec as text, as a deployment would.
+  const CollectionSpec client_spec =
+      CollectionSpec::Parse(spec.Serialize()).ValueOrDie();
+  LdpClient client = LdpClient::Create(client_spec).ValueOrDie();
+  CollectionServer server = CollectionServer::Create(spec).ValueOrDie();
+
+  const uint64_t n = 20000;
+  Rng rng(7);
+  Rng data_rng(8);
+  double truth = 0.0;
+  std::vector<double> weights;
+  for (uint64_t u = 0; u < n; ++u) {
+    const std::vector<uint32_t> values = {
+        static_cast<uint32_t>(data_rng.UniformInt(54)),
+        static_cast<uint32_t>(data_rng.UniformInt(6))};
+    const double weight = 1.0 + (u % 2);
+    weights.push_back(weight);
+    if (values[0] >= 10 && values[0] <= 40 && values[1] == 2) truth += weight;
+    const std::string bytes = client.EncodeUser(values, rng).ValueOrDie();
+    ASSERT_TRUE(server.Ingest(bytes, u).ok());
+  }
+  EXPECT_EQ(server.num_reports(), n);
+  const WeightVector w(weights);
+  const std::vector<Interval> ranges = {{10, 40}, {2, 2}};
+  const double est = server.EstimateBox(ranges, w).ValueOrDie();
+  EXPECT_NEAR(est, truth, w.total() * 0.2);
+}
+
+TEST(ProtocolTest, ClientValidatesValues) {
+  LdpClient client = LdpClient::Create(TestSpec()).ValueOrDie();
+  Rng rng(9);
+  const std::vector<uint32_t> too_few = {1};
+  EXPECT_FALSE(client.EncodeUser(too_few, rng).ok());
+  const std::vector<uint32_t> out_of_domain = {54, 0};
+  EXPECT_FALSE(client.EncodeUser(out_of_domain, rng).ok());
+}
+
+TEST(ProtocolTest, ServerRejectsCorruptBytes) {
+  CollectionServer server = CollectionServer::Create(TestSpec()).ValueOrDie();
+  EXPECT_FALSE(server.Ingest("junk", 0).ok());
+  EXPECT_EQ(server.num_reports(), 0u);
+}
+
+TEST(ProtocolTest, ServerRejectsWrongShapeReport) {
+  // A report from an HI client does not fit an HIO server.
+  const Schema schema = TestSchema();
+  MechanismParams params;
+  params.epsilon = 2.0;
+  const CollectionSpec hio_spec =
+      CollectionSpec::FromSchema(schema, MechanismKind::kHio, params);
+  const CollectionSpec hi_spec =
+      CollectionSpec::FromSchema(schema, MechanismKind::kHi, params);
+  LdpClient hi_client = LdpClient::Create(hi_spec).ValueOrDie();
+  CollectionServer hio_server =
+      CollectionServer::Create(hio_spec).ValueOrDie();
+  Rng rng(10);
+  const std::vector<uint32_t> values = {5, 1};
+  const std::string bytes = hi_client.EncodeUser(values, rng).ValueOrDie();
+  EXPECT_FALSE(hio_server.Ingest(bytes, 0).ok());
+}
+
+}  // namespace
+}  // namespace ldp

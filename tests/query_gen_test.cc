@@ -1,0 +1,125 @@
+#include "engine/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "query/exact.h"
+#include "query/rewriter.h"
+
+namespace ldp {
+namespace {
+
+Table TestTable(uint64_t n = 5000) {
+  return MakeIpums4D(n, 54, 11);
+}
+
+// Volume of a conjunctive range query: product of per-dim coverage over the
+// dims present in the predicate (Section 5.4).
+double VolumeOf(const Schema& schema, const Query& q) {
+  const auto terms = RewritePredicate(schema, q.where.get()).ValueOrDie();
+  EXPECT_EQ(terms.size(), 1u);
+  double vol = 1.0;
+  for (const auto& c : terms[0].box.constraints) {
+    vol *= static_cast<double>(c.range.length()) /
+           static_cast<double>(schema.attribute(c.attr).domain_size);
+  }
+  return vol;
+}
+
+TEST(QueryGenTest, VolumeQueryHitsTarget) {
+  const Table table = TestTable();
+  QueryGenerator gen(table, 1);
+  const std::vector<int> dims = {0, 1};  // two ordinal dims
+  for (const double vol : {0.01, 0.1, 0.25, 0.8}) {
+    for (int i = 0; i < 10; ++i) {
+      const Query q = gen.RandomVolumeQuery(Aggregate::Count(), dims, vol);
+      EXPECT_NEAR(VolumeOf(table.schema(), q), vol, vol * 0.5 + 0.02);
+      ASSERT_TRUE(ValidateQuery(table.schema(), q).ok());
+    }
+  }
+}
+
+TEST(QueryGenTest, VolumeQueryRangesWithinDomain) {
+  const Table table = TestTable();
+  QueryGenerator gen(table, 2);
+  for (int i = 0; i < 50; ++i) {
+    const Query q =
+        gen.RandomVolumeQuery(Aggregate::Sum(4), {0}, 0.3);
+    const auto terms =
+        RewritePredicate(table.schema(), q.where.get()).ValueOrDie();
+    for (const auto& c : terms[0].box.constraints) {
+      EXPECT_LE(c.range.hi,
+                table.schema().attribute(c.attr).domain_size - 1);
+    }
+  }
+}
+
+TEST(QueryGenTest, VolumeOneCoversWholeDomain) {
+  const Table table = TestTable();
+  QueryGenerator gen(table, 3);
+  const Query q = gen.RandomVolumeQuery(Aggregate::Count(), {0, 1}, 1.0);
+  EXPECT_NEAR(VolumeOf(table.schema(), q), 1.0, 1e-9);
+}
+
+TEST(QueryGenTest, SelectivityQueryHitsTarget) {
+  const Table table = TestTable();
+  QueryGenerator gen(table, 4);
+  for (const double target : {0.05, 0.1, 0.3}) {
+    double achieved = 0.0;
+    const auto q = gen.RandomSelectivityQuery(
+        Aggregate::Count(), /*ordinal_dims=*/{0, 1},
+        /*categorical_dims=*/{}, target, /*tolerance=*/0.3, &achieved);
+    ASSERT_TRUE(q.ok()) << "target " << target;
+    EXPECT_NEAR(achieved, target, target * 0.35);
+    EXPECT_NEAR(ExactSelectivity(table, q.value().where.get()), achieved,
+                1e-9);
+  }
+}
+
+TEST(QueryGenTest, SelectivityQueryWithCategoricals) {
+  const Table table = TestTable();
+  QueryGenerator gen(table, 5);
+  double achieved = 0.0;
+  const auto q = gen.RandomSelectivityQuery(
+      Aggregate::Avg(4), /*ordinal_dims=*/{0},
+      /*categorical_dims=*/{2, 3}, 0.05, 0.4, &achieved);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(achieved, 0.0);
+  // The predicate must constrain all three dims.
+  std::vector<int> attrs;
+  q.value().where->CollectAttributes(&attrs);
+  EXPECT_EQ(attrs.size(), 3u);
+}
+
+TEST(QueryGenTest, PureCategoricalQueryReturnsClosestDraw) {
+  const Table table = TestTable();
+  QueryGenerator gen(table, 6);
+  double achieved = 0.0;
+  const auto q = gen.RandomSelectivityQuery(Aggregate::Count(), {}, {3},
+                                            0.5, 0.5, &achieved);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(achieved, 0.0);
+}
+
+TEST(QueryGenTest, RejectsBadTarget) {
+  const Table table = TestTable(100);
+  QueryGenerator gen(table, 7);
+  EXPECT_FALSE(
+      gen.RandomSelectivityQuery(Aggregate::Count(), {0}, {}, 0.0, 0.1).ok());
+  EXPECT_FALSE(
+      gen.RandomSelectivityQuery(Aggregate::Count(), {0}, {}, 1.5, 0.1).ok());
+}
+
+TEST(QueryGenTest, DeterministicGivenSeed) {
+  const Table table = TestTable(1000);
+  QueryGenerator g1(table, 42);
+  QueryGenerator g2(table, 42);
+  for (int i = 0; i < 5; ++i) {
+    const Query q1 = g1.RandomVolumeQuery(Aggregate::Count(), {0, 1}, 0.25);
+    const Query q2 = g2.RandomVolumeQuery(Aggregate::Count(), {0, 1}, 0.25);
+    EXPECT_EQ(q1.ToString(table.schema()), q2.ToString(table.schema()));
+  }
+}
+
+}  // namespace
+}  // namespace ldp

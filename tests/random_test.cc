@@ -1,0 +1,165 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(7);
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformInt(n), n);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.UniformInt(10)];
+  for (int i = 0; i < 10; ++i) {
+    // Each bucket expects 1000; allow wide slack.
+    EXPECT_GT(seen[i], 800) << "bucket " << i;
+    EXPECT_LT(seen[i], 1200) << "bucket " << i;
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.UniformRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 5);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.02);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(29);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng a(31);
+  Rng b(31);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa(), fb());
+  // Fork advances the parent: parent streams still agree with each other.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMixTest, KnownSequenceIsStable) {
+  uint64_t s1 = 42;
+  uint64_t s2 = 42;
+  EXPECT_EQ(SplitMix64Next(s1), SplitMix64Next(s2));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(SplitMix64Next(s1), SplitMix64Next(s1));
+}
+
+TEST(ZipfTest, RanksAreMonotonicallyLessFrequent) {
+  Rng rng(37);
+  ZipfDistribution zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+  // Ratio of rank 0 to rank 1 should be near 2^1.2.
+  const double ratio =
+      static_cast<double>(counts[0]) / std::max(counts[1], 1);
+  EXPECT_NEAR(ratio, std::pow(2.0, 1.2), 0.5);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  Rng rng(41);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(ZipfTest, SingleValueDomain) {
+  Rng rng(43);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ShuffleTest, IsAPermutation) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Shuffle(v, rng);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+  // Overwhelmingly likely to have moved something.
+  std::vector<int> identity(100);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(v, identity);
+}
+
+}  // namespace
+}  // namespace ldp

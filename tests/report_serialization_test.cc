@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "mech/factory.h"
+
+namespace ldp {
+namespace {
+
+LdpReport SampleReport() {
+  LdpReport report;
+  report.entries.push_back({3, {7, 2, {}}});
+  report.entries.push_back({0, {0xffffffff, 0, {}}});
+  FoReport with_bits;
+  with_bits.seed = 1;
+  with_bits.value = 9;
+  with_bits.bits = {0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  report.entries.push_back({42, with_bits});
+  return report;
+}
+
+TEST(ReportSerializationTest, RoundTrip) {
+  const LdpReport report = SampleReport();
+  const std::string bytes = report.Serialize();
+  const LdpReport back = LdpReport::Deserialize(bytes).ValueOrDie();
+  EXPECT_TRUE(back == report);
+}
+
+TEST(ReportSerializationTest, EmptyReport) {
+  const LdpReport empty;
+  const std::string bytes = empty.Serialize();
+  EXPECT_EQ(bytes.size(), 4u);
+  const LdpReport back = LdpReport::Deserialize(bytes).ValueOrDie();
+  EXPECT_TRUE(back == empty);
+}
+
+TEST(ReportSerializationTest, SizeMatchesFormat) {
+  const LdpReport report = SampleReport();
+  // 4 header + 3 entries * 16 + 2 bit words * 8.
+  EXPECT_EQ(report.Serialize().size(), 4u + 3 * 16 + 2 * 8);
+}
+
+TEST(ReportSerializationTest, RejectsTruncation) {
+  const std::string bytes = SampleReport().Serialize();
+  for (const size_t cut : {0ul, 3ul, 5ul, bytes.size() - 1}) {
+    const auto r = LdpReport::Deserialize(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(ReportSerializationTest, RejectsTrailingGarbage) {
+  std::string bytes = SampleReport().Serialize();
+  bytes += 'x';
+  EXPECT_FALSE(LdpReport::Deserialize(bytes).ok());
+}
+
+TEST(ReportSerializationTest, RejectsImplausibleCounts) {
+  std::string bytes(4, '\xff');  // entry count ~4 billion
+  EXPECT_FALSE(LdpReport::Deserialize(bytes).ok());
+}
+
+// End-to-end: a wire round trip between encode and ingest leaves every
+// mechanism's estimates unchanged.
+TEST(ReportSerializationTest, WireRoundTripPreservesEstimates) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddOrdinal("x", 16).ok());
+  ASSERT_TRUE(schema.AddOrdinal("y", 16).ok());
+  ASSERT_TRUE(schema.AddMeasure("w").ok());
+  MechanismParams params;
+  params.epsilon = 2.0;
+  for (const MechanismKind kind :
+       {MechanismKind::kHi, MechanismKind::kHio, MechanismKind::kSc,
+        MechanismKind::kMg, MechanismKind::kQuadTree}) {
+    auto direct = CreateMechanism(kind, schema, params).ValueOrDie();
+    auto via_wire = CreateMechanism(kind, schema, params).ValueOrDie();
+    Rng rng(11);
+    for (uint64_t u = 0; u < 300; ++u) {
+      const std::vector<uint32_t> values = {
+          static_cast<uint32_t>(u % 16), static_cast<uint32_t>((u / 3) % 16)};
+      const LdpReport report = direct->EncodeUser(values, rng);
+      ASSERT_TRUE(direct->AddReport(report, u).ok());
+      const LdpReport decoded =
+          LdpReport::Deserialize(report.Serialize()).ValueOrDie();
+      ASSERT_TRUE(via_wire->AddReport(decoded, u).ok());
+    }
+    const WeightVector w = WeightVector::Ones(300);
+    const std::vector<Interval> ranges = {{2, 11}, {4, 13}};
+    EXPECT_DOUBLE_EQ(direct->EstimateBox(ranges, w).ValueOrDie(),
+                     via_wire->EstimateBox(ranges, w).ValueOrDie())
+        << MechanismKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,220 @@
+#include "query/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "query/exact.h"
+#include "query/parser.h"
+
+namespace ldp {
+namespace {
+
+Schema TestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("a", 16).ok());
+  EXPECT_TRUE(schema.AddOrdinal("b", 16).ok());
+  EXPECT_TRUE(schema.AddCategorical("c", 4).ok());
+  EXPECT_TRUE(schema.AddMeasure("m").ok());
+  return schema;
+}
+
+Table TestTable(uint64_t n = 2000) {
+  TableSpec spec;
+  spec.dims.push_back(
+      {"a", AttributeKind::kSensitiveOrdinal, 16, ColumnDist::kUniform, 1.0});
+  spec.dims.push_back(
+      {"b", AttributeKind::kSensitiveOrdinal, 16, ColumnDist::kZipf, 1.1});
+  spec.dims.push_back({"c", AttributeKind::kSensitiveCategorical, 4,
+                       ColumnDist::kUniform, 1.0});
+  spec.measures.push_back({"m", 0.0, 5.0, ColumnDist::kUniform, 1.0, -1, 0.0});
+  return GenerateTable(spec, n, 77).ValueOrDie();
+}
+
+// Exact count of rows matching an inclusion–exclusion rewriting: the signed
+// sum of per-box matches must equal the predicate's match count for any
+// predicate. This is the central correctness property of Section 7.
+double IeCount(const Table& table, const std::vector<IeTerm>& terms) {
+  double total = 0.0;
+  for (const auto& term : terms) {
+    uint64_t matches = 0;
+    for (uint64_t row = 0; row < table.num_rows(); ++row) {
+      matches += term.box.EvalRow(table, row);
+    }
+    total += term.coefficient * static_cast<double>(matches);
+  }
+  return total;
+}
+
+TEST(RewriterTest, NullPredicateIsOneUnconstrainedBox) {
+  const auto terms = RewritePredicate(TestSchema(), nullptr).ValueOrDie();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(terms[0].coefficient, 1.0);
+  EXPECT_TRUE(terms[0].box.constraints.empty());
+}
+
+TEST(RewriterTest, SingleConstraint) {
+  const PredicatePtr p = Predicate::MakeConstraint(0, {3, 9});
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(terms[0].coefficient, 1.0);
+  ASSERT_EQ(terms[0].box.constraints.size(), 1u);
+  EXPECT_EQ(terms[0].box.constraints[0].range, (Interval{3, 9}));
+}
+
+TEST(RewriterTest, ConjunctionIntersectsSameAttribute) {
+  const PredicatePtr p = Predicate::MakeAnd(
+      {Predicate::MakeConstraint(0, {3, 9}),
+       Predicate::MakeConstraint(0, {5, 12})});
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0].box.constraints[0].range, (Interval{5, 9}));
+}
+
+TEST(RewriterTest, ContradictionYieldsNoTerms) {
+  const PredicatePtr p = Predicate::MakeAnd(
+      {Predicate::MakeConstraint(0, {1, 3}),
+       Predicate::MakeConstraint(0, {10, 12})});
+  EXPECT_TRUE(RewritePredicate(TestSchema(), p.get()).ValueOrDie().empty());
+}
+
+TEST(RewriterTest, DisjointOrHasNoCrossTerm) {
+  const PredicatePtr p = Predicate::MakeOr(
+      {Predicate::MakeConstraint(0, {0, 3}),
+       Predicate::MakeConstraint(0, {10, 15})});
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 2u);  // intersection is empty and pruned
+  EXPECT_DOUBLE_EQ(terms[0].coefficient, 1.0);
+  EXPECT_DOUBLE_EQ(terms[1].coefficient, 1.0);
+}
+
+TEST(RewriterTest, OverlappingOrProducesInclusionExclusion) {
+  // The paper's Section 7 example: A OR B = A + B - (A AND B).
+  const PredicatePtr p = Predicate::MakeOr(
+      {Predicate::MakeConstraint(0, {0, 9}),
+       Predicate::MakeConstraint(1, {0, 9})});
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 3u);
+  double positive = 0;
+  double negative = 0;
+  for (const auto& t : terms) {
+    (t.coefficient > 0 ? positive : negative) += t.coefficient;
+  }
+  EXPECT_DOUBLE_EQ(positive, 2.0);
+  EXPECT_DOUBLE_EQ(negative, -1.0);
+}
+
+TEST(RewriterTest, DnfCapIsEnforced) {
+  std::vector<PredicatePtr> many;
+  for (uint64_t i = 0; i < 20; ++i) {
+    many.push_back(Predicate::MakeConstraint(0, {i, i}));
+  }
+  const PredicatePtr p = Predicate::MakeOr(many);
+  const auto r = RewritePredicate(TestSchema(), p.get(), /*max_clauses=*/12);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ConjunctiveBoxTest, Accessors) {
+  ConjunctiveBox box;
+  box.constraints.push_back({0, {3, 9}});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_EQ(box.RangeOf(0, 16), (Interval{3, 9}));
+  EXPECT_EQ(box.RangeOf(1, 16), (Interval{0, 15}));  // unconstrained
+  box.constraints.push_back({1, {5, 2}});
+  EXPECT_TRUE(box.IsEmpty());
+}
+
+TEST(RewriterTest, NotOfRangeComplements) {
+  // NOT (a in [3, 9]) -> [0,2] + [10,15] on a 16-value domain.
+  const PredicatePtr p =
+      Predicate::MakeNot(Predicate::MakeConstraint(0, {3, 9}));
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 2u);
+  for (const auto& t : terms) EXPECT_DOUBLE_EQ(t.coefficient, 1.0);
+}
+
+TEST(RewriterTest, NotOfFullDomainIsUnsatisfiable) {
+  const PredicatePtr p =
+      Predicate::MakeNot(Predicate::MakeConstraint(0, {0, 15}));
+  EXPECT_TRUE(RewritePredicate(TestSchema(), p.get()).ValueOrDie().empty());
+}
+
+TEST(RewriterTest, NotOfEmptyIsFullDomain) {
+  const PredicatePtr p =
+      Predicate::MakeNot(Predicate::MakeConstraint(0, {1, 0}));
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0].box.constraints[0].range, (Interval{0, 15}));
+}
+
+TEST(RewriterTest, DeMorganThroughConjunction) {
+  // NOT (a <= 7 AND b <= 7) == (a >= 8) OR (b >= 8): 3 I-E terms.
+  const PredicatePtr p = Predicate::MakeNot(
+      Predicate::MakeAnd({Predicate::MakeConstraint(0, {0, 7}),
+                          Predicate::MakeConstraint(1, {0, 7})}));
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  EXPECT_EQ(terms.size(), 3u);
+}
+
+// Property test: for random AND-OR predicates, the signed box sum equals the
+// exact predicate count — inclusion–exclusion is exact.
+class RewriterPropertyTest : public testing::TestWithParam<int> {};
+
+PredicatePtr RandomPredicate(Rng& rng, int depth) {
+  if (depth == 0 || rng.Bernoulli(0.4)) {
+    const int attr = static_cast<int>(rng.UniformInt(3));
+    const uint64_t m = attr == 2 ? 4 : 16;
+    if (attr == 2) {
+      return Predicate::MakeEquals(attr, rng.UniformInt(m));
+    }
+    const uint64_t lo = rng.UniformInt(m);
+    const uint64_t hi = rng.UniformRange(lo, m - 1);
+    return Predicate::MakeConstraint(attr, {lo, hi});
+  }
+  if (rng.Bernoulli(0.2)) {
+    return Predicate::MakeNot(RandomPredicate(rng, depth - 1));
+  }
+  std::vector<PredicatePtr> children;
+  const int arity = 2 + static_cast<int>(rng.UniformInt(2));
+  for (int i = 0; i < arity; ++i) {
+    children.push_back(RandomPredicate(rng, depth - 1));
+  }
+  return rng.Bernoulli(0.5) ? Predicate::MakeAnd(std::move(children))
+                            : Predicate::MakeOr(std::move(children));
+}
+
+TEST_P(RewriterPropertyTest, InclusionExclusionMatchesExactCount) {
+  const Table table = TestTable();
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const PredicatePtr p = RandomPredicate(rng, 2);
+    const auto terms = RewritePredicate(table.schema(), p.get(), 16);
+    if (!terms.ok()) continue;  // DNF blew the cap; acceptable
+    const double ie = IeCount(table, terms.value());
+    const double exact =
+        static_cast<double>(ExactMatchCount(table, p.get()));
+    EXPECT_NEAR(ie, exact, 1e-6) << p->ToString(table.schema());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterPropertyTest, testing::Range(0, 5));
+
+TEST(RewriterTest, ParsedOrQueryFromPaperSection7) {
+  // "Age IN [30,40] OR Salary IN [50,150]" rewrites into three boxes with
+  // signs +1, +1, -1 that reproduce the exact count.
+  Schema schema;
+  ASSERT_TRUE(schema.AddOrdinal("age", 64).ok());
+  ASSERT_TRUE(schema.AddOrdinal("salary", 200).ok());
+  ASSERT_TRUE(schema.AddMeasure("purchase").ok());
+  const Query q =
+      ParseQuery(schema,
+                 "SELECT SUM(purchase) FROM T WHERE age IN [30, 40] OR "
+                 "salary IN [50, 150]")
+          .ValueOrDie();
+  const auto terms = RewritePredicate(schema, q.where.get()).ValueOrDie();
+  EXPECT_EQ(terms.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ldp

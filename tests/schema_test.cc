@@ -1,0 +1,90 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+Schema MakeTestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("age", 64).ok());
+  EXPECT_TRUE(schema.AddOrdinal("salary", 128).ok());
+  EXPECT_TRUE(schema.AddCategorical("state", 50).ok());
+  EXPECT_TRUE(schema.AddPublicDimension("os", 3).ok());
+  EXPECT_TRUE(schema.AddMeasure("purchase").ok());
+  EXPECT_TRUE(schema.AddMeasure("active_time").ok());
+  return schema;
+}
+
+TEST(SchemaTest, AttributeAccessors) {
+  const Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.num_attributes(), 6);
+  EXPECT_EQ(schema.attribute(0).name, "age");
+  EXPECT_EQ(schema.attribute(0).kind, AttributeKind::kSensitiveOrdinal);
+  EXPECT_EQ(schema.attribute(0).domain_size, 64u);
+  EXPECT_EQ(schema.attribute(2).kind, AttributeKind::kSensitiveCategorical);
+  EXPECT_EQ(schema.attribute(3).kind, AttributeKind::kPublicDimension);
+  EXPECT_EQ(schema.attribute(4).kind, AttributeKind::kMeasure);
+}
+
+TEST(SchemaTest, KindPredicates) {
+  EXPECT_TRUE(IsDimension(AttributeKind::kSensitiveOrdinal));
+  EXPECT_TRUE(IsDimension(AttributeKind::kPublicDimension));
+  EXPECT_FALSE(IsDimension(AttributeKind::kMeasure));
+  EXPECT_TRUE(IsSensitive(AttributeKind::kSensitiveCategorical));
+  EXPECT_FALSE(IsSensitive(AttributeKind::kPublicDimension));
+  EXPECT_FALSE(IsSensitive(AttributeKind::kMeasure));
+}
+
+TEST(SchemaTest, IndexLists) {
+  const Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.sensitive_dims(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(schema.public_dims(), (std::vector<int>{3}));
+  EXPECT_EQ(schema.measures(), (std::vector<int>{4, 5}));
+}
+
+TEST(SchemaTest, FindAttribute) {
+  const Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.FindAttribute("salary").ValueOrDie(), 1);
+  EXPECT_EQ(schema.FindAttribute("purchase").ValueOrDie(), 4);
+  EXPECT_FALSE(schema.FindAttribute("missing").ok());
+  EXPECT_EQ(schema.FindAttribute("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, SensitiveDimPosition) {
+  const Schema schema = MakeTestSchema();
+  EXPECT_EQ(schema.SensitiveDimPosition(0), 0);
+  EXPECT_EQ(schema.SensitiveDimPosition(2), 2);
+  EXPECT_EQ(schema.SensitiveDimPosition(3), -1);  // public, not sensitive
+  EXPECT_EQ(schema.SensitiveDimPosition(4), -1);  // measure
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddOrdinal("x", 4).ok());
+  const Status st = schema.AddMeasure("x");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyNameAndZeroDomain) {
+  Schema schema;
+  EXPECT_FALSE(schema.AddOrdinal("", 4).ok());
+  EXPECT_FALSE(schema.AddOrdinal("y", 0).ok());
+  EXPECT_FALSE(schema.AddCategorical("z", 0).ok());
+}
+
+TEST(SchemaTest, ToStringMentionsEveryAttribute) {
+  const Schema schema = MakeTestSchema();
+  const std::string s = schema.ToString();
+  for (const char* name :
+       {"age", "salary", "state", "os", "purchase", "active_time"}) {
+    EXPECT_NE(s.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(s.find("ORDINAL(64)"), std::string::npos);
+  EXPECT_NE(s.find("CATEGORICAL(50)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,91 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+Schema SmallSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("d1", 8).ok());
+  EXPECT_TRUE(schema.AddCategorical("d2", 3).ok());
+  EXPECT_TRUE(schema.AddMeasure("m").ok());
+  return schema;
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table table(SmallSchema());
+  ASSERT_TRUE(table.AppendRow({3, 1}, {2.5}).ok());
+  ASSERT_TRUE(table.AppendRow({7, 0}, {-1.0}).ok());
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.DimValue(0, 0), 3u);
+  EXPECT_EQ(table.DimValue(1, 1), 0u);
+  EXPECT_DOUBLE_EQ(table.MeasureValue(2, 0), 2.5);
+  EXPECT_DOUBLE_EQ(table.MeasureValue(2, 1), -1.0);
+}
+
+TEST(TableTest, AppendValidatesArity) {
+  Table table(SmallSchema());
+  EXPECT_FALSE(table.AppendRow({1}, {1.0}).ok());
+  EXPECT_FALSE(table.AppendRow({1, 2}, {}).ok());
+  EXPECT_FALSE(table.AppendRow({1, 2}, {1.0, 2.0}).ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(TableTest, AppendValidatesDomains) {
+  Table table(SmallSchema());
+  EXPECT_FALSE(table.AppendRow({8, 0}, {1.0}).ok());  // d1 out of range
+  EXPECT_FALSE(table.AppendRow({0, 3}, {1.0}).ok());  // d2 out of range
+  EXPECT_EQ(table.num_rows(), 0u);  // failed appends leave no partial rows
+  EXPECT_TRUE(table.AppendRow({7, 2}, {1.0}).ok());   // boundary values OK
+}
+
+TEST(TableTest, FromColumns) {
+  auto table = Table::FromColumns(SmallSchema(), {{1, 2, 3}, {0, 1, 2}},
+                                  {{1.0, 2.0, 3.0}});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().num_rows(), 3u);
+  EXPECT_EQ(table.value().DimColumn(0)[2], 3u);
+  EXPECT_EQ(table.value().MeasureColumn(2)[1], 2.0);
+}
+
+TEST(TableTest, FromColumnsRejectsRagged) {
+  EXPECT_FALSE(
+      Table::FromColumns(SmallSchema(), {{1, 2}, {0}}, {{1.0, 2.0}}).ok());
+  EXPECT_FALSE(
+      Table::FromColumns(SmallSchema(), {{1, 2}, {0, 1}}, {{1.0}}).ok());
+}
+
+TEST(TableTest, FromColumnsRejectsWrongColumnCount) {
+  EXPECT_FALSE(Table::FromColumns(SmallSchema(), {{1}}, {{1.0}}).ok());
+}
+
+TEST(TableTest, FromColumnsValidatesDomain) {
+  EXPECT_FALSE(
+      Table::FromColumns(SmallSchema(), {{1}, {5}}, {{1.0}}).ok());
+}
+
+TEST(TableTest, MeasureStatistics) {
+  Table table(SmallSchema());
+  ASSERT_TRUE(table.AppendRow({0, 0}, {3.0}).ok());
+  ASSERT_TRUE(table.AppendRow({1, 1}, {-4.0}).ok());
+  EXPECT_DOUBLE_EQ(table.MeasureSumOfSquares(2), 25.0);
+  EXPECT_DOUBLE_EQ(table.MeasureMin(2), -4.0);
+  EXPECT_DOUBLE_EQ(table.MeasureMax(2), 3.0);
+}
+
+TEST(TableTest, EmptyTableStatistics) {
+  Table table(SmallSchema());
+  EXPECT_DOUBLE_EQ(table.MeasureSumOfSquares(2), 0.0);
+  EXPECT_DOUBLE_EQ(table.MeasureMin(2), 0.0);
+  EXPECT_DOUBLE_EQ(table.MeasureMax(2), 0.0);
+}
+
+TEST(TableDeathTest, WrongColumnKindAborts) {
+  Table table(SmallSchema());
+  EXPECT_DEATH({ (void)table.DimColumn(2); }, "Check failed");
+  EXPECT_DEATH({ (void)table.MeasureColumn(0); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace ldp

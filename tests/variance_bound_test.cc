@@ -1,0 +1,118 @@
+// Tests for Mechanism::VarianceBound: the bound must dominate the empirical
+// MSE for every mechanism (conservative but sound), shrink with eps, and
+// grow with the decomposition size.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mech/factory.h"
+
+namespace ldp {
+namespace {
+
+Schema TwoDimSchema(uint64_t m1, uint64_t m2) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("a", m1).ok());
+  EXPECT_TRUE(schema.AddOrdinal("b", m2).ok());
+  EXPECT_TRUE(schema.AddMeasure("w").ok());
+  return schema;
+}
+
+MechanismParams Params(double eps) {
+  MechanismParams p;
+  p.epsilon = eps;
+  p.fanout = 2;
+  p.hash_pool_size = 0;
+  return p;
+}
+
+class VarianceBoundTest : public testing::TestWithParam<MechanismKind> {};
+
+TEST_P(VarianceBoundTest, DominatesEmpiricalMse) {
+  const MechanismKind kind = GetParam();
+  const double eps = 1.0;
+  const uint64_t n = 2000;
+  const Schema schema = TwoDimSchema(16, 16);
+  std::vector<std::vector<uint32_t>> values(n);
+  std::vector<double> weights(n);
+  double truth = 0.0;
+  Rng data_rng(1);
+  for (uint64_t u = 0; u < n; ++u) {
+    values[u] = {static_cast<uint32_t>(data_rng.UniformInt(16)),
+                 static_cast<uint32_t>(data_rng.UniformInt(16))};
+    weights[u] = 1.0 + static_cast<double>(u % 2);
+    if (values[u][0] >= 3 && values[u][0] <= 12 && values[u][1] >= 1 &&
+        values[u][1] <= 9) {
+      truth += weights[u];
+    }
+  }
+  const WeightVector w(weights);
+  const std::vector<Interval> ranges = {{3, 12}, {1, 9}};
+
+  const int runs = 25;
+  Rng rng(2);
+  double mse = 0.0;
+  double bound = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    auto mech = CreateMechanism(kind, schema, Params(eps)).ValueOrDie();
+    for (uint64_t u = 0; u < n; ++u) {
+      ASSERT_TRUE(mech->AddReport(mech->EncodeUser(values[u], rng), u).ok());
+    }
+    const double est = mech->EstimateBox(ranges, w).ValueOrDie();
+    mse += (est - truth) * (est - truth);
+    bound = mech->VarianceBound(ranges, w).ValueOrDie();
+  }
+  mse /= runs;
+  EXPECT_GT(bound, 0.0);
+  // The bound must dominate the empirical MSE (with slack for the MSE's own
+  // sampling error at 25 runs).
+  EXPECT_LT(mse, bound * 1.6) << MechanismKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, VarianceBoundTest,
+                         testing::Values(MechanismKind::kHi,
+                                         MechanismKind::kHio,
+                                         MechanismKind::kSc,
+                                         MechanismKind::kMg,
+                                         MechanismKind::kQuadTree));
+
+TEST(VarianceBoundShapeTest, ShrinksWithEpsilon) {
+  const Schema schema = TwoDimSchema(16, 16);
+  const WeightVector w = WeightVector::Ones(1000);
+  const std::vector<Interval> ranges = {{3, 12}, {1, 9}};
+  for (const MechanismKind kind :
+       {MechanismKind::kHio, MechanismKind::kMg, MechanismKind::kSc}) {
+    auto weak = CreateMechanism(kind, schema, Params(0.5)).ValueOrDie();
+    auto strong = CreateMechanism(kind, schema, Params(4.0)).ValueOrDie();
+    EXPECT_GT(weak->VarianceBound(ranges, w).ValueOrDie(),
+              strong->VarianceBound(ranges, w).ValueOrDie())
+        << MechanismKindName(kind);
+  }
+}
+
+TEST(VarianceBoundShapeTest, MgGrowsWithBoxSize) {
+  const Schema schema = TwoDimSchema(16, 16);
+  auto mech =
+      CreateMechanism(MechanismKind::kMg, schema, Params(1.0)).ValueOrDie();
+  const WeightVector w = WeightVector::Ones(1000);
+  const std::vector<Interval> small = {{0, 1}, {0, 1}};
+  const std::vector<Interval> large = {{0, 11}, {0, 11}};
+  EXPECT_GT(mech->VarianceBound(large, w).ValueOrDie(),
+            mech->VarianceBound(small, w).ValueOrDie() * 10.0);
+}
+
+TEST(VarianceBoundShapeTest, ValidatesRanges) {
+  const Schema schema = TwoDimSchema(16, 16);
+  for (const MechanismKind kind :
+       {MechanismKind::kHio, MechanismKind::kMg, MechanismKind::kSc,
+        MechanismKind::kQuadTree}) {
+    auto mech = CreateMechanism(kind, schema, Params(1.0)).ValueOrDie();
+    const WeightVector w = WeightVector::Ones(0);
+    const std::vector<Interval> wrong = {{0, 15}};
+    EXPECT_FALSE(mech->VarianceBound(wrong, w).ok()) << MechanismKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ldp

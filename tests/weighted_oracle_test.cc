@@ -1,0 +1,196 @@
+// Tests for the weighted frequency oracle (Section 3.2.2, Proposition 4) and
+// the sampled estimator (Section 3.3, Proposition 5).
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/privacy_math.h"
+#include "fo/olh.h"
+
+namespace ldp {
+namespace {
+
+// The streaming weighted estimator must equal the paper's definition (eq. 8):
+// partition users by measure value x and combine x * f̄_{S_x}(v).
+TEST(WeightedOracleTest, StreamingEqualsGroupByMeasureDefinition) {
+  const OlhProtocol proto(1.0, 16, 32);
+  Rng rng(1);
+  const uint64_t n = 500;
+  std::vector<FoReport> reports(n);
+  std::vector<uint64_t> values(n);
+  std::vector<double> weights(n);
+  OlhAccumulator all(proto);
+  for (uint64_t u = 0; u < n; ++u) {
+    values[u] = u % 16;
+    weights[u] = static_cast<double>(u % 4) * 25.0;  // measures in {0,25,50,75}
+    reports[u] = proto.Encode(values[u], rng);
+    all.Add(reports[u], u);
+  }
+  const WeightVector w(weights);
+
+  // Group-by-measure construction: x * unweighted estimate within S_x.
+  for (uint64_t v : {0ull, 7ull, 15ull}) {
+    std::map<double, std::unique_ptr<OlhAccumulator>> groups;
+    std::map<double, std::vector<uint64_t>> members;
+    for (uint64_t u = 0; u < n; ++u) {
+      auto& acc = groups[weights[u]];
+      if (acc == nullptr) acc = std::make_unique<OlhAccumulator>(proto);
+      acc->Add(reports[u], members[weights[u]].size());
+      members[weights[u]].push_back(u);
+    }
+    double grouped = 0.0;
+    for (auto& [x, acc] : groups) {
+      grouped +=
+          x * acc->EstimateWeighted(v, WeightVector::Ones(members[x].size()));
+    }
+    EXPECT_NEAR(all.EstimateWeighted(v, w), grouped, 1e-6) << "value " << v;
+  }
+}
+
+// Proposition 4: unbiasedness and variance of the weighted estimator.
+TEST(WeightedOracleTest, UnbiasedAndVarianceNearProp4) {
+  const double eps = 1.0;
+  const uint64_t n = 1200;
+  const OlhProtocol proto(eps, 16, 0);
+  Rng rng(2);
+
+  // Fixed measures and values.
+  std::vector<uint64_t> values(n);
+  std::vector<double> weights(n);
+  double truth = 0.0;
+  double m2_s = 0.0;
+  double m2_s_v = 0.0;
+  for (uint64_t u = 0; u < n; ++u) {
+    values[u] = u % 16;
+    weights[u] = 1.0 + static_cast<double>(u % 10);
+    m2_s += weights[u] * weights[u];
+    if (values[u] == 5) {
+      truth += weights[u];
+      m2_s_v += weights[u] * weights[u];
+    }
+  }
+  const WeightVector w(weights);
+
+  const int runs = 150;
+  double sum_est = 0.0;
+  double sum_sq_err = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    OlhAccumulator acc(proto);
+    for (uint64_t u = 0; u < n; ++u) acc.Add(proto.Encode(values[u], rng), u);
+    const double est = acc.EstimateWeighted(5, w);
+    sum_est += est;
+    sum_sq_err += (est - truth) * (est - truth);
+  }
+  const double theory_var = Prop4WeightedVariance(eps, m2_s, m2_s_v);
+  EXPECT_NEAR(sum_est / runs, truth, 4.0 * std::sqrt(theory_var / runs));
+  const double emp_var = sum_sq_err / runs;
+  EXPECT_GT(emp_var, theory_var * 0.5);
+  EXPECT_LT(emp_var, theory_var * 2.0);
+  // And the bound of Prop. 4 dominates.
+  EXPECT_LT(emp_var, Prop4WeightedVarianceBound(eps, m2_s) * 2.0);
+}
+
+// Additivity of errors (Prop. 4, last claim): Var[f̄(u) + f̄(v)] equals
+// Var[f̄(u)] + Var[f̄(v)] — the covariance between two values vanishes.
+TEST(WeightedOracleTest, ErrorsAreAdditiveAcrossValues) {
+  const double eps = 1.0;
+  const uint64_t n = 1000;
+  const OlhProtocol proto(eps, 8, 0);
+  Rng rng(3);
+  std::vector<uint64_t> values(n);
+  double truth_u = 0.0;
+  double truth_v = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    values[i] = i % 8;
+    if (values[i] == 2) truth_u += 1.0;
+    if (values[i] == 6) truth_v += 1.0;
+  }
+  const WeightVector w = WeightVector::Ones(n);
+  const int runs = 200;
+  double var_u = 0.0;
+  double var_v = 0.0;
+  double var_sum = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    OlhAccumulator acc(proto);
+    for (uint64_t i = 0; i < n; ++i) acc.Add(proto.Encode(values[i], rng), i);
+    const double eu = acc.EstimateWeighted(2, w) - truth_u;
+    const double ev = acc.EstimateWeighted(6, w) - truth_v;
+    var_u += eu * eu;
+    var_v += ev * ev;
+    var_sum += (eu + ev) * (eu + ev);
+  }
+  var_u /= runs;
+  var_v /= runs;
+  var_sum /= runs;
+  // Sum of variances within 35% of the variance of the sum.
+  EXPECT_NEAR(var_sum / (var_u + var_v), 1.0, 0.35);
+}
+
+// Proposition 5: estimating from a 1/k random sample, scaled by k, stays
+// unbiased, and the error matches the stated bound.
+TEST(SampledOracleTest, UnbiasedAndVarianceNearProp5) {
+  const double eps = 1.0;
+  const uint64_t n = 2400;
+  const int k = 4;
+  const OlhProtocol proto(eps, 16, 0);
+  Rng rng(4);
+
+  std::vector<uint64_t> values(n);
+  std::vector<double> weights(n);
+  double truth = 0.0;
+  double m2_s = 0.0;
+  double m2_s_v = 0.0;
+  for (uint64_t u = 0; u < n; ++u) {
+    values[u] = u % 16;
+    weights[u] = 1.0 + static_cast<double>(u % 5);
+    m2_s += weights[u] * weights[u];
+    if (values[u] == 9) {
+      truth += weights[u];
+      m2_s_v += weights[u] * weights[u];
+    }
+  }
+
+  const int runs = 200;
+  double sum_est = 0.0;
+  double sum_sq_err = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    // Random partition into k groups; the oracle runs on group 0 only.
+    OlhAccumulator acc(proto);
+    std::vector<double> sample_weights;
+    for (uint64_t u = 0; u < n; ++u) {
+      if (rng.UniformInt(k) == 0) {
+        acc.Add(proto.Encode(values[u], rng),
+                static_cast<uint64_t>(sample_weights.size()));
+        sample_weights.push_back(weights[u]);
+      }
+    }
+    const WeightVector w(sample_weights);
+    const double est = static_cast<double>(k) * acc.EstimateWeighted(9, w);
+    sum_est += est;
+    sum_sq_err += (est - truth) * (est - truth);
+  }
+  const double theory_var = Prop5SampledVariance(eps, k, m2_s, m2_s_v);
+  EXPECT_NEAR(sum_est / runs, truth, 4.0 * std::sqrt(theory_var / runs));
+  const double emp_var = sum_sq_err / runs;
+  EXPECT_GT(emp_var, theory_var * 0.4);
+  EXPECT_LT(emp_var, theory_var * 2.2);
+  EXPECT_LT(emp_var, Prop5SampledVarianceBound(eps, k, m2_s) * 2.2);
+}
+
+// Section 4.2's key claim in miniature: with the same total budget, spending
+// full eps on a 1/k sample (HIO-style) beats splitting eps/k across k
+// estimates (HI-style) once k is nontrivial.
+TEST(SampledOracleTest, FullBudgetOnSampleBeatsSplitBudget) {
+  const double eps = 1.0;
+  const double m2 = 1000.0;
+  const double k = 5.0;
+  const double sampled = Prop5SampledVarianceBound(eps, k, m2);
+  const double split = Prop4WeightedVarianceBound(eps / k, m2);
+  EXPECT_LT(sampled, split);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -227,10 +227,17 @@ examples/CMakeFiles/distributed_simulation.dir/distributed_simulation.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/mech/factory.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/mech/factory.h \
  /root/repo/src/mech/mechanism.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /root/repo/src/fo/frequency_oracle.h \
  /root/repo/src/hierarchy/level_grid.h \
  /root/repo/src/hierarchy/dim_hierarchy.h \
  /root/repo/src/hierarchy/interval.h /usr/include/c++/12/optional \
+ /root/repo/src/engine/transport.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/mech/advisor.h

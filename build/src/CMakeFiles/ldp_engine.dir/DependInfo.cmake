@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/engine/metrics.cc" "src/CMakeFiles/ldp_engine.dir/engine/metrics.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/metrics.cc.o.d"
   "/root/repo/src/engine/protocol.cc" "src/CMakeFiles/ldp_engine.dir/engine/protocol.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/protocol.cc.o.d"
   "/root/repo/src/engine/query_gen.cc" "src/CMakeFiles/ldp_engine.dir/engine/query_gen.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/query_gen.cc.o.d"
+  "/root/repo/src/engine/transport.cc" "src/CMakeFiles/ldp_engine.dir/engine/transport.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/transport.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ldp_engine.dir/engine/protocol.cc.o.d"
   "CMakeFiles/ldp_engine.dir/engine/query_gen.cc.o"
   "CMakeFiles/ldp_engine.dir/engine/query_gen.cc.o.d"
+  "CMakeFiles/ldp_engine.dir/engine/transport.cc.o"
+  "CMakeFiles/ldp_engine.dir/engine/transport.cc.o.d"
   "libldp_engine.a"
   "libldp_engine.pdb"
 )

@@ -194,7 +194,13 @@ src/CMakeFiles/ldp_engine.dir/engine/protocol.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/mech/factory.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/unordered_set /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/mech/factory.h \
  /root/repo/src/mech/mechanism.h /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
@@ -202,13 +208,12 @@ src/CMakeFiles/ldp_engine.dir/engine/protocol.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/random.h \
  /usr/include/c++/12/limits /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
- /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/data/schema.h \
- /root/repo/src/fo/frequency_oracle.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/data/schema.h /root/repo/src/fo/frequency_oracle.h \
  /root/repo/src/hierarchy/level_grid.h \
  /root/repo/src/hierarchy/dim_hierarchy.h \
  /root/repo/src/hierarchy/interval.h /usr/include/c++/12/optional \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/string_util.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/hash.h \
+ /root/repo/src/common/string_util.h

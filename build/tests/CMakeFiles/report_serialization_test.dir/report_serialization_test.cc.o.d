@@ -293,10 +293,11 @@ tests/CMakeFiles/report_serialization_test.dir/report_serialization_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/mech/factory.h /root/repo/src/mech/mechanism.h \
- /usr/include/c++/12/span /root/repo/src/common/random.h \
- /root/repo/src/common/status.h /root/repo/src/data/schema.h \
- /root/repo/src/fo/frequency_oracle.h \
+ /root/repo/src/engine/protocol.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/mech/factory.h \
+ /root/repo/src/mech/mechanism.h /usr/include/c++/12/span \
+ /root/repo/src/common/random.h /root/repo/src/common/status.h \
+ /root/repo/src/data/schema.h /root/repo/src/fo/frequency_oracle.h \
  /root/repo/src/hierarchy/level_grid.h \
  /root/repo/src/hierarchy/dim_hierarchy.h \
  /root/repo/src/hierarchy/interval.h

@@ -15,6 +15,23 @@ uint64_t HashCombine(uint64_t seed, uint64_t value) {
   return Mix64(seed * 0x9e3779b97f4a7c15ULL + value + 0x2545f4914f6cdd1dULL);
 }
 
+uint64_t Checksum64(std::string_view bytes) {
+  uint64_t h = HashCombine(0x243f6a8885a308d3ULL, bytes.size());
+  uint64_t word = 0;
+  int shift = 0;
+  for (const char c : bytes) {
+    word |= static_cast<uint64_t>(static_cast<unsigned char>(c)) << shift;
+    shift += 8;
+    if (shift == 64) {
+      h = HashCombine(h, word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) h = HashCombine(h, word);
+  return h;
+}
+
 uint32_t SeededHashFamily::Eval(uint32_t seed, uint64_t value, uint32_t g) {
   // Multiply-shift style reduction of a well-mixed 64-bit hash into [0, g).
   const uint64_t h = HashCombine(seed, value);

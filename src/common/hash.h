@@ -2,6 +2,7 @@
 #define LDPMDA_COMMON_HASH_H_
 
 #include <cstdint>
+#include <string_view>
 
 namespace ldp {
 
@@ -10,6 +11,12 @@ uint64_t Mix64(uint64_t x);
 
 /// Hash of a (key, value) pair with good avalanche behaviour.
 uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+/// Order-dependent 64-bit checksum of a byte string (length-seeded
+/// HashCombine chain over little-endian 8-byte words). Endianness-stable, so
+/// it can guard a wire format. Not cryptographic: it detects the random
+/// corruption a lossy transport introduces, not a deliberate forgery.
+uint64_t Checksum64(std::string_view bytes);
 
 /// A pooled family of (approximately) pairwise-independent hash functions
 /// `H_s : uint64 -> [0, g)` indexed by a 32-bit seed `s`.

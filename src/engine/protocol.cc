@@ -2,12 +2,40 @@
 
 #include <sstream>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 
 namespace ldp {
 
 namespace {
+
 constexpr std::string_view kHeader = "ldpmda-collection-spec v1";
+constexpr std::string_view kFrameMagic = "LDPR";
+
+void PutU32Le(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64Le(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t ReadU32Le(std::string_view in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64Le(std::string_view in) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
 }  // namespace
 
 CollectionSpec CollectionSpec::FromSchema(const Schema& schema,
@@ -42,37 +70,56 @@ std::string CollectionSpec::Serialize() const {
 Result<CollectionSpec> CollectionSpec::Parse(std::string_view text) {
   const auto lines = Split(text, '\n');
   if (lines.empty() || Trim(lines[0]) != kHeader) {
-    return Status::ParseError("missing collection-spec header");
+    return Status::ParseError("spec line 1: expected header '" +
+                              std::string(kHeader) + "'");
   }
   CollectionSpec spec;
   for (size_t i = 1; i < lines.size(); ++i) {
+    const size_t lineno = i + 1;
+    // Every diagnostic names the 1-based line and the field being parsed.
+    const auto err = [lineno](std::string_view field, std::string_view what) {
+      return Status::ParseError("spec line " + std::to_string(lineno) + ": " +
+                                std::string(field) + ": " + std::string(what));
+    };
     const std::string_view line = Trim(lines[i]);
     if (line.empty() || line[0] == '#') continue;
     const size_t eq = line.find('=');
     if (eq == std::string_view::npos) {
-      return Status::ParseError("bad spec line: '" + std::string(line) + "'");
+      return err("line", "expected key=value, got '" + std::string(line) + "'");
     }
     const std::string_view key = Trim(line.substr(0, eq));
     const std::string_view value = Trim(line.substr(eq + 1));
     if (key == "mechanism") {
-      LDP_ASSIGN_OR_RETURN(spec.mechanism, MechanismKindFromString(value));
+      const auto kind = MechanismKindFromString(value);
+      if (!kind.ok()) return err(key, kind.status().message());
+      spec.mechanism = kind.value();
     } else if (key == "epsilon") {
-      LDP_ASSIGN_OR_RETURN(spec.params.epsilon, ParseDouble(value));
+      const auto eps = ParseDouble(value);
+      if (!eps.ok()) return err(key, eps.status().message());
+      spec.params.epsilon = eps.value();
     } else if (key == "fanout") {
-      LDP_ASSIGN_OR_RETURN(const int64_t fanout, ParseInt64(value));
-      if (fanout < 2) return Status::ParseError("fanout must be >= 2");
-      spec.params.fanout = static_cast<uint32_t>(fanout);
+      const auto fanout = ParseInt64(value);
+      if (!fanout.ok()) return err(key, fanout.status().message());
+      if (fanout.value() < 2) {
+        return err(key, "must be >= 2 (got '" + std::string(value) + "')");
+      }
+      spec.params.fanout = static_cast<uint32_t>(fanout.value());
     } else if (key == "fo") {
-      LDP_ASSIGN_OR_RETURN(spec.params.fo_kind, FoKindFromString(value));
+      const auto fo = FoKindFromString(value);
+      if (!fo.ok()) return err(key, fo.status().message());
+      spec.params.fo_kind = fo.value();
     } else if (key == "pool") {
-      LDP_ASSIGN_OR_RETURN(const int64_t pool, ParseInt64(value));
-      if (pool < 0) return Status::ParseError("pool must be >= 0");
-      spec.params.hash_pool_size = static_cast<uint32_t>(pool);
+      const auto pool = ParseInt64(value);
+      if (!pool.ok()) return err(key, pool.status().message());
+      if (pool.value() < 0) {
+        return err(key, "must be >= 0 (got '" + std::string(value) + "')");
+      }
+      spec.params.hash_pool_size = static_cast<uint32_t>(pool.value());
     } else if (key == "dim") {
       const auto parts = Split(value, ' ');
       if (parts.size() != 3) {
-        return Status::ParseError("dim needs 'name kind domain': '" +
-                                  std::string(value) + "'");
+        return err(key, "needs 'name kind domain', got '" +
+                            std::string(value) + "'");
       }
       Attribute attr;
       attr.name = parts[0];
@@ -81,18 +128,24 @@ Result<CollectionSpec> CollectionSpec::Parse(std::string_view text) {
       } else if (parts[1] == "categorical") {
         attr.kind = AttributeKind::kSensitiveCategorical;
       } else {
-        return Status::ParseError("unknown dim kind '" + parts[1] + "'");
+        return err(key, "kind must be 'ordinal' or 'categorical', got '" +
+                            parts[1] + "'");
       }
-      LDP_ASSIGN_OR_RETURN(const int64_t domain, ParseInt64(parts[2]));
-      if (domain <= 0) return Status::ParseError("dim domain must be > 0");
-      attr.domain_size = static_cast<uint64_t>(domain);
+      const auto domain = ParseInt64(parts[2]);
+      if (!domain.ok()) return err(key, domain.status().message());
+      if (domain.value() <= 0) {
+        return err(key, "domain must be > 0 (got '" + parts[2] + "')");
+      }
+      attr.domain_size = static_cast<uint64_t>(domain.value());
       spec.sensitive_attributes.push_back(std::move(attr));
     } else {
-      return Status::ParseError("unknown spec key '" + std::string(key) + "'");
+      return err(key, "unknown spec key");
     }
   }
   if (spec.sensitive_attributes.empty()) {
-    return Status::ParseError("spec declares no sensitive dimensions");
+    return Status::ParseError(
+        "spec line " + std::to_string(lines.size()) +
+        ": dim: spec declares no sensitive dimensions");
   }
   return spec;
 }
@@ -109,6 +162,45 @@ Result<Schema> CollectionSpec::ToSchema() const {
   return schema;
 }
 
+std::string FrameReport(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kReportFrameHeaderBytes + payload.size());
+  frame.append(kFrameMagic);
+  frame.push_back(static_cast<char>(kReportFrameVersion));
+  PutU32Le(&frame, static_cast<uint32_t>(payload.size()));
+  PutU64Le(&frame, Checksum64(payload));
+  frame.append(payload);
+  return frame;
+}
+
+Result<std::string_view> UnframeReport(std::string_view frame) {
+  if (frame.size() < kReportFrameHeaderBytes) {
+    return Status::ParseError("report frame truncated before header (" +
+                              std::to_string(frame.size()) + " bytes)");
+  }
+  if (frame.substr(0, kFrameMagic.size()) != kFrameMagic) {
+    return Status::ParseError("bad report frame magic");
+  }
+  const uint8_t version = static_cast<uint8_t>(frame[4]);
+  if (version != kReportFrameVersion) {
+    return Status::ParseError("unsupported report frame version " +
+                              std::to_string(version));
+  }
+  const uint32_t payload_len = ReadU32Le(frame.substr(5, 4));
+  const uint64_t checksum = ReadU64Le(frame.substr(9, 8));
+  const std::string_view payload = frame.substr(kReportFrameHeaderBytes);
+  if (payload.size() != payload_len) {
+    return Status::ParseError(
+        "report frame length mismatch: header says " +
+        std::to_string(payload_len) + " payload bytes, frame carries " +
+        std::to_string(payload.size()));
+  }
+  if (Checksum64(payload) != checksum) {
+    return Status::ParseError("report frame checksum mismatch");
+  }
+  return payload;
+}
+
 Result<LdpClient> LdpClient::Create(const CollectionSpec& spec) {
   LDP_ASSIGN_OR_RETURN(Schema schema, spec.ToSchema());
   LDP_ASSIGN_OR_RETURN(auto mechanism,
@@ -119,7 +211,7 @@ Result<LdpClient> LdpClient::Create(const CollectionSpec& spec) {
 Result<std::string> LdpClient::EncodeUser(std::span<const uint32_t> values,
                                           Rng& rng) const {
   LDP_RETURN_NOT_OK(ValidateSensitiveValues(schema_, values));
-  return mechanism_->EncodeUser(values, rng).Serialize();
+  return FrameReport(mechanism_->EncodeUser(values, rng).Serialize());
 }
 
 Result<CollectionServer> CollectionServer::Create(const CollectionSpec& spec) {
@@ -129,10 +221,56 @@ Result<CollectionServer> CollectionServer::Create(const CollectionSpec& spec) {
   return CollectionServer(spec, std::move(schema), std::move(mechanism));
 }
 
-Status CollectionServer::Ingest(std::string_view report_bytes, uint64_t user) {
-  LDP_ASSIGN_OR_RETURN(const LdpReport report,
-                       LdpReport::Deserialize(report_bytes));
-  return mechanism_->AddReport(report, user);
+Status CollectionServer::Ingest(std::string_view frame_bytes, uint64_t user) {
+  const auto payload = UnframeReport(frame_bytes);
+  if (!payload.ok()) {
+    ++stats_.corrupt;
+    return payload.status();
+  }
+  const auto report = LdpReport::Deserialize(payload.value());
+  if (!report.ok()) {
+    ++stats_.corrupt;
+    return report.status();
+  }
+  if (users_.contains(user)) {
+    ++stats_.duplicate;
+    return Status::AlreadyExists("user " + std::to_string(user) +
+                                 " already reported; duplicate discarded");
+  }
+  const Status added = mechanism_->AddReport(report.value(), user);
+  if (!added.ok()) {
+    // Well-formed bytes that don't fit the spec (e.g. wrong mechanism shape).
+    // The user stays un-seen so a correct retry can still land.
+    ++stats_.rejected;
+    return added;
+  }
+  users_.insert(user);
+  ++stats_.accepted;
+  return Status::OK();
+}
+
+Result<double> CollectionServer::EstimateBox(std::span<const Interval> ranges,
+                                             const WeightVector& weights) const {
+  if (stats_.accepted == 0) {
+    return Status::FailedPrecondition(
+        "no accepted reports (" + std::to_string(stats_.quarantined()) +
+        " quarantined): nothing to estimate from");
+  }
+  return mechanism_->EstimateBox(ranges, weights);
+}
+
+Result<double> CollectionServer::EstimateBoxForPopulation(
+    std::span<const Interval> ranges, const WeightVector& weights,
+    uint64_t intended_population) const {
+  if (intended_population < stats_.accepted) {
+    return Status::InvalidArgument(
+        "intended population " + std::to_string(intended_population) +
+        " smaller than the " + std::to_string(stats_.accepted) +
+        " accepted reports");
+  }
+  LDP_ASSIGN_OR_RETURN(const double cohort, EstimateBox(ranges, weights));
+  return cohort * static_cast<double>(intended_population) /
+         static_cast<double>(stats_.accepted);
 }
 
 }  // namespace ldp

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 
 #include "mech/factory.h"
 
@@ -23,6 +24,18 @@ namespace ldp {
 ///   pool=0
 ///   dim=age ordinal 54
 ///   dim=state categorical 6
+///
+/// Reports travel back framed (version 1; all integers little-endian):
+///
+///   [0, 4)    magic "LDPR"
+///   [4, 5)    frame version (0x01)
+///   [5, 9)    u32 payload length
+///   [9, 17)   u64 Checksum64 of the payload
+///   [17, ...) payload: the LdpReport binary serialization (mechanism.h)
+///
+/// The length prefix and checksum let CollectionServer::Ingest reject any
+/// truncated or bit-flipped report with a typed Status instead of feeding
+/// garbage to the estimators; see "Failure model & degradation" in DESIGN.md.
 struct CollectionSpec {
   MechanismKind mechanism = MechanismKind::kHio;
   MechanismParams params;
@@ -34,6 +47,8 @@ struct CollectionSpec {
                                    const MechanismParams& params);
 
   std::string Serialize() const;
+  /// Parses a serialized spec. Every failure names the offending line number
+  /// and field, e.g. "spec line 3: fanout: must be >= 2 (got '1')".
   static Result<CollectionSpec> Parse(std::string_view text);
 
   /// A schema holding exactly the sensitive dimensions (what the client and
@@ -41,14 +56,27 @@ struct CollectionSpec {
   Result<Schema> ToSchema() const;
 };
 
+/// Size of the wire-frame header prepended to every serialized report.
+inline constexpr size_t kReportFrameHeaderBytes = 17;
+/// Frame version emitted by FrameReport and accepted by UnframeReport.
+inline constexpr uint8_t kReportFrameVersion = 1;
+
+/// Wraps a serialized LdpReport payload in the framed wire format above.
+std::string FrameReport(std::string_view payload);
+
+/// Validates a frame (magic, version, length, checksum) and returns a view
+/// of the payload inside `frame`, which must outlive the returned view.
+/// Any malformed or corrupted frame yields a typed ParseError.
+Result<std::string_view> UnframeReport(std::string_view frame);
+
 /// Client-side half of the deployment: parses a spec and encodes one user's
-/// values into wire bytes. Holds no user data between calls.
+/// values into framed wire bytes. Holds no user data between calls.
 class LdpClient {
  public:
   static Result<LdpClient> Create(const CollectionSpec& spec);
 
-  /// Encodes the user's sensitive values (spec order) into a serialized
-  /// eps-LDP report ready to send.
+  /// Encodes the user's sensitive values (spec order) into a framed,
+  /// checksummed eps-LDP report ready to send.
   Result<std::string> EncodeUser(std::span<const uint32_t> values,
                                  Rng& rng) const;
 
@@ -66,24 +94,58 @@ class LdpClient {
   std::shared_ptr<Mechanism> mechanism_;  // shared: LdpClient is copyable
 };
 
-/// Server-side half: ingests wire bytes and answers box queries. (The
+/// What happened to every frame handed to CollectionServer::Ingest.
+struct IngestStats {
+  uint64_t accepted = 0;   ///< validated, first report for its user
+  uint64_t duplicate = 0;  ///< retry echoes / repeats, ingested zero times
+  uint64_t corrupt = 0;    ///< framing, checksum, or deserialize failure
+  uint64_t rejected = 0;   ///< well-formed bytes that don't fit the spec
+
+  /// Reports set aside instead of ingested (never fed to estimators).
+  uint64_t quarantined() const { return corrupt + rejected; }
+  /// Every frame seen, whatever its fate.
+  uint64_t total() const { return accepted + duplicate + corrupt + rejected; }
+};
+
+/// Server-side half: ingests framed wire bytes and answers box queries. (The
 /// AnalyticsEngine offers the richer SQL surface when the fact table lives
 /// in-process; CollectionServer is the transport-level building block.)
+///
+/// Ingest is fault-tolerant: malformed bytes are quarantined with a typed
+/// Status (never a crash or silent acceptance), repeats of a user's report
+/// are deduplicated, and estimates are renormalized by the count of
+/// *accepted* reports, so dropout shrinks the cohort instead of biasing it.
 class CollectionServer {
  public:
   static Result<CollectionServer> Create(const CollectionSpec& spec);
 
-  /// Validates and ingests one serialized report for user id `user`.
-  Status Ingest(std::string_view report_bytes, uint64_t user);
+  /// Validates and ingests one framed report for user id `user`. Non-OK
+  /// outcomes are typed: kParseError for corrupt frames or payloads,
+  /// kAlreadyExists for a duplicate user, and the mechanism's own code for
+  /// well-formed reports that don't fit the spec. Never aborts the process.
+  Status Ingest(std::string_view frame_bytes, uint64_t user);
 
   uint64_t num_reports() const { return mechanism_->num_reports(); }
+  const IngestStats& ingest_stats() const { return stats_; }
+  /// True when an accepted report from `user` is in the aggregate.
+  bool has_report(uint64_t user) const { return users_.contains(user); }
 
-  /// Unbiased weighted box estimate (one range per sensitive dimension,
-  /// spec order); weights are the server-known public measures.
+  /// Unbiased weighted box estimate over the *accepted cohort* (one range
+  /// per sensitive dimension, spec order); weights are the server-known
+  /// public measures. Returns kFailedPrecondition — never NaN — when zero
+  /// reports survived ingest.
   Result<double> EstimateBox(std::span<const Interval> ranges,
-                             const WeightVector& weights) const {
-    return mechanism_->EstimateBox(ranges, weights);
-  }
+                             const WeightVector& weights) const;
+
+  /// Extrapolates the accepted-cohort estimate to an intended population of
+  /// `intended_population` users by inverse-propensity scaling with the
+  /// empirical response rate accepted / intended. Unbiased when dropout is
+  /// independent of the users' sensitive values (missing completely at
+  /// random); under selective dropout no estimator can recover the
+  /// population total from the survivors alone.
+  Result<double> EstimateBoxForPopulation(std::span<const Interval> ranges,
+                                          const WeightVector& weights,
+                                          uint64_t intended_population) const;
 
   const Mechanism& mechanism() const { return *mechanism_; }
 
@@ -97,6 +159,8 @@ class CollectionServer {
   CollectionSpec spec_;
   Schema schema_;
   std::shared_ptr<Mechanism> mechanism_;
+  IngestStats stats_;
+  std::unordered_set<uint64_t> users_;  // accepted users, for dedup
 };
 
 }  // namespace ldp

@@ -1,0 +1,119 @@
+#include "engine/transport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ldp {
+
+namespace {
+
+Status CheckRate(double rate, const char* name) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " rate must lie in [0, 1], got " +
+                                   std::to_string(rate));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultRates::Validate() const {
+  LDP_RETURN_NOT_OK(CheckRate(drop, "drop"));
+  LDP_RETURN_NOT_OK(CheckRate(dup, "dup"));
+  LDP_RETURN_NOT_OK(CheckRate(reorder, "reorder"));
+  LDP_RETURN_NOT_OK(CheckRate(truncate, "truncate"));
+  LDP_RETURN_NOT_OK(CheckRate(corrupt, "corrupt"));
+  return Status::OK();
+}
+
+Result<FaultyChannel> FaultyChannel::Create(const FaultRates& rates,
+                                            uint64_t seed) {
+  LDP_RETURN_NOT_OK(rates.Validate());
+  return FaultyChannel(rates, seed);
+}
+
+std::string FaultyChannel::MaybeMangle(std::string_view bytes) {
+  std::string out(bytes);
+  if (!out.empty() && rng_.Bernoulli(rates_.truncate)) {
+    out.resize(rng_.UniformInt(out.size()));  // keep a strict prefix
+    ++stats_.truncated;
+  }
+  if (!out.empty() && rng_.Bernoulli(rates_.corrupt)) {
+    const size_t pos = rng_.UniformInt(out.size());
+    out[pos] ^= static_cast<char>(1 + rng_.UniformInt(255));  // never a no-op
+    ++stats_.corrupted;
+  }
+  return out;
+}
+
+void FaultyChannel::Enqueue(uint64_t user, std::string bytes) {
+  Delivery d{user, std::move(bytes)};
+  if (!queue_.empty() && rng_.Bernoulli(rates_.reorder)) {
+    const size_t slot = rng_.UniformInt(queue_.size());
+    queue_.insert(queue_.begin() + static_cast<ptrdiff_t>(slot), std::move(d));
+    ++stats_.reordered;
+  } else {
+    queue_.push_back(std::move(d));
+  }
+}
+
+int FaultyChannel::Send(uint64_t user, std::string_view bytes) {
+  ++stats_.sent;
+  if (rng_.Bernoulli(rates_.drop)) {
+    ++stats_.dropped;
+    return 0;
+  }
+  int copies = 1;
+  if (rng_.Bernoulli(rates_.dup)) {
+    copies = 2;
+    ++stats_.duplicated;
+  }
+  for (int c = 0; c < copies; ++c) {
+    Enqueue(user, MaybeMangle(bytes));
+  }
+  return copies;
+}
+
+std::vector<FaultyChannel::Delivery> FaultyChannel::Drain() {
+  std::vector<Delivery> out(std::make_move_iterator(queue_.begin()),
+                            std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  stats_.delivered += out.size();
+  return out;
+}
+
+uint64_t RetryPolicy::BackoffMs(int attempt) const {
+  double backoff = static_cast<double>(base_backoff_ms);
+  for (int i = 1; i < attempt; ++i) backoff *= multiplier;
+  return static_cast<uint64_t>(
+      std::min(backoff, static_cast<double>(max_backoff_ms)));
+}
+
+TransportClient::TransportClient(FaultyChannel* channel, SimulatedClock* clock,
+                                 const RetryPolicy& policy, uint64_t seed)
+    : channel_(channel), clock_(clock), policy_(policy), ack_rng_(seed) {}
+
+int TransportClient::SendWithRetry(uint64_t user, std::string_view bytes) {
+  ++stats_.sends;
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    const int copies = channel_->Send(user, bytes);
+    const bool acked =
+        copies > 0 && !ack_rng_.Bernoulli(channel_->rates().drop);
+    if (acked) {
+      ++stats_.acked;
+      return attempt;
+    }
+    if (attempt < policy_.max_attempts) {
+      const uint64_t backoff = policy_.BackoffMs(attempt);
+      clock_->Advance(backoff);
+      stats_.backoff_ms += backoff;
+    }
+  }
+  ++stats_.gave_up;
+  return policy_.max_attempts;
+}
+
+}  // namespace ldp

@@ -1,0 +1,142 @@
+#ifndef LDPMDA_ENGINE_TRANSPORT_H_
+#define LDPMDA_ENGINE_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ldp {
+
+/// Per-message fault probabilities for a simulated client→server link.
+/// Every fault is an independent Bernoulli draw from the channel's own
+/// seeded RNG, so a (rates, seed) pair reproduces the exact same fault
+/// pattern run after run — the property the fault-injection harness relies
+/// on to assert error bounds deterministically.
+struct FaultRates {
+  double drop = 0.0;      ///< message vanishes entirely (and so does its ack)
+  double dup = 0.0;       ///< message is delivered twice
+  double reorder = 0.0;   ///< message jumps to a random earlier queue slot
+  double truncate = 0.0;  ///< message loses a random-length tail
+  double corrupt = 0.0;   ///< one random byte of the message is flipped
+
+  /// Every rate must lie in [0, 1].
+  Status Validate() const;
+};
+
+/// Counters for what the channel actually did, one per applied fault.
+struct ChannelStats {
+  uint64_t sent = 0;       ///< Send() calls (logical messages)
+  uint64_t delivered = 0;  ///< copies handed out by Drain()
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t reordered = 0;
+  uint64_t truncated = 0;
+  uint64_t corrupted = 0;
+};
+
+/// A deterministic, seedable unreliable byte pipe between LdpClient and
+/// CollectionServer. Faults are applied at Send time; Drain() hands the
+/// surviving (possibly mangled, duplicated, reordered) copies to the server
+/// in final queue order. The channel never interprets the bytes it carries —
+/// detecting mangling is the framed wire format's job (see protocol.h).
+class FaultyChannel {
+ public:
+  struct Delivery {
+    uint64_t user = 0;
+    std::string bytes;
+  };
+
+  static Result<FaultyChannel> Create(const FaultRates& rates, uint64_t seed);
+
+  /// Applies the fault mix to one message and enqueues the surviving copies.
+  /// Returns the number of copies enqueued (0 when the message dropped).
+  int Send(uint64_t user, std::string_view bytes);
+
+  size_t pending() const { return queue_.size(); }
+
+  /// Removes and returns every pending delivery in queue order.
+  std::vector<Delivery> Drain();
+
+  const ChannelStats& stats() const { return stats_; }
+  const FaultRates& rates() const { return rates_; }
+
+ private:
+  FaultyChannel(const FaultRates& rates, uint64_t seed)
+      : rates_(rates), rng_(seed) {}
+
+  /// Applies truncation/corruption draws to one copy of a message.
+  std::string MaybeMangle(std::string_view bytes);
+  /// Enqueues one copy, possibly at a random earlier slot (reordering).
+  void Enqueue(uint64_t user, std::string bytes);
+
+  FaultRates rates_;
+  Rng rng_;
+  ChannelStats stats_;
+  std::deque<Delivery> queue_;
+};
+
+/// A virtual millisecond clock. Retry backoff advances this clock instead of
+/// sleeping, so a simulation of millions of users with retries still runs in
+/// real milliseconds and remains fully deterministic.
+class SimulatedClock {
+ public:
+  uint64_t now_ms() const { return now_ms_; }
+  void Advance(uint64_t ms) { now_ms_ += ms; }
+
+ private:
+  uint64_t now_ms_ = 0;
+};
+
+/// Bounded retries with capped exponential backoff.
+struct RetryPolicy {
+  int max_attempts = 4;  ///< first try plus up to three retries
+  uint64_t base_backoff_ms = 50;
+  double multiplier = 2.0;
+  uint64_t max_backoff_ms = 5000;
+
+  /// Backoff to wait after the (1-based) `attempt`-th failed attempt:
+  /// min(base * multiplier^(attempt-1), max).
+  uint64_t BackoffMs(int attempt) const;
+};
+
+/// Client-side retry loop over a FaultyChannel. An attempt is acknowledged
+/// when at least one copy reached the queue AND the simulated ack — which
+/// travels the same lossy link, so it is lost with the channel's drop rate —
+/// comes back. A delivered-but-unacked attempt is retried, which is exactly
+/// what produces the retry echoes CollectionServer must deduplicate.
+class TransportClient {
+ public:
+  struct Stats {
+    uint64_t sends = 0;       ///< logical messages handed to SendWithRetry
+    uint64_t attempts = 0;    ///< physical channel sends, retries included
+    uint64_t acked = 0;       ///< messages eventually acknowledged
+    uint64_t gave_up = 0;     ///< messages that exhausted max_attempts
+    uint64_t backoff_ms = 0;  ///< total simulated time spent backing off
+  };
+
+  /// The channel and clock must outlive the client.
+  TransportClient(FaultyChannel* channel, SimulatedClock* clock,
+                  const RetryPolicy& policy, uint64_t seed);
+
+  /// Pushes one report through the channel with bounded retries. Returns the
+  /// number of attempts made (>= 1; == max_attempts when it gave up).
+  int SendWithRetry(uint64_t user, std::string_view bytes);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FaultyChannel* channel_;
+  SimulatedClock* clock_;
+  RetryPolicy policy_;
+  Rng ack_rng_;
+  Stats stats_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_ENGINE_TRANSPORT_H_

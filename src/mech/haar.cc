@@ -109,6 +109,7 @@ double HaarMechanism::BlockEstimate(int level, uint64_t block,
 
 Result<double> HaarMechanism::EstimateBox(std::span<const Interval> ranges,
                                           const WeightVector& weights) const {
+  LDP_RETURN_NOT_OK(EnsureReports());
   if (ranges.size() != 1) {
     return Status::InvalidArgument("the Haar mechanism is one-dimensional");
   }

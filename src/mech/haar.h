@@ -42,7 +42,6 @@ class HaarMechanism : public Mechanism {
   Status AddReport(const LdpReport& report, uint64_t user) override;
   Result<double> EstimateBox(std::span<const Interval> ranges,
                              const WeightVector& weights) const override;
-  uint64_t num_reports() const override { return num_reports_; }
   Result<double> VarianceBound(std::span<const Interval> ranges,
                                const WeightVector& weights) const override;
 
@@ -71,7 +70,6 @@ class HaarMechanism : public Mechanism {
   uint64_t domain_ = 0;  // real domain size m
   int height_ = 0;
   ReportStore store_;  // one group per level, full-eps oracles
-  uint64_t num_reports_ = 0;
 };
 
 }  // namespace ldp

@@ -88,6 +88,7 @@ Result<double> HiMechanism::VarianceBound(std::span<const Interval> ranges,
 
 Result<double> HiMechanism::EstimateBox(std::span<const Interval> ranges,
                                         const WeightVector& weights) const {
+  LDP_RETURN_NOT_OK(EnsureReports());
   std::vector<SubQuery> sub_queries;
   LDP_RETURN_NOT_OK(grid_->DecomposeBox(ranges, &sub_queries));
   double total = 0.0;

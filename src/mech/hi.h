@@ -31,7 +31,6 @@ class HiMechanism : public Mechanism {
   Status AddReport(const LdpReport& report, uint64_t user) override;
   Result<double> EstimateBox(std::span<const Interval> ranges,
                              const WeightVector& weights) const override;
-  uint64_t num_reports() const override { return num_reports_; }
   Result<double> VarianceBound(std::span<const Interval> ranges,
                                const WeightVector& weights) const override;
 
@@ -49,7 +48,6 @@ class HiMechanism : public Mechanism {
   std::vector<std::vector<int>> levels_of_tuple_;
   ReportStore store_;
   double per_level_epsilon_ = 0.0;
-  uint64_t num_reports_ = 0;
   int num_dims_ = 0;
 };
 

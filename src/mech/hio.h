@@ -35,7 +35,6 @@ class HioMechanism : public Mechanism {
   Status AddReport(const LdpReport& report, uint64_t user) override;
   Result<double> EstimateBox(std::span<const Interval> ranges,
                              const WeightVector& weights) const override;
-  uint64_t num_reports() const override { return num_reports_; }
   Result<double> VarianceBound(std::span<const Interval> ranges,
                                const WeightVector& weights) const override;
 
@@ -53,7 +52,6 @@ class HioMechanism : public Mechanism {
   std::unique_ptr<LevelGrid> grid_;
   std::vector<std::vector<int>> levels_of_tuple_;
   ReportStore store_;
-  uint64_t num_reports_ = 0;
   int num_dims_ = 0;
 };
 

@@ -33,6 +33,15 @@ Result<MechanismKind> MechanismKindFromString(std::string_view name) {
   return Status::InvalidArgument("unknown mechanism: " + std::string(name));
 }
 
+Status Mechanism::EnsureReports() const {
+  if (num_reports_ == 0) {
+    return Status::FailedPrecondition(
+        "no accepted reports: nothing to estimate from (all clients dropped "
+        "out or every report was quarantined)");
+  }
+  return Status::OK();
+}
+
 uint64_t LdpReport::SizeWords() const {
   uint64_t words = 0;
   for (const auto& e : entries) {

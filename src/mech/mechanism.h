@@ -100,8 +100,10 @@ class Mechanism {
   virtual Result<double> EstimateBox(std::span<const Interval> ranges,
                                      const WeightVector& weights) const = 0;
 
-  /// Number of ingested reports.
-  virtual uint64_t num_reports() const = 0;
+  /// Number of *accepted* reports. All renormalization downstream is by this
+  /// count — never by an intended population size — so estimates stay
+  /// unbiased w.r.t. the cohort that actually reported when clients drop out.
+  uint64_t num_reports() const { return num_reports_; }
 
   /// An upper bound on the variance of EstimateBox(ranges, weights) — the
   /// paper's closed-form error analyses (Prop. 4/5, Theorems 6-11)
@@ -114,7 +116,14 @@ class Mechanism {
  protected:
   explicit Mechanism(MechanismParams params) : params_(params) {}
 
+  /// Typed guard for estimation entry points: with zero accepted reports the
+  /// estimators would return a meaningless 0 (or NaN after renormalization),
+  /// so surface the condition instead. Call at the top of EstimateBox.
+  Status EnsureReports() const;
+
   MechanismParams params_;
+  /// Bumped by subclasses in AddReport after a report passes validation.
+  uint64_t num_reports_ = 0;
 };
 
 /// Builds the per-dimension hierarchies for the schema's sensitive

@@ -93,6 +93,7 @@ Result<double> MgMechanism::VarianceBound(std::span<const Interval> ranges,
 
 Result<double> MgMechanism::EstimateBox(std::span<const Interval> ranges,
                                         const WeightVector& weights) const {
+  LDP_RETURN_NOT_OK(EnsureReports());
   if (ranges.size() != domains_.size()) {
     return Status::InvalidArgument("EstimateBox needs one range per dim");
   }

@@ -30,7 +30,6 @@ class MgMechanism : public Mechanism {
   Status AddReport(const LdpReport& report, uint64_t user) override;
   Result<double> EstimateBox(std::span<const Interval> ranges,
                              const WeightVector& weights) const override;
-  uint64_t num_reports() const override { return num_reports_; }
   Result<double> VarianceBound(std::span<const Interval> ranges,
                                const WeightVector& weights) const override;
 
@@ -43,7 +42,6 @@ class MgMechanism : public Mechanism {
   std::vector<uint64_t> domains_;
   uint64_t total_cells_ = 1;
   ReportStore store_;  // one group: the full cross-product marginal
-  uint64_t num_reports_ = 0;
 };
 
 }  // namespace ldp

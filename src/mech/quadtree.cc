@@ -136,6 +136,7 @@ Result<double> QuadTreeMechanism::VarianceBound(
 
 Result<double> QuadTreeMechanism::EstimateBox(
     std::span<const Interval> ranges, const WeightVector& weights) const {
+  LDP_RETURN_NOT_OK(EnsureReports());
   LDP_ASSIGN_OR_RETURN(const auto nodes, DecomposeBox(ranges));
   // Level sampling: scale each group's estimate by the inverse sampling
   // rate h + 1 (as in HIO / eq. 24).

@@ -34,7 +34,6 @@ class QuadTreeMechanism : public Mechanism {
   Status AddReport(const LdpReport& report, uint64_t user) override;
   Result<double> EstimateBox(std::span<const Interval> ranges,
                              const WeightVector& weights) const override;
-  uint64_t num_reports() const override { return num_reports_; }
   Result<double> VarianceBound(std::span<const Interval> ranges,
                                const WeightVector& weights) const override;
 
@@ -59,7 +58,6 @@ class QuadTreeMechanism : public Mechanism {
   std::vector<uint64_t> domains_;  // real domain sizes (m1, m2)
   int height_ = 0;
   ReportStore store_;  // one group per level, full-eps oracles
-  uint64_t num_reports_ = 0;
 };
 
 }  // namespace ldp

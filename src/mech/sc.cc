@@ -86,6 +86,7 @@ Status ScMechanism::AddReport(const LdpReport& report, uint64_t user) {
     ys_[entry.group].push_back(entry.fo.value);
   }
   users_.push_back(user);
+  ++num_reports_;
   return Status::OK();
 }
 
@@ -116,6 +117,7 @@ Result<double> ScMechanism::VarianceBound(std::span<const Interval> ranges,
 
 Result<double> ScMechanism::EstimateBox(std::span<const Interval> ranges,
                                         const WeightVector& weights) const {
+  LDP_RETURN_NOT_OK(EnsureReports());
   const int d = grid_->num_dims();
   if (static_cast<int>(ranges.size()) != d) {
     return Status::InvalidArgument("EstimateBox needs one range per dim");

@@ -40,7 +40,6 @@ class ScMechanism : public Mechanism {
   Status AddReport(const LdpReport& report, uint64_t user) override;
   Result<double> EstimateBox(std::span<const Interval> ranges,
                              const WeightVector& weights) const override;
-  uint64_t num_reports() const override { return users_.size(); }
   Result<double> VarianceBound(std::span<const Interval> ranges,
                                const WeightVector& weights) const override;
 

@@ -76,7 +76,10 @@ TEST(MgMechanismTest, BoxCellCapEnforced) {
   ASSERT_TRUE(schema.AddOrdinal("d2", 1 << 13).ok());
   ASSERT_TRUE(schema.AddMeasure("w").ok());
   auto mech = MgMechanism::Create(schema, Params(1.0)).ValueOrDie();
-  const WeightVector w = WeightVector::Ones(0);
+  Rng rng(1);
+  const std::vector<uint32_t> values = {0, 0};
+  ASSERT_TRUE(mech->AddReport(mech->EncodeUser(values, rng), 0).ok());
+  const WeightVector w = WeightVector::Ones(1);
   const std::vector<Interval> huge = {{0, (1 << 13) - 1}, {0, (1 << 13) - 1}};
   const auto r = mech->EstimateBox(huge, w);
   EXPECT_FALSE(r.ok());

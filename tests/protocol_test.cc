@@ -107,6 +107,156 @@ TEST(ProtocolTest, ClientServerEndToEnd) {
   EXPECT_NEAR(est, truth, w.total() * 0.2);
 }
 
+// Every malformed-input path names the offending line and field.
+TEST(CollectionSpecTest, ParseDiagnosticsNameLineAndField) {
+  const std::string header = "ldpmda-collection-spec v1\n";
+  struct Case {
+    bool with_header;
+    const char* input;
+    const char* expect_substr;
+  };
+  const Case cases[] = {
+      {false, "", "line 1"},
+      {false, "not a spec\n", "line 1"},
+      {false, "ldpmda-collection-spec v2\n", "line 1"},
+      {true, "bogus\n", "spec line 2: line: expected key=value"},
+      {true, "mechanism=alien\n", "spec line 2: mechanism"},
+      {true, "epsilon=fast\n", "spec line 2: epsilon"},
+      {true, "fanout=1\n", "spec line 2: fanout: must be >= 2"},
+      {true, "fanout=x\n", "spec line 2: fanout"},
+      {true, "fo=sha\n", "spec line 2: fo"},
+      {true, "pool=-3\n", "spec line 2: pool: must be >= 0"},
+      {true, "warp=9\n", "spec line 2: warp: unknown spec key"},
+      {true, "dim=x\n", "spec line 2: dim: needs 'name kind domain'"},
+      {true, "dim=x weird 5\n", "spec line 2: dim: kind must be"},
+      {true, "dim=x ordinal 0\n", "spec line 2: dim: domain must be > 0"},
+      {true, "dim=x ordinal many\n", "spec line 2: dim"},
+      {true, "# only comments\n", "no sensitive dimensions"},
+      {true, "epsilon=1\n\n# c\ndim=x ordinal 4\nfanout=1\n",
+       "spec line 6: fanout"},
+  };
+  for (const Case& c : cases) {
+    const std::string text =
+        c.with_header ? header + c.input : std::string(c.input);
+    const auto r = CollectionSpec::Parse(text);
+    ASSERT_FALSE(r.ok()) << "input: " << c.input;
+    EXPECT_NE(r.status().message().find(c.expect_substr), std::string::npos)
+        << "input: '" << c.input << "' message: " << r.status().message();
+  }
+}
+
+TEST(ProtocolTest, FrameRoundTripAndTypedRejections) {
+  const std::string payload = "some report payload";
+  const std::string frame = FrameReport(payload);
+  EXPECT_EQ(frame.size(), kReportFrameHeaderBytes + payload.size());
+  EXPECT_EQ(UnframeReport(frame).ValueOrDie(), payload);
+
+  // Truncated before the header completes.
+  EXPECT_FALSE(UnframeReport(std::string_view(frame).substr(0, 10)).ok());
+  // Wrong magic.
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(UnframeReport(bad_magic).ok());
+  // Unsupported version.
+  std::string bad_version = frame;
+  bad_version[4] = 2;
+  EXPECT_FALSE(UnframeReport(bad_version).ok());
+  // Length prefix disagrees with the carried payload.
+  std::string short_payload = frame;
+  short_payload.pop_back();
+  EXPECT_FALSE(UnframeReport(short_payload).ok());
+  // Payload bit flip breaks the checksum.
+  std::string flipped = frame;
+  flipped[kReportFrameHeaderBytes + 3] ^= 0x20;
+  const auto r = UnframeReport(flipped);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+// Regression: a second report from the same user id must be discarded, not
+// double-counted (retry echoes would otherwise bias every estimate).
+TEST(ProtocolTest, IngestDeduplicatesUsers) {
+  const CollectionSpec spec = TestSpec();
+  LdpClient client = LdpClient::Create(spec).ValueOrDie();
+  CollectionServer server = CollectionServer::Create(spec).ValueOrDie();
+  Rng rng(12);
+  const std::vector<uint32_t> values = {20, 3};
+  const std::string first = client.EncodeUser(values, rng).ValueOrDie();
+  ASSERT_TRUE(server.Ingest(first, 0).ok());
+  // The identical frame again (a retry echo)...
+  const Status echo = server.Ingest(first, 0);
+  EXPECT_FALSE(echo.ok());
+  EXPECT_EQ(echo.code(), StatusCode::kAlreadyExists);
+  // ...and a fresh encode under the same user id: still rejected.
+  const std::string second = client.EncodeUser(values, rng).ValueOrDie();
+  EXPECT_FALSE(server.Ingest(second, 0).ok());
+  EXPECT_EQ(server.num_reports(), 1u);
+  EXPECT_EQ(server.ingest_stats().accepted, 1u);
+  EXPECT_EQ(server.ingest_stats().duplicate, 2u);
+  // A different user is unaffected.
+  EXPECT_TRUE(server.Ingest(client.EncodeUser(values, rng).ValueOrDie(), 1)
+                  .ok());
+  EXPECT_EQ(server.num_reports(), 2u);
+}
+
+TEST(ProtocolTest, IngestStatsClassifyOutcomes) {
+  const Schema schema = TestSchema();
+  MechanismParams params;
+  params.epsilon = 2.0;
+  const CollectionSpec hio_spec =
+      CollectionSpec::FromSchema(schema, MechanismKind::kHio, params);
+  const CollectionSpec hi_spec =
+      CollectionSpec::FromSchema(schema, MechanismKind::kHi, params);
+  CollectionServer server = CollectionServer::Create(hio_spec).ValueOrDie();
+  Rng rng(13);
+  // corrupt: not even a frame.
+  EXPECT_FALSE(server.Ingest("junk", 0).ok());
+  // rejected: valid frame and payload, wrong shape for the spec.
+  LdpClient hi_client = LdpClient::Create(hi_spec).ValueOrDie();
+  const std::vector<uint32_t> values = {5, 1};
+  EXPECT_FALSE(
+      server.Ingest(hi_client.EncodeUser(values, rng).ValueOrDie(), 1).ok());
+  // accepted.
+  LdpClient hio_client = LdpClient::Create(hio_spec).ValueOrDie();
+  EXPECT_TRUE(
+      server.Ingest(hio_client.EncodeUser(values, rng).ValueOrDie(), 2).ok());
+  const IngestStats& stats = server.ingest_stats();
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.duplicate, 0u);
+  EXPECT_EQ(stats.quarantined(), 2u);
+  EXPECT_EQ(stats.total(), 3u);
+  EXPECT_TRUE(server.has_report(2));
+  EXPECT_FALSE(server.has_report(1));
+}
+
+// A user whose first frame was quarantined may retry successfully: dedup
+// tracks accepted reports, not attempts.
+TEST(ProtocolTest, QuarantinedUserMayRetry) {
+  const CollectionSpec spec = TestSpec();
+  LdpClient client = LdpClient::Create(spec).ValueOrDie();
+  CollectionServer server = CollectionServer::Create(spec).ValueOrDie();
+  Rng rng(14);
+  const std::vector<uint32_t> values = {20, 3};
+  std::string frame = client.EncodeUser(values, rng).ValueOrDie();
+  frame.back() ^= 0x01;  // corrupt in flight
+  EXPECT_FALSE(server.Ingest(frame, 7).ok());
+  EXPECT_EQ(server.ingest_stats().corrupt, 1u);
+  EXPECT_TRUE(
+      server.Ingest(client.EncodeUser(values, rng).ValueOrDie(), 7).ok());
+  EXPECT_EQ(server.num_reports(), 1u);
+}
+
+TEST(ProtocolTest, EstimateBoxWithZeroAcceptedIsTypedError) {
+  CollectionServer server = CollectionServer::Create(TestSpec()).ValueOrDie();
+  const WeightVector w = WeightVector::Ones(10);
+  const std::vector<Interval> ranges = {{0, 53}, {0, 5}};
+  const auto est = server.EstimateBox(ranges, w);
+  ASSERT_FALSE(est.ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST(ProtocolTest, ClientValidatesValues) {
   LdpClient client = LdpClient::Create(TestSpec()).ValueOrDie();
   Rng rng(9);

@@ -1,0 +1,181 @@
+#include "engine/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ldp {
+namespace {
+
+TEST(FaultRatesTest, ValidateRejectsOutOfRange) {
+  EXPECT_TRUE(FaultRates{}.Validate().ok());
+  FaultRates full;
+  full.drop = full.dup = full.reorder = full.truncate = full.corrupt = 1.0;
+  EXPECT_TRUE(full.Validate().ok());
+  EXPECT_FALSE(FaultRates{.drop = -0.1}.Validate().ok());
+  EXPECT_FALSE(FaultRates{.dup = 1.5}.Validate().ok());
+  const auto r = FaultyChannel::Create(FaultRates{.corrupt = 2.0}, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultyChannelTest, PerfectChannelDeliversInOrder) {
+  FaultyChannel channel = FaultyChannel::Create(FaultRates{}, 3).ValueOrDie();
+  for (uint64_t u = 0; u < 100; ++u) {
+    EXPECT_EQ(channel.Send(u, "payload-" + std::to_string(u)), 1);
+  }
+  EXPECT_EQ(channel.pending(), 100u);
+  const auto deliveries = channel.Drain();
+  ASSERT_EQ(deliveries.size(), 100u);
+  for (uint64_t u = 0; u < 100; ++u) {
+    EXPECT_EQ(deliveries[u].user, u);
+    EXPECT_EQ(deliveries[u].bytes, "payload-" + std::to_string(u));
+  }
+  EXPECT_EQ(channel.pending(), 0u);
+  EXPECT_EQ(channel.stats().delivered, 100u);
+  EXPECT_EQ(channel.stats().dropped, 0u);
+  EXPECT_EQ(channel.stats().corrupted, 0u);
+}
+
+TEST(FaultyChannelTest, DeterministicUnderSameSeed) {
+  FaultRates rates;
+  rates.drop = 0.2;
+  rates.dup = 0.2;
+  rates.reorder = 0.3;
+  rates.truncate = 0.1;
+  rates.corrupt = 0.2;
+  auto run = [&rates](uint64_t seed) {
+    FaultyChannel channel = FaultyChannel::Create(rates, seed).ValueOrDie();
+    for (uint64_t u = 0; u < 500; ++u) {
+      channel.Send(u, "the quick brown fox " + std::to_string(u));
+    }
+    return channel.Drain();
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+  }
+  // A different seed produces a different fault pattern.
+  bool any_diff = c.size() != a.size();
+  for (size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = a[i].user != c[i].user || a[i].bytes != c[i].bytes;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultyChannelTest, FaultRatesRoughlyHonored) {
+  FaultRates rates;
+  rates.drop = 0.25;
+  FaultyChannel channel = FaultyChannel::Create(rates, 7).ValueOrDie();
+  const uint64_t n = 20000;
+  for (uint64_t u = 0; u < n; ++u) channel.Send(u, "x");
+  const double observed =
+      static_cast<double>(channel.stats().dropped) / static_cast<double>(n);
+  EXPECT_NEAR(observed, 0.25, 0.02);
+  EXPECT_EQ(channel.pending(), n - channel.stats().dropped);
+}
+
+TEST(FaultyChannelTest, DuplicationEnqueuesTwoCopies) {
+  FaultRates rates;
+  rates.dup = 1.0;
+  FaultyChannel channel = FaultyChannel::Create(rates, 9).ValueOrDie();
+  EXPECT_EQ(channel.Send(0, "hello"), 2);
+  const auto deliveries = channel.Drain();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].bytes, "hello");
+  EXPECT_EQ(deliveries[1].bytes, "hello");
+}
+
+TEST(FaultyChannelTest, CorruptionAlwaysChangesBytes) {
+  FaultRates rates;
+  rates.corrupt = 1.0;
+  FaultyChannel channel = FaultyChannel::Create(rates, 11).ValueOrDie();
+  const std::string original = "a fairly long report payload to mangle";
+  for (int i = 0; i < 50; ++i) channel.Send(0, original);
+  for (const auto& d : channel.Drain()) {
+    EXPECT_NE(d.bytes, original);         // the flip is never a no-op
+    EXPECT_EQ(d.bytes.size(), original.size());
+  }
+}
+
+TEST(FaultyChannelTest, TruncationShortensBytes) {
+  FaultRates rates;
+  rates.truncate = 1.0;
+  FaultyChannel channel = FaultyChannel::Create(rates, 13).ValueOrDie();
+  const std::string original = "0123456789";
+  for (int i = 0; i < 50; ++i) channel.Send(0, original);
+  for (const auto& d : channel.Drain()) {
+    EXPECT_LT(d.bytes.size(), original.size());  // strict prefix
+    EXPECT_EQ(original.compare(0, d.bytes.size(), d.bytes), 0);
+  }
+}
+
+TEST(RetryPolicyTest, ExponentialBackoffWithCap) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_backoff_ms = 500;
+  EXPECT_EQ(policy.BackoffMs(1), 100u);
+  EXPECT_EQ(policy.BackoffMs(2), 200u);
+  EXPECT_EQ(policy.BackoffMs(3), 400u);
+  EXPECT_EQ(policy.BackoffMs(4), 500u);  // capped
+  EXPECT_EQ(policy.BackoffMs(10), 500u);
+}
+
+TEST(TransportClientTest, NoFaultsMeansOneAttemptNoBackoff) {
+  FaultyChannel channel = FaultyChannel::Create(FaultRates{}, 17).ValueOrDie();
+  SimulatedClock clock;
+  TransportClient client(&channel, &clock, RetryPolicy{}, 18);
+  for (uint64_t u = 0; u < 50; ++u) {
+    EXPECT_EQ(client.SendWithRetry(u, "r"), 1);
+  }
+  EXPECT_EQ(client.stats().attempts, 50u);
+  EXPECT_EQ(client.stats().acked, 50u);
+  EXPECT_EQ(client.stats().gave_up, 0u);
+  EXPECT_EQ(clock.now_ms(), 0u);
+}
+
+TEST(TransportClientTest, RetriesRecoverMostDropsAndAdvanceClock) {
+  FaultRates rates;
+  rates.drop = 0.3;
+  FaultyChannel channel = FaultyChannel::Create(rates, 19).ValueOrDie();
+  SimulatedClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  TransportClient client(&channel, &clock, policy, 20);
+  const uint64_t n = 5000;
+  for (uint64_t u = 0; u < n; ++u) client.SendWithRetry(u, "r");
+  // P(attempt acked) = 0.7 * 0.7; P(all 5 unacked) = 0.51^5 ≈ 3.4%, so ~96%
+  // of users are eventually acked, at the cost of simulated backoff time.
+  EXPECT_GT(client.stats().acked, n * 94 / 100);
+  EXPECT_GT(client.stats().attempts, n);  // retries happened
+  EXPECT_GT(clock.now_ms(), 0u);
+  EXPECT_EQ(client.stats().backoff_ms, clock.now_ms());
+  // Unacked-but-delivered attempts put duplicate user frames in the queue.
+  EXPECT_GT(channel.pending(), static_cast<size_t>(client.stats().acked));
+}
+
+TEST(TransportClientTest, GivesUpAfterMaxAttemptsOnDeadLink) {
+  FaultRates rates;
+  rates.drop = 1.0;
+  FaultyChannel channel = FaultyChannel::Create(rates, 21).ValueOrDie();
+  SimulatedClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 10;
+  policy.multiplier = 2.0;
+  TransportClient client(&channel, &clock, policy, 22);
+  EXPECT_EQ(client.SendWithRetry(0, "r"), 3);
+  EXPECT_EQ(client.stats().gave_up, 1u);
+  EXPECT_EQ(client.stats().attempts, 3u);
+  EXPECT_EQ(channel.pending(), 0u);
+  EXPECT_EQ(clock.now_ms(), 10u + 20u);  // backoff after attempts 1 and 2
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fo_choice.dir/ablation_fo_choice.cc.o"
+  "CMakeFiles/ablation_fo_choice.dir/ablation_fo_choice.cc.o.d"
+  "ablation_fo_choice"
+  "ablation_fo_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fo_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spatial.dir/ablation_spatial.cc.o"
+  "CMakeFiles/ablation_spatial.dir/ablation_spatial.cc.o.d"
+  "ablation_spatial"
+  "ablation_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

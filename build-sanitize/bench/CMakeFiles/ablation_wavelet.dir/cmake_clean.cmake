@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wavelet.dir/ablation_wavelet.cc.o"
+  "CMakeFiles/ablation_wavelet.dir/ablation_wavelet.cc.o.d"
+  "ablation_wavelet"
+  "ablation_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_vary_selectivity.dir/fig10_vary_selectivity.cc.o"
+  "CMakeFiles/fig10_vary_selectivity.dir/fig10_vary_selectivity.cc.o.d"
+  "fig10_vary_selectivity"
+  "fig10_vary_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_vary_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_vary_domain.dir/fig11_vary_domain.cc.o"
+  "CMakeFiles/fig11_vary_domain.dir/fig11_vary_domain.cc.o.d"
+  "fig11_vary_domain"
+  "fig11_vary_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_vary_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

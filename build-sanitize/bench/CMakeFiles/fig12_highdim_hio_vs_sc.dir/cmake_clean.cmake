@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_highdim_hio_vs_sc.dir/fig12_highdim_hio_vs_sc.cc.o"
+  "CMakeFiles/fig12_highdim_hio_vs_sc.dir/fig12_highdim_hio_vs_sc.cc.o.d"
+  "fig12_highdim_hio_vs_sc"
+  "fig12_highdim_hio_vs_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_highdim_hio_vs_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

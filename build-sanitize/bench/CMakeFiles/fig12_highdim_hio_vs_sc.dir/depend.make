@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_highdim_hio_vs_sc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hio_vs_sc_4dims.dir/fig14_hio_vs_sc_4dims.cc.o"
+  "CMakeFiles/fig14_hio_vs_sc_4dims.dir/fig14_hio_vs_sc_4dims.cc.o.d"
+  "fig14_hio_vs_sc_4dims"
+  "fig14_hio_vs_sc_4dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hio_vs_sc_4dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

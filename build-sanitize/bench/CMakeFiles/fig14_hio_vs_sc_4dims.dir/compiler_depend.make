@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_hio_vs_sc_4dims.
+# This may be replaced when dependencies are built.

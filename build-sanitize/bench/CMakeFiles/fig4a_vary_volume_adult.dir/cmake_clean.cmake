@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_vary_volume_adult.dir/fig4a_vary_volume_adult.cc.o"
+  "CMakeFiles/fig4a_vary_volume_adult.dir/fig4a_vary_volume_adult.cc.o.d"
+  "fig4a_vary_volume_adult"
+  "fig4a_vary_volume_adult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_vary_volume_adult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

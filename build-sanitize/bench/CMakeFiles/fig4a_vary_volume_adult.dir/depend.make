@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4a_vary_volume_adult.
+# This may be replaced when dependencies are built.

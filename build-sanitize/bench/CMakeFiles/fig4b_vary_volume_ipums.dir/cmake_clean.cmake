@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_vary_volume_ipums.dir/fig4b_vary_volume_ipums.cc.o"
+  "CMakeFiles/fig4b_vary_volume_ipums.dir/fig4b_vary_volume_ipums.cc.o.d"
+  "fig4b_vary_volume_ipums"
+  "fig4b_vary_volume_ipums.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_vary_volume_ipums.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_vary_datasize.dir/fig4c_vary_datasize.cc.o"
+  "CMakeFiles/fig4c_vary_datasize.dir/fig4c_vary_datasize.cc.o.d"
+  "fig4c_vary_datasize"
+  "fig4c_vary_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_vary_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

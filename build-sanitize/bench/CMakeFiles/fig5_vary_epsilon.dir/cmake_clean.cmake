@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vary_epsilon.dir/fig5_vary_epsilon.cc.o"
+  "CMakeFiles/fig5_vary_epsilon.dir/fig5_vary_epsilon.cc.o.d"
+  "fig5_vary_epsilon"
+  "fig5_vary_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vary_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_two_dims_eps_n.dir/fig6_two_dims_eps_n.cc.o"
+  "CMakeFiles/fig6_two_dims_eps_n.dir/fig6_two_dims_eps_n.cc.o.d"
+  "fig6_two_dims_eps_n"
+  "fig6_two_dims_eps_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_two_dims_eps_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_two_dims_eps_n.
+# This may be replaced when dependencies are built.

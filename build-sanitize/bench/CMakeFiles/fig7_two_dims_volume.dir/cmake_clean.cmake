@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_two_dims_volume.dir/fig7_two_dims_volume.cc.o"
+  "CMakeFiles/fig7_two_dims_volume.dir/fig7_two_dims_volume.cc.o.d"
+  "fig7_two_dims_volume"
+  "fig7_two_dims_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_two_dims_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_two_dims_volume.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_three_dims.dir/fig8_three_dims.cc.o"
+  "CMakeFiles/fig8_three_dims.dir/fig8_three_dims.cc.o.d"
+  "fig8_three_dims"
+  "fig8_three_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_three_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

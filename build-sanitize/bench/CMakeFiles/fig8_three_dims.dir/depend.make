@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_three_dims.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sample_queries.dir/fig9_sample_queries.cc.o"
+  "CMakeFiles/fig9_sample_queries.dir/fig9_sample_queries.cc.o.d"
+  "fig9_sample_queries"
+  "fig9_sample_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sample_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

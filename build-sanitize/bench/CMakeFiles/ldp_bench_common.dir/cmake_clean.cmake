@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/ldp_bench_common.dir/bench_common.cc.o.d"
+  "libldp_bench_common.a"
+  "libldp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fo.dir/micro_fo.cc.o"
+  "CMakeFiles/micro_fo.dir/micro_fo.cc.o.d"
+  "micro_fo"
+  "micro_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

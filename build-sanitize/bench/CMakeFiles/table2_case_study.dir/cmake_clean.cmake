@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_case_study.dir/table2_case_study.cc.o"
+  "CMakeFiles/table2_case_study.dir/table2_case_study.cc.o.d"
+  "table2_case_study"
+  "table2_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_complexity.dir/table3_complexity.cc.o"
+  "CMakeFiles/table3_complexity.dir/table3_complexity.cc.o.d"
+  "table3_complexity"
+  "table3_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_analytics.dir/census_analytics.cc.o"
+  "CMakeFiles/census_analytics.dir/census_analytics.cc.o.d"
+  "census_analytics"
+  "census_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

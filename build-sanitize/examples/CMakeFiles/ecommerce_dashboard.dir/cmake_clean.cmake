@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_dashboard.dir/ecommerce_dashboard.cc.o"
+  "CMakeFiles/ecommerce_dashboard.dir/ecommerce_dashboard.cc.o.d"
+  "ecommerce_dashboard"
+  "ecommerce_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

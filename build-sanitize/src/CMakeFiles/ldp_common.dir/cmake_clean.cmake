@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_common.dir/common/flags.cc.o"
+  "CMakeFiles/ldp_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/ldp_common.dir/common/hash.cc.o"
+  "CMakeFiles/ldp_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/ldp_common.dir/common/logging.cc.o"
+  "CMakeFiles/ldp_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ldp_common.dir/common/privacy_math.cc.o"
+  "CMakeFiles/ldp_common.dir/common/privacy_math.cc.o.d"
+  "CMakeFiles/ldp_common.dir/common/random.cc.o"
+  "CMakeFiles/ldp_common.dir/common/random.cc.o.d"
+  "CMakeFiles/ldp_common.dir/common/status.cc.o"
+  "CMakeFiles/ldp_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ldp_common.dir/common/string_util.cc.o"
+  "CMakeFiles/ldp_common.dir/common/string_util.cc.o.d"
+  "libldp_common.a"
+  "libldp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/ldp_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/ldp_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/CMakeFiles/ldp_data.dir/data/generator.cc.o" "gcc" "src/CMakeFiles/ldp_data.dir/data/generator.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/ldp_data.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/ldp_data.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/ldp_data.dir/data/table.cc.o" "gcc" "src/CMakeFiles/ldp_data.dir/data/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

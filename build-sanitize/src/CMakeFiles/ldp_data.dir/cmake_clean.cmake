@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_data.dir/data/csv.cc.o"
+  "CMakeFiles/ldp_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/ldp_data.dir/data/generator.cc.o"
+  "CMakeFiles/ldp_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/ldp_data.dir/data/schema.cc.o"
+  "CMakeFiles/ldp_data.dir/data/schema.cc.o.d"
+  "CMakeFiles/ldp_data.dir/data/table.cc.o"
+  "CMakeFiles/ldp_data.dir/data/table.cc.o.d"
+  "libldp_data.a"
+  "libldp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/ldp_engine.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/experiment.cc" "src/CMakeFiles/ldp_engine.dir/engine/experiment.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/experiment.cc.o.d"
+  "/root/repo/src/engine/histogram.cc" "src/CMakeFiles/ldp_engine.dir/engine/histogram.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/histogram.cc.o.d"
+  "/root/repo/src/engine/metrics.cc" "src/CMakeFiles/ldp_engine.dir/engine/metrics.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/metrics.cc.o.d"
+  "/root/repo/src/engine/protocol.cc" "src/CMakeFiles/ldp_engine.dir/engine/protocol.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/protocol.cc.o.d"
+  "/root/repo/src/engine/query_gen.cc" "src/CMakeFiles/ldp_engine.dir/engine/query_gen.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/query_gen.cc.o.d"
+  "/root/repo/src/engine/transport.cc" "src/CMakeFiles/ldp_engine.dir/engine/transport.cc.o" "gcc" "src/CMakeFiles/ldp_engine.dir/engine/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_mech.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_query.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_fo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_hierarchy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_engine.dir/engine/engine.cc.o"
+  "CMakeFiles/ldp_engine.dir/engine/engine.cc.o.d"
+  "CMakeFiles/ldp_engine.dir/engine/experiment.cc.o"
+  "CMakeFiles/ldp_engine.dir/engine/experiment.cc.o.d"
+  "CMakeFiles/ldp_engine.dir/engine/histogram.cc.o"
+  "CMakeFiles/ldp_engine.dir/engine/histogram.cc.o.d"
+  "CMakeFiles/ldp_engine.dir/engine/metrics.cc.o"
+  "CMakeFiles/ldp_engine.dir/engine/metrics.cc.o.d"
+  "CMakeFiles/ldp_engine.dir/engine/protocol.cc.o"
+  "CMakeFiles/ldp_engine.dir/engine/protocol.cc.o.d"
+  "CMakeFiles/ldp_engine.dir/engine/query_gen.cc.o"
+  "CMakeFiles/ldp_engine.dir/engine/query_gen.cc.o.d"
+  "CMakeFiles/ldp_engine.dir/engine/transport.cc.o"
+  "CMakeFiles/ldp_engine.dir/engine/transport.cc.o.d"
+  "libldp_engine.a"
+  "libldp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fo/frequency_oracle.cc" "src/CMakeFiles/ldp_fo.dir/fo/frequency_oracle.cc.o" "gcc" "src/CMakeFiles/ldp_fo.dir/fo/frequency_oracle.cc.o.d"
+  "/root/repo/src/fo/grr.cc" "src/CMakeFiles/ldp_fo.dir/fo/grr.cc.o" "gcc" "src/CMakeFiles/ldp_fo.dir/fo/grr.cc.o.d"
+  "/root/repo/src/fo/hadamard.cc" "src/CMakeFiles/ldp_fo.dir/fo/hadamard.cc.o" "gcc" "src/CMakeFiles/ldp_fo.dir/fo/hadamard.cc.o.d"
+  "/root/repo/src/fo/olh.cc" "src/CMakeFiles/ldp_fo.dir/fo/olh.cc.o" "gcc" "src/CMakeFiles/ldp_fo.dir/fo/olh.cc.o.d"
+  "/root/repo/src/fo/oue.cc" "src/CMakeFiles/ldp_fo.dir/fo/oue.cc.o" "gcc" "src/CMakeFiles/ldp_fo.dir/fo/oue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

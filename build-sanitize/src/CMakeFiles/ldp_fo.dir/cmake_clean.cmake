@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_fo.dir/fo/frequency_oracle.cc.o"
+  "CMakeFiles/ldp_fo.dir/fo/frequency_oracle.cc.o.d"
+  "CMakeFiles/ldp_fo.dir/fo/grr.cc.o"
+  "CMakeFiles/ldp_fo.dir/fo/grr.cc.o.d"
+  "CMakeFiles/ldp_fo.dir/fo/hadamard.cc.o"
+  "CMakeFiles/ldp_fo.dir/fo/hadamard.cc.o.d"
+  "CMakeFiles/ldp_fo.dir/fo/olh.cc.o"
+  "CMakeFiles/ldp_fo.dir/fo/olh.cc.o.d"
+  "CMakeFiles/ldp_fo.dir/fo/oue.cc.o"
+  "CMakeFiles/ldp_fo.dir/fo/oue.cc.o.d"
+  "libldp_fo.a"
+  "libldp_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldp_fo.a"
+)

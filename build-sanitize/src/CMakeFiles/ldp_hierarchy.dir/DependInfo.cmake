@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hierarchy/dim_hierarchy.cc" "src/CMakeFiles/ldp_hierarchy.dir/hierarchy/dim_hierarchy.cc.o" "gcc" "src/CMakeFiles/ldp_hierarchy.dir/hierarchy/dim_hierarchy.cc.o.d"
+  "/root/repo/src/hierarchy/interval.cc" "src/CMakeFiles/ldp_hierarchy.dir/hierarchy/interval.cc.o" "gcc" "src/CMakeFiles/ldp_hierarchy.dir/hierarchy/interval.cc.o.d"
+  "/root/repo/src/hierarchy/level_grid.cc" "src/CMakeFiles/ldp_hierarchy.dir/hierarchy/level_grid.cc.o" "gcc" "src/CMakeFiles/ldp_hierarchy.dir/hierarchy/level_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

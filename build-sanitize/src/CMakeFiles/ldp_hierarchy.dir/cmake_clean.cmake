@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_hierarchy.dir/hierarchy/dim_hierarchy.cc.o"
+  "CMakeFiles/ldp_hierarchy.dir/hierarchy/dim_hierarchy.cc.o.d"
+  "CMakeFiles/ldp_hierarchy.dir/hierarchy/interval.cc.o"
+  "CMakeFiles/ldp_hierarchy.dir/hierarchy/interval.cc.o.d"
+  "CMakeFiles/ldp_hierarchy.dir/hierarchy/level_grid.cc.o"
+  "CMakeFiles/ldp_hierarchy.dir/hierarchy/level_grid.cc.o.d"
+  "libldp_hierarchy.a"
+  "libldp_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mech/advisor.cc" "src/CMakeFiles/ldp_mech.dir/mech/advisor.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/advisor.cc.o.d"
+  "/root/repo/src/mech/consistency.cc" "src/CMakeFiles/ldp_mech.dir/mech/consistency.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/consistency.cc.o.d"
+  "/root/repo/src/mech/factory.cc" "src/CMakeFiles/ldp_mech.dir/mech/factory.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/factory.cc.o.d"
+  "/root/repo/src/mech/haar.cc" "src/CMakeFiles/ldp_mech.dir/mech/haar.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/haar.cc.o.d"
+  "/root/repo/src/mech/hi.cc" "src/CMakeFiles/ldp_mech.dir/mech/hi.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/hi.cc.o.d"
+  "/root/repo/src/mech/hio.cc" "src/CMakeFiles/ldp_mech.dir/mech/hio.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/hio.cc.o.d"
+  "/root/repo/src/mech/mechanism.cc" "src/CMakeFiles/ldp_mech.dir/mech/mechanism.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/mechanism.cc.o.d"
+  "/root/repo/src/mech/mg.cc" "src/CMakeFiles/ldp_mech.dir/mech/mg.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/mg.cc.o.d"
+  "/root/repo/src/mech/quadtree.cc" "src/CMakeFiles/ldp_mech.dir/mech/quadtree.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/quadtree.cc.o.d"
+  "/root/repo/src/mech/sc.cc" "src/CMakeFiles/ldp_mech.dir/mech/sc.cc.o" "gcc" "src/CMakeFiles/ldp_mech.dir/mech/sc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_fo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

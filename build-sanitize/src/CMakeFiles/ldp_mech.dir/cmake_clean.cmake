@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_mech.dir/mech/advisor.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/advisor.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/consistency.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/consistency.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/factory.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/factory.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/haar.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/haar.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/hi.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/hi.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/hio.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/hio.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/mechanism.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/mechanism.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/mg.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/mg.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/quadtree.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/quadtree.cc.o.d"
+  "CMakeFiles/ldp_mech.dir/mech/sc.cc.o"
+  "CMakeFiles/ldp_mech.dir/mech/sc.cc.o.d"
+  "libldp_mech.a"
+  "libldp_mech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_mech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

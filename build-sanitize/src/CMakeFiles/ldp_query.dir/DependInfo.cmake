@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/CMakeFiles/ldp_query.dir/query/aggregate.cc.o" "gcc" "src/CMakeFiles/ldp_query.dir/query/aggregate.cc.o.d"
+  "/root/repo/src/query/exact.cc" "src/CMakeFiles/ldp_query.dir/query/exact.cc.o" "gcc" "src/CMakeFiles/ldp_query.dir/query/exact.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/ldp_query.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/ldp_query.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/ldp_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/ldp_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/ldp_query.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/ldp_query.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/ldp_query.dir/query/query.cc.o" "gcc" "src/CMakeFiles/ldp_query.dir/query/query.cc.o.d"
+  "/root/repo/src/query/rewriter.cc" "src/CMakeFiles/ldp_query.dir/query/rewriter.cc.o" "gcc" "src/CMakeFiles/ldp_query.dir/query/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldp_query.dir/query/aggregate.cc.o"
+  "CMakeFiles/ldp_query.dir/query/aggregate.cc.o.d"
+  "CMakeFiles/ldp_query.dir/query/exact.cc.o"
+  "CMakeFiles/ldp_query.dir/query/exact.cc.o.d"
+  "CMakeFiles/ldp_query.dir/query/lexer.cc.o"
+  "CMakeFiles/ldp_query.dir/query/lexer.cc.o.d"
+  "CMakeFiles/ldp_query.dir/query/parser.cc.o"
+  "CMakeFiles/ldp_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/ldp_query.dir/query/predicate.cc.o"
+  "CMakeFiles/ldp_query.dir/query/predicate.cc.o.d"
+  "CMakeFiles/ldp_query.dir/query/query.cc.o"
+  "CMakeFiles/ldp_query.dir/query/query.cc.o.d"
+  "CMakeFiles/ldp_query.dir/query/rewriter.cc.o"
+  "CMakeFiles/ldp_query.dir/query/rewriter.cc.o.d"
+  "libldp_query.a"
+  "libldp_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldp_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

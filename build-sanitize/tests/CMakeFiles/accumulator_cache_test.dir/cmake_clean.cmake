@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulator_cache_test.dir/accumulator_cache_test.cc.o"
+  "CMakeFiles/accumulator_cache_test.dir/accumulator_cache_test.cc.o.d"
+  "accumulator_cache_test"
+  "accumulator_cache_test.pdb"
+  "accumulator_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulator_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

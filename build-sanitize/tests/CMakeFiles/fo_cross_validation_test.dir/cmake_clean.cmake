@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_cross_validation_test.dir/fo_cross_validation_test.cc.o"
+  "CMakeFiles/fo_cross_validation_test.dir/fo_cross_validation_test.cc.o.d"
+  "fo_cross_validation_test"
+  "fo_cross_validation_test.pdb"
+  "fo_cross_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_cross_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

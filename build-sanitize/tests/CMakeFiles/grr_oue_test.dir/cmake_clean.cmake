@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_oue_test.dir/grr_oue_test.cc.o"
+  "CMakeFiles/grr_oue_test.dir/grr_oue_test.cc.o.d"
+  "grr_oue_test"
+  "grr_oue_test.pdb"
+  "grr_oue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_oue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for grr_oue_test.
+# This may be replaced when dependencies are built.

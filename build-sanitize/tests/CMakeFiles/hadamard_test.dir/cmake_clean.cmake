@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadamard_test.dir/hadamard_test.cc.o"
+  "CMakeFiles/hadamard_test.dir/hadamard_test.cc.o.d"
+  "hadamard_test"
+  "hadamard_test.pdb"
+  "hadamard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadamard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

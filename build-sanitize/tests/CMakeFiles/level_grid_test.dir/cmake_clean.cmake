@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_grid_test.dir/level_grid_test.cc.o"
+  "CMakeFiles/level_grid_test.dir/level_grid_test.cc.o.d"
+  "level_grid_test"
+  "level_grid_test.pdb"
+  "level_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_haar_test.dir/mech_haar_test.cc.o"
+  "CMakeFiles/mech_haar_test.dir/mech_haar_test.cc.o.d"
+  "mech_haar_test"
+  "mech_haar_test.pdb"
+  "mech_haar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_haar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

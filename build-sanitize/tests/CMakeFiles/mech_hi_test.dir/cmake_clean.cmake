@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_hi_test.dir/mech_hi_test.cc.o"
+  "CMakeFiles/mech_hi_test.dir/mech_hi_test.cc.o.d"
+  "mech_hi_test"
+  "mech_hi_test.pdb"
+  "mech_hi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_hi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

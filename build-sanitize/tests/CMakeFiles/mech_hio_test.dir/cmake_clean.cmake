@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_hio_test.dir/mech_hio_test.cc.o"
+  "CMakeFiles/mech_hio_test.dir/mech_hio_test.cc.o.d"
+  "mech_hio_test"
+  "mech_hio_test.pdb"
+  "mech_hio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_hio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_ldp_property_test.dir/mech_ldp_property_test.cc.o"
+  "CMakeFiles/mech_ldp_property_test.dir/mech_ldp_property_test.cc.o.d"
+  "mech_ldp_property_test"
+  "mech_ldp_property_test.pdb"
+  "mech_ldp_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_ldp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_mg_test.dir/mech_mg_test.cc.o"
+  "CMakeFiles/mech_mg_test.dir/mech_mg_test.cc.o.d"
+  "mech_mg_test"
+  "mech_mg_test.pdb"
+  "mech_mg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_mg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

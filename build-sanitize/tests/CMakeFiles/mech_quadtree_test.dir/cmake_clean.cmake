@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_quadtree_test.dir/mech_quadtree_test.cc.o"
+  "CMakeFiles/mech_quadtree_test.dir/mech_quadtree_test.cc.o.d"
+  "mech_quadtree_test"
+  "mech_quadtree_test.pdb"
+  "mech_quadtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_quadtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

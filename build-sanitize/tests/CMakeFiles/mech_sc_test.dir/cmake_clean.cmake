@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_sc_test.dir/mech_sc_test.cc.o"
+  "CMakeFiles/mech_sc_test.dir/mech_sc_test.cc.o.d"
+  "mech_sc_test"
+  "mech_sc_test.pdb"
+  "mech_sc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_sc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

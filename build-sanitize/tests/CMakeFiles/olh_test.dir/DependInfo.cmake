@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/olh_test.cc" "tests/CMakeFiles/olh_test.dir/olh_test.cc.o" "gcc" "tests/CMakeFiles/olh_test.dir/olh_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_engine.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_mech.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_query.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_hierarchy.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_fo.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/CMakeFiles/ldp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olh_test.dir/olh_test.cc.o"
+  "CMakeFiles/olh_test.dir/olh_test.cc.o.d"
+  "olh_test"
+  "olh_test.pdb"
+  "olh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooling_bias_test.dir/pooling_bias_test.cc.o"
+  "CMakeFiles/pooling_bias_test.dir/pooling_bias_test.cc.o.d"
+  "pooling_bias_test"
+  "pooling_bias_test.pdb"
+  "pooling_bias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooling_bias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_math_test.dir/privacy_math_test.cc.o"
+  "CMakeFiles/privacy_math_test.dir/privacy_math_test.cc.o.d"
+  "privacy_math_test"
+  "privacy_math_test.pdb"
+  "privacy_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_serialization_test.dir/report_serialization_test.cc.o"
+  "CMakeFiles/report_serialization_test.dir/report_serialization_test.cc.o.d"
+  "report_serialization_test"
+  "report_serialization_test.pdb"
+  "report_serialization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_bound_test.dir/variance_bound_test.cc.o"
+  "CMakeFiles/variance_bound_test.dir/variance_bound_test.cc.o.d"
+  "variance_bound_test"
+  "variance_bound_test.pdb"
+  "variance_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   for (const uint32_t b : {2u, 3u, 4u, 5u, 8u, 16u}) {
     const std::vector<MechanismSpec> specs = {
         {MechanismKind::kHio, MakeParams(config, config.eps, b), "HIO"}};
-    const auto engines = BuildEngines(table, specs, config.seed + 1);
+    const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
     std::vector<std::string> row = {std::to_string(b)};
     for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
     row.push_back(

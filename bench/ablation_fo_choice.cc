@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
       params.fo_kind = kind;
       specs.push_back({MechanismKind::kHio, params, FoKindName(kind)});
     }
-    const auto engines = BuildEngines(table, specs, config.seed + 1);
+    const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
     std::vector<Query> queries;
     for (int64_t i = 0; i < num_queries; ++i) {
       queries.push_back(

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
         {MechanismKind::kHio, hio_params, "HIO"},
         {MechanismKind::kQuadTree, MakeParams(config, config.eps), "QuadTree"},
     };
-    const auto engines = BuildEngines(table, specs, config.seed + 1);
+    const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
     QueryGenerator gen(table, config.seed + 2);
     std::vector<Query> queries;
     for (int64_t i = 0; i < num_queries; ++i) {

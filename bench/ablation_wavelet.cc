@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
       {MechanismKind::kHio, hio2, "HIO b=2"},
       {MechanismKind::kHaar, MakeParams(config, config.eps), "Haar"},
   };
-  const auto engines = BuildEngines(table, specs, config.seed + 1);
+  const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
 
   TablePrinter out({"vol(q)", "HIO b=5 MNAE", "HIO b=2 MNAE", "Haar MNAE"});
   QueryGenerator gen(table, config.seed + 2);

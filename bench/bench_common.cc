@@ -17,6 +17,8 @@ bool ParseBenchConfig(int argc, char** argv, const std::string& name,
   p->AddInt64("seed", &config->seed, "master random seed");
   p->AddInt64("pool", &config->pool,
               "OLH hash-seed pool size (0 = unbounded/exact)");
+  p->AddInt64("threads", &config->threads,
+              "worker threads for collection/estimation (<=0 = all cores)");
   p->AddBool("full", &config->full, "use the paper-scale parameters");
   return p->Parse(argc, argv);
 }
@@ -43,13 +45,14 @@ MechanismParams MakeParams(const BenchConfig& config, double eps,
 
 std::vector<std::unique_ptr<AnalyticsEngine>> BuildEngines(
     const Table& table, const std::vector<MechanismSpec>& specs,
-    uint64_t seed) {
+    uint64_t seed, int num_threads) {
   std::vector<std::unique_ptr<AnalyticsEngine>> engines;
   for (const MechanismSpec& spec : specs) {
     EngineOptions options;
     options.mechanism = spec.kind;
     options.params = spec.params;
     options.seed = seed;
+    options.num_threads = num_threads;
     auto engine = AnalyticsEngine::Create(table, options);
     if (engine.ok()) {
       engines.push_back(std::move(engine).value());

@@ -27,6 +27,10 @@ struct BenchConfig {
   /// the LDP noise at these scales; pass --pool=0 for exact unbiasedness at
   /// higher query cost.
   int64_t pool = 1024;
+  /// Worker threads for simulated collection and estimation (EngineOptions::
+  /// num_threads). Results are bit-identical for a fixed seed regardless of
+  /// this value; <= 0 means one thread per hardware core.
+  int64_t threads = 1;
   bool full = false;
 };
 
@@ -48,7 +52,7 @@ MechanismParams MakeParams(const BenchConfig& config, double eps,
 /// config.seed). Specs whose engines cannot be built yield null entries.
 std::vector<std::unique_ptr<AnalyticsEngine>> BuildEngines(
     const Table& table, const std::vector<MechanismSpec>& specs,
-    uint64_t seed);
+    uint64_t seed, int num_threads = 1);
 
 /// Evaluates each engine on the workload; null engines yield "n/a" cells.
 /// Returns formatted "mean+-std" MNAE (or MRE) strings per engine.

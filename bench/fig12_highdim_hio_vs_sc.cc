@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
       {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
       {MechanismKind::kSc, MakeParams(config, config.eps), "SC"},
   };
-  const auto engines = BuildEngines(table, specs, config.seed + 1);
+  const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
 
   const std::vector<QueryType> types = {
       {"1+0", {0}, {}},    {"0+1", {}, {7}},        {"1+1", {0}, {7}},

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
       {MechanismKind::kHi, MakeParams(config, config.eps), "HI"},
       {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
   };
-  const auto engines = BuildEngines(table, specs, config.seed + 1);
+  const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
 
   TablePrinter out({"vol(q)", "MG MNAE", "HI MNAE", "HIO MNAE"});
   QueryGenerator gen(table, config.seed + 2);

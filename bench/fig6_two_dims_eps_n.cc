@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
           {MechanismKind::kHi, MakeParams(config, eps), "HI"},
           {MechanismKind::kHio, MakeParams(config, eps), "HIO"},
       };
-      const auto engines = BuildEngines(table, specs, config.seed + 1);
+      const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
       std::vector<std::string> row = {FormatF(eps, 1)};
       for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
       out.AddRow(row);
@@ -71,7 +72,8 @@ int main(int argc, char** argv) {
           {MechanismKind::kHi, MakeParams(config, config.eps), "HI"},
           {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
       };
-      const auto engines = BuildEngines(table, specs, config.seed + 1);
+      const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
       std::vector<std::string> row = {std::to_string(size)};
       for (auto& cell : EvalRow(engines, queries)) row.push_back(cell);
       out.AddRow(row);

@@ -21,7 +21,8 @@ void RunPanel(const char* label, const std::vector<uint64_t>& domains,
       {MechanismKind::kHi, MakeParams(config, config.eps), "HI"},
       {MechanismKind::kHio, MakeParams(config, config.eps), "HIO"},
   };
-  const auto engines = BuildEngines(table, specs, config.seed + 1);
+  const auto engines = BuildEngines(table, specs, config.seed + 1,
+                                      static_cast<int>(config.threads));
   TablePrinter out(
       {std::string(label) + " vol(q)", "MG MNAE", "HI MNAE", "HIO MNAE"});
   QueryGenerator gen(table, config.seed + 2);

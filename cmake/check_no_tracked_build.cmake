@@ -1,0 +1,35 @@
+# Fails if any build-tree artifact (build*/ at the repo root) is tracked by
+# git. Run as a ctest: guards against re-committing generated trees like the
+# ~2100-file build/ that once slipped into the history.
+#
+# Usage: cmake -DREPO_DIR=<repo> [-DGIT_EXECUTABLE=<git>] -P check_no_tracked_build.cmake
+
+if(NOT DEFINED REPO_DIR)
+  message(FATAL_ERROR "REPO_DIR not set")
+endif()
+if(NOT DEFINED GIT_EXECUTABLE)
+  set(GIT_EXECUTABLE git)
+endif()
+
+execute_process(
+  COMMAND "${GIT_EXECUTABLE}" -C "${REPO_DIR}" ls-files -- "build*/**"
+  OUTPUT_VARIABLE tracked
+  RESULT_VARIABLE rc
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+
+if(NOT rc EQUAL 0)
+  # Not a git checkout (e.g. a source tarball): nothing to guard.
+  message(STATUS "git ls-files unavailable (rc=${rc}); skipping artifact check")
+  return()
+endif()
+
+if(NOT tracked STREQUAL "")
+  string(REPLACE "\n" ";" tracked_list "${tracked}")
+  list(LENGTH tracked_list count)
+  list(GET tracked_list 0 first)
+  message(FATAL_ERROR
+      "${count} build artifact(s) are tracked by git (build*/ must stay "
+      "untracked; see .gitignore). First offender: ${first}"
+      "\nRun: git rm -r --cached build*/")
+endif()
+message(STATUS "no tracked build artifacts")

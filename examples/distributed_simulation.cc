@@ -15,11 +15,18 @@
 // workload shape.
 //
 // Build & run:
-//   ./examples/distributed_simulation [--n 100000] \
+//   ./examples/distributed_simulation [--n 100000] [--threads 4] \
 //       [--drop_rate 0.1] [--dup_rate 0.05] [--corrupt_rate 0.02] \
 //       [--reorder_rate 0.05] [--truncate_rate 0.01]
+//
+// --threads sets the server's shard-parallel worker count: each drained
+// batch goes through CollectionServer::IngestBatch (parallel decode, serial
+// frame-order commit, parallel shard accumulation), and estimation fans out
+// over the same workers. Accepted/rejected counts and estimates are
+// identical for every thread count.
 
 #include <cstdio>
+#include <vector>
 
 #include "common/flags.h"
 #include "data/generator.h"
@@ -34,6 +41,7 @@ int main(int argc, char** argv) {
   int64_t n = 100000;
   double eps = 5.0;
   int64_t query_dims = 1;
+  int64_t threads = 1;
   double drop_rate = 0.0;
   double dup_rate = 0.0;
   double corrupt_rate = 0.0;
@@ -44,6 +52,8 @@ int main(int argc, char** argv) {
   flags.AddInt64("n", &n, "number of simulated clients");
   flags.AddDouble("eps", &eps, "privacy budget");
   flags.AddInt64("query_dims", &query_dims, "expected dims per query");
+  flags.AddInt64("threads", &threads,
+                 "server worker threads for ingest/estimation (<=0 = cores)");
   flags.AddDouble("drop_rate", &drop_rate, "P(report or ack is lost)");
   flags.AddDouble("dup_rate", &dup_rate, "P(report is delivered twice)");
   flags.AddDouble("corrupt_rate", &corrupt_rate, "P(one byte is flipped)");
@@ -76,7 +86,8 @@ int main(int argc, char** argv) {
   const CollectionSpec client_view =
       CollectionSpec::Parse(published).ValueOrDie();
   LdpClient client = LdpClient::Create(client_view).ValueOrDie();
-  CollectionServer server = CollectionServer::Create(spec).ValueOrDie();
+  CollectionServer server =
+      CollectionServer::Create(spec, static_cast<int>(threads)).ValueOrDie();
 
   FaultRates rates;
   rates.drop = drop_rate;
@@ -93,6 +104,18 @@ int main(int argc, char** argv) {
   SimulatedClock clock;
   TransportClient transport(&channel, &clock, RetryPolicy{}, /*seed=*/98);
 
+  // Drained deliveries go to the server in batches: IngestBatch decodes and
+  // validates frames in parallel, commits accept/reject decisions serially
+  // in arrival order, then accumulates accepted reports on worker shards.
+  const auto ingest_batch = [&server](
+                                const std::vector<FaultyChannel::Delivery>&
+                                    batch) {
+    std::vector<CollectionServer::ReportFrame> frames;
+    frames.reserve(batch.size());
+    for (const auto& d : batch) frames.push_back(CollectionServer::ReportFrame{d.bytes, d.user});
+    (void)server.IngestBatch(frames);
+  };
+
   Rng rng(41);
   uint64_t wire_bytes = 0;
   const auto& dims = schema.sensitive_dims();
@@ -104,11 +127,9 @@ int main(int argc, char** argv) {
     const std::string frame = client.EncodeUser(values, rng).ValueOrDie();
     wire_bytes += frame.size();
     transport.SendWithRetry(u, frame);
-    if ((u & 0xfff) == 0) {
-      for (const auto& d : channel.Drain()) (void)server.Ingest(d.bytes, d.user);
-    }
+    if ((u & 0xfff) == 0) ingest_batch(channel.Drain());
   }
-  for (const auto& d : channel.Drain()) (void)server.Ingest(d.bytes, d.user);
+  ingest_batch(channel.Drain());
 
   const TransportClient::Stats& cs = transport.stats();
   const ChannelStats& ch = channel.stats();

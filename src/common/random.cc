@@ -90,6 +90,17 @@ double Rng::Gaussian(double mean, double stddev) {
 
 Rng Rng::Fork() { return Rng((*this)()); }
 
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix the full 256-bit state down to one word, then perturb it with a
+  // splitmix64 pass over the stream index. Rng's constructor expands the
+  // result through splitmix64 again, so nearby stream indices land in
+  // unrelated regions of the xoshiro256** state space.
+  uint64_t state = s_[0] ^ Rotl(s_[1], 17) ^ Rotl(s_[2], 31) ^ Rotl(s_[3], 47);
+  uint64_t sm = stream;
+  state ^= SplitMix64Next(sm);
+  return Rng(state);
+}
+
 ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
   LDP_CHECK_GE(n, 1u);
   LDP_CHECK_GE(s, 0.0);

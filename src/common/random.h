@@ -51,7 +51,20 @@ class Rng {
   double Gaussian(double mean, double stddev);
 
   /// Forks a new independent generator; deterministic given this state.
+  /// Advances this generator by one step.
   Rng Fork();
+
+  /// Derives substream `stream` without advancing this generator: a fresh
+  /// generator seeded by splitmix64-mixing the current state with the stream
+  /// index. Fork(s) called twice returns identical generators, and distinct
+  /// streams are statistically independent (seeds are splitmix64 outputs of
+  /// distinct inputs, and xoshiro256** has no correlated nearby seeds).
+  ///
+  /// This is the determinism primitive of the shard-parallel pipeline: chunk
+  /// c of a simulated collection always encodes with Fork(c), so the reports
+  /// — and everything estimated from them — are bit-identical for a fixed
+  /// seed regardless of how many worker threads processed the chunks.
+  Rng Fork(uint64_t stream) const;
 
  private:
   uint64_t s_[4];

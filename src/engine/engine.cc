@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -15,24 +16,59 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
     const Table& table, const EngineOptions& options) {
   std::unique_ptr<AnalyticsEngine> engine(
       new AnalyticsEngine(table, options));
+  engine->exec_ = std::make_unique<ExecutionContext>(options.num_threads);
   LDP_ASSIGN_OR_RETURN(
       engine->mechanism_,
       CreateMechanism(options.mechanism, table.schema(), options.params));
+  engine->mechanism_->set_execution_context(engine->exec_.get());
 
-  // Simulated collection: each row is a client running the LDP encoder.
+  // Simulated collection, shard-parallel (DESIGN.md "Execution model"): rows
+  // are split into fixed kExecChunkRows chunks and chunk c is encoded with
+  // the substream master.Fork(c), so every report is the same bit pattern
+  // for every thread count. Each worker ingests a contiguous chunk range
+  // into a private shard mechanism; merging the shards in worker order then
+  // reproduces the exact sequential report order.
   const Schema& schema = table.schema();
   const auto& sensitive = schema.sensitive_dims();
   std::vector<const std::vector<uint32_t>*> columns;
   columns.reserve(sensitive.size());
   for (const int attr : sensitive) columns.push_back(&table.DimColumn(attr));
-  Rng rng(options.seed);
-  std::vector<uint32_t> values(sensitive.size());
-  for (uint64_t row = 0; row < table.num_rows(); ++row) {
-    for (size_t i = 0; i < sensitive.size(); ++i) {
-      values[i] = (*columns[i])[row];
+  const uint64_t n = table.num_rows();
+  const Rng master(options.seed);
+  const uint64_t num_chunks = (n + kExecChunkRows - 1) / kExecChunkRows;
+  const uint64_t num_workers =
+      std::max<uint64_t>(1, std::min<uint64_t>(engine->exec_->num_threads(),
+                                               num_chunks));
+
+  std::vector<std::unique_ptr<Mechanism>> shards(num_workers);
+  for (auto& shard : shards) {
+    LDP_ASSIGN_OR_RETURN(shard, engine->mechanism_->NewShard());
+  }
+  std::vector<Status> worker_status(num_workers, Status::OK());
+  engine->exec_->ParallelFor(num_workers, [&](uint64_t w) {
+    Mechanism& shard = *shards[w];
+    const uint64_t chunk_begin = w * num_chunks / num_workers;
+    const uint64_t chunk_end = (w + 1) * num_chunks / num_workers;
+    std::vector<uint32_t> values(sensitive.size());
+    for (uint64_t c = chunk_begin; c < chunk_end; ++c) {
+      Rng rng = master.Fork(c);
+      const uint64_t row_end = std::min(n, (c + 1) * kExecChunkRows);
+      for (uint64_t row = c * kExecChunkRows; row < row_end; ++row) {
+        for (size_t i = 0; i < sensitive.size(); ++i) {
+          values[i] = (*columns[i])[row];
+        }
+        const LdpReport report = shard.EncodeUser(values, rng);
+        const Status status = shard.AddReport(report, row);
+        if (!status.ok()) {
+          worker_status[w] = status;
+          return;
+        }
+      }
     }
-    const LdpReport report = engine->mechanism_->EncodeUser(values, rng);
-    LDP_RETURN_NOT_OK(engine->mechanism_->AddReport(report, row));
+  });
+  for (const Status& status : worker_status) LDP_RETURN_NOT_OK(status);
+  for (auto& shard : shards) {
+    LDP_RETURN_NOT_OK(engine->mechanism_->Merge(std::move(*shard)));
   }
   return engine;
 }

@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "data/table.h"
+#include "exec/execution_context.h"
 #include "mech/factory.h"
 #include "query/exact.h"
 #include "query/parser.h"
@@ -21,6 +22,11 @@ struct EngineOptions {
   MechanismParams params;
   /// Seed for the simulated clients' randomness.
   uint64_t seed = 42;
+  /// Shard-parallel workers for collection (encode + ingest) and estimation.
+  /// <= 0 means one per hardware thread. Estimates are bit-identical for any
+  /// value: encoding uses fixed per-chunk RNG substreams and estimation uses
+  /// fixed-chunk ordered reductions, so only wall-clock time changes.
+  int num_threads = 1;
 };
 
 /// End-to-end private MDA pipeline over one fact table (Section 2.3).
@@ -99,6 +105,8 @@ class AnalyticsEngine {
 
   const Table& table_;
   EngineOptions options_;
+  /// Declared before mechanism_: the mechanism holds a raw pointer into it.
+  std::unique_ptr<ExecutionContext> exec_;
   std::unique_ptr<Mechanism> mechanism_;
   mutable std::unordered_map<std::string,
                              std::shared_ptr<const WeightVector>>

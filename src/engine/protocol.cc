@@ -1,5 +1,6 @@
 #include "engine/protocol.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/hash.h"
@@ -214,11 +215,15 @@ Result<std::string> LdpClient::EncodeUser(std::span<const uint32_t> values,
   return FrameReport(mechanism_->EncodeUser(values, rng).Serialize());
 }
 
-Result<CollectionServer> CollectionServer::Create(const CollectionSpec& spec) {
+Result<CollectionServer> CollectionServer::Create(const CollectionSpec& spec,
+                                                  int num_threads) {
   LDP_ASSIGN_OR_RETURN(Schema schema, spec.ToSchema());
+  auto exec = std::make_shared<ExecutionContext>(num_threads);
   LDP_ASSIGN_OR_RETURN(auto mechanism,
                        CreateMechanism(spec.mechanism, schema, spec.params));
-  return CollectionServer(spec, std::move(schema), std::move(mechanism));
+  mechanism->set_execution_context(exec.get());
+  return CollectionServer(spec, std::move(schema), std::move(exec),
+                          std::move(mechanism));
 }
 
 Status CollectionServer::Ingest(std::string_view frame_bytes, uint64_t user) {
@@ -246,6 +251,93 @@ Status CollectionServer::Ingest(std::string_view frame_bytes, uint64_t user) {
   }
   users_.insert(user);
   ++stats_.accepted;
+  return Status::OK();
+}
+
+Status CollectionServer::IngestBatch(std::span<const ReportFrame> frames) {
+  const uint64_t n = frames.size();
+  if (n == 0) return Status::OK();
+
+  // Phase A — parallel decode: unframe, deserialize and structurally
+  // validate every frame. Each slot is written by exactly one worker.
+  enum : uint8_t { kDecoded = 0, kCorrupt = 1, kMisfit = 2 };
+  std::vector<LdpReport> reports(n);
+  std::vector<uint8_t> fate(n, kDecoded);
+  constexpr uint64_t kDecodeChunk = 1024;
+  exec_->ParallelChunks(
+      n, kDecodeChunk, [&](uint64_t, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) {
+          const auto payload = UnframeReport(frames[i].bytes);
+          if (!payload.ok()) {
+            fate[i] = kCorrupt;
+            continue;
+          }
+          auto report = LdpReport::Deserialize(payload.value());
+          if (!report.ok()) {
+            fate[i] = kCorrupt;
+            continue;
+          }
+          if (!mechanism_->ValidateReport(report.value()).ok()) {
+            fate[i] = kMisfit;
+            continue;
+          }
+          reports[i] = std::move(report).value();
+        }
+      });
+
+  // Phase B — serial commit, in frame order: exactly the fate sequence the
+  // one-at-a-time Ingest loop produces (corrupt before duplicate before
+  // rejected), including dedup against earlier frames of this same batch.
+  std::vector<uint64_t> accepted;
+  accepted.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (fate[i] == kCorrupt) {
+      ++stats_.corrupt;
+      continue;
+    }
+    if (users_.contains(frames[i].user)) {
+      ++stats_.duplicate;
+      continue;
+    }
+    if (fate[i] == kMisfit) {
+      ++stats_.rejected;
+      continue;
+    }
+    users_.insert(frames[i].user);
+    ++stats_.accepted;
+    accepted.push_back(i);
+  }
+  if (accepted.empty()) return Status::OK();
+
+  // Phase C — parallel shard ingestion: workers add contiguous ranges of the
+  // accepted reports into private shard mechanisms; merging the shards in
+  // worker order reproduces the exact frame-order report sequence.
+  const uint64_t m = accepted.size();
+  const uint64_t num_workers = std::max<uint64_t>(
+      1, std::min<uint64_t>(exec_->num_threads(), m));
+  std::vector<std::unique_ptr<Mechanism>> shards(num_workers);
+  for (auto& shard : shards) {
+    LDP_ASSIGN_OR_RETURN(shard, mechanism_->NewShard());
+  }
+  std::vector<Status> worker_status(num_workers, Status::OK());
+  exec_->ParallelFor(num_workers, [&](uint64_t w) {
+    const uint64_t begin = w * m / num_workers;
+    const uint64_t end = (w + 1) * m / num_workers;
+    for (uint64_t j = begin; j < end; ++j) {
+      const uint64_t i = accepted[j];
+      const Status status = shards[w]->AddReport(reports[i], frames[i].user);
+      if (!status.ok()) {
+        // Cannot happen for a report that passed ValidateReport; surface it
+        // as an internal pipeline failure rather than dropping it silently.
+        worker_status[w] = status;
+        return;
+      }
+    }
+  });
+  for (const Status& status : worker_status) LDP_RETURN_NOT_OK(status);
+  for (auto& shard : shards) {
+    LDP_RETURN_NOT_OK(mechanism_->Merge(std::move(*shard)));
+  }
   return Status::OK();
 }
 

@@ -2,10 +2,13 @@
 #define LDPMDA_ENGINE_PROTOCOL_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_set>
+#include <vector>
 
+#include "exec/execution_context.h"
 #include "mech/factory.h"
 
 namespace ldp {
@@ -117,13 +120,37 @@ struct IngestStats {
 /// *accepted* reports, so dropout shrinks the cohort instead of biasing it.
 class CollectionServer {
  public:
-  static Result<CollectionServer> Create(const CollectionSpec& spec);
+  /// `num_threads` sizes the server's shard-parallel execution context
+  /// (IngestBatch staging and estimation fan-out); <= 0 means one worker per
+  /// hardware thread. Results are bit-identical for every value.
+  static Result<CollectionServer> Create(const CollectionSpec& spec,
+                                         int num_threads = 1);
 
   /// Validates and ingests one framed report for user id `user`. Non-OK
   /// outcomes are typed: kParseError for corrupt frames or payloads,
   /// kAlreadyExists for a duplicate user, and the mechanism's own code for
   /// well-formed reports that don't fit the spec. Never aborts the process.
   Status Ingest(std::string_view frame_bytes, uint64_t user);
+
+  /// One framed report awaiting ingestion; `bytes` must stay alive for the
+  /// duration of the IngestBatch call.
+  struct ReportFrame {
+    std::string_view bytes;
+    uint64_t user = 0;
+  };
+
+  /// Ingests a batch of frames with the staged shard-parallel pipeline:
+  /// (A) unframe + deserialize + structural validation, in parallel;
+  /// (B) per-frame fate decisions (corrupt / duplicate / rejected /
+  ///     accepted) serially in frame order — the exact semantics of calling
+  ///     Ingest on each frame in order, including intra-batch dedup;
+  /// (C) accepted reports ingested into per-worker shard mechanisms over
+  ///     contiguous ranges, merged back in worker order.
+  /// Afterwards the server state (stats, dedup set, accumulated reports) is
+  /// bitwise what the serial Ingest loop would have produced, for any thread
+  /// count. Per-frame failures are recorded in ingest_stats(), not returned;
+  /// the Status is non-OK only for internal pipeline failures.
+  Status IngestBatch(std::span<const ReportFrame> frames);
 
   uint64_t num_reports() const { return mechanism_->num_reports(); }
   const IngestStats& ingest_stats() const { return stats_; }
@@ -149,15 +176,21 @@ class CollectionServer {
 
   const Mechanism& mechanism() const { return *mechanism_; }
 
+  int num_threads() const { return exec_->num_threads(); }
+
  private:
   CollectionServer(CollectionSpec spec, Schema schema,
+                   std::shared_ptr<ExecutionContext> exec,
                    std::unique_ptr<Mechanism> mechanism)
       : spec_(std::move(spec)),
         schema_(std::move(schema)),
+        exec_(std::move(exec)),
         mechanism_(std::move(mechanism)) {}
 
   CollectionSpec spec_;
   Schema schema_;
+  /// Declared before mechanism_: the mechanism holds a raw pointer into it.
+  std::shared_ptr<ExecutionContext> exec_;
   std::shared_ptr<Mechanism> mechanism_;
   IngestStats stats_;
   std::unordered_set<uint64_t> users_;  // accepted users, for dedup

@@ -1,0 +1,116 @@
+#include "exec/execution_context.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ldp {
+
+ExecutionContext::ExecutionContext(int num_threads) {
+  if (num_threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  num_threads_ = num_threads;
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_ - 1);
+  }
+}
+
+ExecutionContext::~ExecutionContext() = default;
+
+namespace {
+
+/// Per-call scheduling state shared between the caller and the pool tasks it
+/// spawned. The caller participates as a worker, then blocks until every
+/// helper task has drained — so the state outlives all users by
+/// construction (it is stack-owned by the caller).
+struct ChunkRun {
+  uint64_t num_chunks = 0;
+  uint64_t chunk_size = 0;
+  uint64_t n = 0;
+  const std::function<void(uint64_t, uint64_t, uint64_t)>* fn = nullptr;
+  std::atomic<uint64_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int helpers_running = 0;
+
+  void Drain() {
+    uint64_t c;
+    while ((c = next.fetch_add(1, std::memory_order_relaxed)) < num_chunks) {
+      const uint64_t begin = c * chunk_size;
+      const uint64_t end = std::min(n, begin + chunk_size);
+      (*fn)(c, begin, end);
+    }
+  }
+};
+
+}  // namespace
+
+void ExecutionContext::ParallelChunks(
+    uint64_t n, uint64_t chunk_size,
+    const std::function<void(uint64_t, uint64_t, uint64_t)>& fn) const {
+  if (n == 0) return;
+  LDP_CHECK_GT(chunk_size, 0u);
+  const uint64_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  if (pool_ == nullptr || num_chunks == 1) {
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      fn(c, c * chunk_size, std::min(n, (c + 1) * chunk_size));
+    }
+    return;
+  }
+  ChunkRun run;
+  run.num_chunks = num_chunks;
+  run.chunk_size = chunk_size;
+  run.n = n;
+  run.fn = &fn;
+  const int helpers = static_cast<int>(
+      std::min<uint64_t>(num_chunks - 1,
+                         static_cast<uint64_t>(pool_->num_threads())));
+  run.helpers_running = helpers;
+  for (int i = 0; i < helpers; ++i) {
+    pool_->Submit([&run] {
+      run.Drain();
+      std::lock_guard<std::mutex> lock(run.mu);
+      if (--run.helpers_running == 0) run.done_cv.notify_one();
+    });
+  }
+  run.Drain();  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(run.mu);
+  run.done_cv.wait(lock, [&run] { return run.helpers_running == 0; });
+}
+
+void ExecutionContext::ParallelFor(
+    uint64_t n, const std::function<void(uint64_t)>& fn) const {
+  // One index per "chunk": dynamic scheduling at index granularity. Suitable
+  // for coarse work items (sub-queries, worker shards).
+  ParallelChunks(n, 1,
+                 [&fn](uint64_t, uint64_t begin, uint64_t) { fn(begin); });
+}
+
+const ExecutionContext& SerialExecutionContext() {
+  static const ExecutionContext* serial = new ExecutionContext(1);
+  return *serial;
+}
+
+double ExecutionContext::ParallelSumChunks(
+    uint64_t n, uint64_t chunk_size,
+    const std::function<double(uint64_t, uint64_t)>& fn) const {
+  if (n == 0) return 0.0;
+  LDP_CHECK_GT(chunk_size, 0u);
+  const uint64_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  std::vector<double> partial(num_chunks, 0.0);
+  ParallelChunks(n, chunk_size,
+                 [&partial, &fn](uint64_t c, uint64_t begin, uint64_t end) {
+                   partial[c] = fn(begin, end);
+                 });
+  double total = 0.0;
+  for (const double p : partial) total += p;  // chunk order: deterministic
+  return total;
+}
+
+}  // namespace ldp

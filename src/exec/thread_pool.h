@@ -1,0 +1,48 @@
+#ifndef LDPMDA_EXEC_THREAD_POOL_H_
+#define LDPMDA_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ldp {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+///
+/// Tasks are plain std::function<void()> and must not throw: the library is
+/// Status-based, so a task that can fail captures a Status slot and writes
+/// into it. The pool makes no ordering promise between tasks — callers that
+/// need determinism index their outputs (see ExecutionContext) so the result
+/// is independent of which worker ran what.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Never blocks on task execution.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_EXEC_THREAD_POOL_H_

@@ -109,4 +109,18 @@ int ReportStore::AddGroup(std::unique_ptr<FrequencyOracle> oracle) {
   return id;
 }
 
+Status ReportStore::MergeFrom(ReportStore&& other) {
+  if (other.num_groups() != num_groups()) {
+    return Status::InvalidArgument(
+        "cannot merge report stores with different group counts (" +
+        std::to_string(other.num_groups()) + " vs " +
+        std::to_string(num_groups()) + ")");
+  }
+  for (int g = 0; g < num_groups(); ++g) {
+    LDP_RETURN_NOT_OK(
+        accumulators_[g]->Merge(std::move(*other.accumulators_[g])));
+  }
+  return Status::OK();
+}
+
 }  // namespace ldp

@@ -73,9 +73,25 @@ class FoAccumulator {
 
   virtual uint64_t num_reports() const = 0;
 
+  /// --- Combiner interface (shard-parallel ingestion) ---
+  /// Creates an empty accumulator of the same concrete type bound to the
+  /// same protocol — a thread-private ingest shard. N workers Add() into
+  /// private shards over contiguous report chunks, then the owner folds them
+  /// back with Merge() in chunk order, which reproduces exactly the report
+  /// order (and therefore the bit-exact estimates) of serial ingestion.
+  virtual std::unique_ptr<FoAccumulator> NewShard() const = 0;
+
+  /// Appends `other`'s reports after this accumulator's own, preserving
+  /// their relative order. `other` must come from NewShard() of a compatible
+  /// accumulator (same concrete type and protocol); it is consumed and left
+  /// empty. Returns InvalidArgument on a type mismatch.
+  virtual Status Merge(FoAccumulator&& other) = 0;
+
   /// Unbiased estimate of the total weight of users in this group holding
   /// `value`. The same reports may be estimated against any number of weight
-  /// vectors (post-processing under LDP).
+  /// vectors (post-processing under LDP). Thread-safe against concurrent
+  /// EstimateWeighted/GroupWeight calls (estimation fan-out); NOT against a
+  /// concurrent Add or Merge — ingestion and estimation are distinct stages.
   virtual double EstimateWeighted(uint64_t value, const WeightVector& w) const = 0;
 
   /// Sum of w over users in this group (exact; weights are public).
@@ -134,6 +150,11 @@ class ReportStore {
   void Add(int group, const FoReport& report, uint64_t user) {
     accumulators_[group]->Add(report, user);
   }
+
+  /// Folds `other`'s per-group shard accumulators into this store's (group
+  /// by group, appending after the existing reports). `other` must have been
+  /// built from the same oracle configuration; it is consumed.
+  Status MergeFrom(ReportStore&& other);
 
  private:
   std::vector<std::unique_ptr<FrequencyOracle>> oracles_;

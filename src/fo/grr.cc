@@ -41,39 +41,61 @@ GrrAccumulator::GrrAccumulator(const GrrProtocol& protocol)
 void GrrAccumulator::Add(const FoReport& report, uint64_t user) {
   values_.push_back(report.value);
   users_.push_back(user);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   hist_cache_.clear();
   hist_order_.clear();
 }
 
-const GrrAccumulator::WeightedHistogram& GrrAccumulator::GetOrBuildHistogram(
-    const WeightVector& w) const {
+std::unique_ptr<FoAccumulator> GrrAccumulator::NewShard() const {
+  return std::make_unique<GrrAccumulator>(protocol_);
+}
+
+Status GrrAccumulator::Merge(FoAccumulator&& other) {
+  auto* shard = dynamic_cast<GrrAccumulator*>(&other);
+  if (shard == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-GRR shard");
+  }
+  values_.insert(values_.end(), shard->values_.begin(), shard->values_.end());
+  users_.insert(users_.end(), shard->users_.begin(), shard->users_.end());
+  shard->values_.clear();
+  shard->users_.clear();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  hist_cache_.clear();
+  hist_order_.clear();
+  return Status::OK();
+}
+
+std::shared_ptr<const GrrAccumulator::WeightedHistogram>
+GrrAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = hist_cache_.find(w.id());
   if (it != hist_cache_.end()) return it->second;
   if (static_cast<int>(hist_cache_.size()) >= kMaxCachedWeightSets) {
     hist_cache_.erase(hist_order_.front());
     hist_order_.erase(hist_order_.begin());
   }
-  WeightedHistogram& h = hist_cache_[w.id()];
-  hist_order_.push_back(w.id());
+  auto h = std::make_shared<WeightedHistogram>();
   for (size_t i = 0; i < values_.size(); ++i) {
     const double weight = w[users_[i]];
-    h.by_value[values_[i]] += weight;
-    h.group_weight += weight;
+    h->by_value[values_[i]] += weight;
+    h->group_weight += weight;
   }
+  hist_cache_.emplace(w.id(), h);
+  hist_order_.push_back(w.id());
   return h;
 }
 
 double GrrAccumulator::EstimateWeighted(uint64_t value,
                                         const WeightVector& w) const {
-  const WeightedHistogram& h = GetOrBuildHistogram(w);
-  const auto it = h.by_value.find(static_cast<uint32_t>(value));
-  const double theta_w = it == h.by_value.end() ? 0.0 : it->second;
-  return (theta_w - h.group_weight * protocol_.q()) /
+  const auto h = GetOrBuildHistogram(w);
+  const auto it = h->by_value.find(static_cast<uint32_t>(value));
+  const double theta_w = it == h->by_value.end() ? 0.0 : it->second;
+  return (theta_w - h->group_weight * protocol_.q()) /
          (protocol_.p() - protocol_.q());
 }
 
 double GrrAccumulator::GroupWeight(const WeightVector& w) const {
-  return GetOrBuildHistogram(w).group_weight;
+  return GetOrBuildHistogram(w)->group_weight;
 }
 
 }  // namespace ldp

@@ -2,6 +2,8 @@
 #define LDPMDA_FO_GRR_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +49,8 @@ class GrrAccumulator : public FoAccumulator {
 
   void Add(const FoReport& report, uint64_t user) override;
   uint64_t num_reports() const override { return values_.size(); }
+  std::unique_ptr<FoAccumulator> NewShard() const override;
+  Status Merge(FoAccumulator&& other) override;
   double EstimateWeighted(uint64_t value, const WeightVector& w) const override;
   double GroupWeight(const WeightVector& w) const override;
 
@@ -55,12 +59,16 @@ class GrrAccumulator : public FoAccumulator {
     std::unordered_map<uint32_t, double> by_value;
     double group_weight = 0.0;
   };
-  const WeightedHistogram& GetOrBuildHistogram(const WeightVector& w) const;
+  std::shared_ptr<const WeightedHistogram> GetOrBuildHistogram(
+      const WeightVector& w) const;
 
   const GrrProtocol& protocol_;
   std::vector<uint32_t> values_;
   std::vector<uint64_t> users_;
-  mutable std::unordered_map<uint64_t, WeightedHistogram> hist_cache_;
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<uint64_t,
+                             std::shared_ptr<const WeightedHistogram>>
+      hist_cache_;
   mutable std::vector<uint64_t> hist_order_;
 };
 

@@ -45,40 +45,65 @@ void HadamardAccumulator::Add(const FoReport& report, uint64_t user) {
   indices_.push_back(report.seed);
   signs_.push_back(report.value != 0 ? 1 : -1);
   users_.push_back(user);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.clear();
   cache_order_.clear();
 }
 
-const HadamardAccumulator::Spectrum& HadamardAccumulator::GetOrBuildSpectrum(
-    const WeightVector& w) const {
+std::unique_ptr<FoAccumulator> HadamardAccumulator::NewShard() const {
+  return std::make_unique<HadamardAccumulator>(protocol_);
+}
+
+Status HadamardAccumulator::Merge(FoAccumulator&& other) {
+  auto* shard = dynamic_cast<HadamardAccumulator*>(&other);
+  if (shard == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-HR shard");
+  }
+  indices_.insert(indices_.end(), shard->indices_.begin(),
+                  shard->indices_.end());
+  signs_.insert(signs_.end(), shard->signs_.begin(), shard->signs_.end());
+  users_.insert(users_.end(), shard->users_.begin(), shard->users_.end());
+  shard->indices_.clear();
+  shard->signs_.clear();
+  shard->users_.clear();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+  cache_order_.clear();
+  return Status::OK();
+}
+
+std::shared_ptr<const HadamardAccumulator::Spectrum>
+HadamardAccumulator::GetOrBuildSpectrum(const WeightVector& w) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(w.id());
   if (it != cache_.end()) return it->second;
   if (static_cast<int>(cache_.size()) >= kMaxCachedWeightSets) {
     cache_.erase(cache_order_.front());
     cache_order_.erase(cache_order_.begin());
   }
-  Spectrum& s = cache_[w.id()];
-  cache_order_.push_back(w.id());
+  auto s = std::make_shared<Spectrum>();
   for (size_t i = 0; i < indices_.size(); ++i) {
     const double weight = w[users_[i]];
-    s.signed_sum[indices_[i]] += weight * signs_[i];
-    s.group_weight += weight;
+    s->signed_sum[indices_[i]] += weight * signs_[i];
+    s->group_weight += weight;
   }
+  cache_.emplace(w.id(), s);
+  cache_order_.push_back(w.id());
   return s;
 }
 
 double HadamardAccumulator::EstimateWeighted(uint64_t value,
                                              const WeightVector& w) const {
-  const Spectrum& s = GetOrBuildSpectrum(w);
+  const auto s = GetOrBuildSpectrum(w);
   double total = 0.0;
-  for (const auto& [j, sum] : s.signed_sum) {
+  for (const auto& [j, sum] : s->signed_sum) {
     total += sum * HadamardProtocol::Entry(j, value);
   }
   return protocol_.scale() * total;
 }
 
 double HadamardAccumulator::GroupWeight(const WeightVector& w) const {
-  return GetOrBuildSpectrum(w).group_weight;
+  return GetOrBuildSpectrum(w)->group_weight;
 }
 
 }  // namespace ldp

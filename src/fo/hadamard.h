@@ -2,6 +2,8 @@
 #define LDPMDA_FO_HADAMARD_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +64,8 @@ class HadamardAccumulator : public FoAccumulator {
 
   void Add(const FoReport& report, uint64_t user) override;
   uint64_t num_reports() const override { return indices_.size(); }
+  std::unique_ptr<FoAccumulator> NewShard() const override;
+  Status Merge(FoAccumulator&& other) override;
   double EstimateWeighted(uint64_t value, const WeightVector& w) const override;
   double GroupWeight(const WeightVector& w) const override;
 
@@ -71,13 +75,15 @@ class HadamardAccumulator : public FoAccumulator {
     std::unordered_map<uint64_t, double> signed_sum;
     double group_weight = 0.0;
   };
-  const Spectrum& GetOrBuildSpectrum(const WeightVector& w) const;
+  std::shared_ptr<const Spectrum> GetOrBuildSpectrum(
+      const WeightVector& w) const;
 
   const HadamardProtocol& protocol_;
   std::vector<uint64_t> indices_;
   std::vector<int8_t> signs_;
   std::vector<uint64_t> users_;
-  mutable std::unordered_map<uint64_t, Spectrum> cache_;
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<uint64_t, std::shared_ptr<const Spectrum>> cache_;
   mutable std::vector<uint64_t> cache_order_;
 };
 

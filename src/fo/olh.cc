@@ -52,8 +52,30 @@ void OlhAccumulator::Add(const FoReport& report, uint64_t user) {
   seeds_.push_back(report.seed);
   ys_.push_back(report.value);
   users_.push_back(user);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   hist_cache_.clear();  // any cached histogram is now stale
   hist_order_.clear();
+}
+
+std::unique_ptr<FoAccumulator> OlhAccumulator::NewShard() const {
+  return std::make_unique<OlhAccumulator>(protocol_);
+}
+
+Status OlhAccumulator::Merge(FoAccumulator&& other) {
+  auto* shard = dynamic_cast<OlhAccumulator*>(&other);
+  if (shard == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-OLH shard");
+  }
+  seeds_.insert(seeds_.end(), shard->seeds_.begin(), shard->seeds_.end());
+  ys_.insert(ys_.end(), shard->ys_.begin(), shard->ys_.end());
+  users_.insert(users_.end(), shard->users_.begin(), shard->users_.end());
+  shard->seeds_.clear();
+  shard->ys_.clear();
+  shard->users_.clear();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  hist_cache_.clear();
+  hist_order_.clear();
+  return Status::OK();
 }
 
 bool OlhAccumulator::UsesHistograms() const {
@@ -67,24 +89,26 @@ bool OlhAccumulator::UsesHistograms() const {
   return num_reports() >= 2ull * pool;
 }
 
-const OlhAccumulator::WeightedHistogram& OlhAccumulator::GetOrBuildHistogram(
-    const WeightVector& w) const {
+std::shared_ptr<const OlhAccumulator::WeightedHistogram>
+OlhAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = hist_cache_.find(w.id());
   if (it != hist_cache_.end()) return it->second;
   if (static_cast<int>(hist_cache_.size()) >= kMaxCachedWeightSets) {
     hist_cache_.erase(hist_order_.front());
     hist_order_.erase(hist_order_.begin());
   }
-  WeightedHistogram& h = hist_cache_[w.id()];
-  hist_order_.push_back(w.id());
+  auto h = std::make_shared<WeightedHistogram>();
   const uint32_t pool = protocol_.hash_pool_size();
   const uint32_t g = protocol_.g();
-  h.hist.assign(static_cast<size_t>(pool) * g, 0.0);
+  h->hist.assign(static_cast<size_t>(pool) * g, 0.0);
   for (size_t i = 0; i < seeds_.size(); ++i) {
     const double weight = w[users_[i]];
-    h.hist[static_cast<size_t>(seeds_[i]) * g + ys_[i]] += weight;
-    h.group_weight += weight;
+    h->hist[static_cast<size_t>(seeds_[i]) * g + ys_[i]] += weight;
+    h->group_weight += weight;
   }
+  hist_cache_.emplace(w.id(), h);
+  hist_order_.push_back(w.id());
   return h;
 }
 
@@ -94,13 +118,13 @@ double OlhAccumulator::EstimateWeighted(uint64_t value,
   double theta_w = 0.0;
   double group_weight = 0.0;
   if (UsesHistograms()) {
-    const WeightedHistogram& h = GetOrBuildHistogram(w);
+    const auto h = GetOrBuildHistogram(w);
     const uint32_t pool = protocol_.hash_pool_size();
     for (uint32_t s = 0; s < pool; ++s) {
-      theta_w += h.hist[static_cast<size_t>(s) * g +
-                        SeededHashFamily::Eval(s, value, g)];
+      theta_w += h->hist[static_cast<size_t>(s) * g +
+                         SeededHashFamily::Eval(s, value, g)];
     }
-    group_weight = h.group_weight;
+    group_weight = h->group_weight;
   } else {
     for (size_t i = 0; i < seeds_.size(); ++i) {
       const double weight = w[users_[i]];
@@ -114,7 +138,7 @@ double OlhAccumulator::EstimateWeighted(uint64_t value,
 }
 
 double OlhAccumulator::GroupWeight(const WeightVector& w) const {
-  if (UsesHistograms()) return GetOrBuildHistogram(w).group_weight;
+  if (UsesHistograms()) return GetOrBuildHistogram(w)->group_weight;
   double total = 0.0;
   for (const uint64_t user : users_) total += w[user];
   return total;

@@ -2,6 +2,8 @@
 #define LDPMDA_FO_OLH_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -63,13 +65,17 @@ class OlhProtocol : public FrequencyOracle {
 /// Server-side OLH state: a structure-of-arrays of (seed, y, user) triples
 /// plus, when seeds are pooled and the group is large, cached per-seed
 /// histograms of weight sums so one cell estimate costs O(pool) rather than
-/// O(#reports). Histogram caches are keyed by WeightVector id.
+/// O(#reports). Histogram caches are keyed by WeightVector id; lazy builds
+/// are mutex-guarded and handed out as shared_ptr, so concurrent estimation
+/// fan-out (parallel box decomposition) is safe.
 class OlhAccumulator : public FoAccumulator {
  public:
   explicit OlhAccumulator(const OlhProtocol& protocol);
 
   void Add(const FoReport& report, uint64_t user) override;
   uint64_t num_reports() const override { return seeds_.size(); }
+  std::unique_ptr<FoAccumulator> NewShard() const override;
+  Status Merge(FoAccumulator&& other) override;
   double EstimateWeighted(uint64_t value, const WeightVector& w) const override;
   double GroupWeight(const WeightVector& w) const override;
 
@@ -83,14 +89,19 @@ class OlhAccumulator : public FoAccumulator {
     double group_weight = 0.0;
   };
 
-  const WeightedHistogram& GetOrBuildHistogram(const WeightVector& w) const;
+  std::shared_ptr<const WeightedHistogram> GetOrBuildHistogram(
+      const WeightVector& w) const;
 
   const OlhProtocol& protocol_;
   std::vector<uint32_t> seeds_;
   std::vector<uint32_t> ys_;
   std::vector<uint64_t> users_;
-  /// Lazy per-weight-id caches; bounded size with FIFO eviction.
-  mutable std::unordered_map<uint64_t, WeightedHistogram> hist_cache_;
+  /// Lazy per-weight-id caches; bounded size with FIFO eviction. Guarded by
+  /// cache_mu_ so parallel estimation tasks share one build.
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<uint64_t,
+                             std::shared_ptr<const WeightedHistogram>>
+      hist_cache_;
   mutable std::vector<uint64_t> hist_order_;
 };
 

@@ -1,6 +1,7 @@
 #include "fo/oue.h"
 
 #include <cmath>
+#include <iterator>
 
 #include "common/logging.h"
 
@@ -35,6 +36,24 @@ void OueAccumulator::Add(const FoReport& report, uint64_t user) {
   LDP_DCHECK(report.bits.size() == (protocol_.domain_size() + 63) / 64);
   bit_reports_.push_back(report.bits);
   users_.push_back(user);
+}
+
+std::unique_ptr<FoAccumulator> OueAccumulator::NewShard() const {
+  return std::make_unique<OueAccumulator>(protocol_);
+}
+
+Status OueAccumulator::Merge(FoAccumulator&& other) {
+  auto* shard = dynamic_cast<OueAccumulator*>(&other);
+  if (shard == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-OUE shard");
+  }
+  bit_reports_.insert(bit_reports_.end(),
+                      std::make_move_iterator(shard->bit_reports_.begin()),
+                      std::make_move_iterator(shard->bit_reports_.end()));
+  users_.insert(users_.end(), shard->users_.begin(), shard->users_.end());
+  shard->bit_reports_.clear();
+  shard->users_.clear();
+  return Status::OK();
 }
 
 double OueAccumulator::EstimateWeighted(uint64_t value,

@@ -2,6 +2,7 @@
 #define LDPMDA_FO_OUE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fo/frequency_oracle.h"
@@ -44,6 +45,8 @@ class OueAccumulator : public FoAccumulator {
 
   void Add(const FoReport& report, uint64_t user) override;
   uint64_t num_reports() const override { return users_.size(); }
+  std::unique_ptr<FoAccumulator> NewShard() const override;
+  Status Merge(FoAccumulator&& other) override;
   double EstimateWeighted(uint64_t value, const WeightVector& w) const override;
   double GroupWeight(const WeightVector& w) const override;
 

@@ -41,4 +41,11 @@ Result<std::unique_ptr<Mechanism>> CreateMechanism(
   return Status::InvalidArgument("unknown mechanism kind");
 }
 
+Result<std::unique_ptr<Mechanism>> Mechanism::NewShard() const {
+  // A shard is simply a fresh mechanism with the same configuration; its
+  // encoders are identical and its server state starts empty. Defined here
+  // (not in mechanism.cc) because it needs the factory.
+  return CreateMechanism(kind(), schema_, params_);
+}
+
 }  // namespace ldp

@@ -3,11 +3,12 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "exec/execution_context.h"
 
 namespace ldp {
 
 HiMechanism::HiMechanism(const Schema& schema, const MechanismParams& params)
-    : Mechanism(params) {
+    : Mechanism(schema, params) {
   grid_ = std::make_unique<LevelGrid>(BuildHierarchies(schema, params.fanout));
   num_dims_ = grid_->num_dims();
 }
@@ -59,7 +60,7 @@ LdpReport HiMechanism::EncodeUser(std::span<const uint32_t> values,
   return report;
 }
 
-Status HiMechanism::AddReport(const LdpReport& report, uint64_t user) {
+Status HiMechanism::ValidateReport(const LdpReport& report) const {
   if (report.entries.size() != levels_of_tuple_.size()) {
     return Status::InvalidArgument("HI report must cover every d-dim level");
   }
@@ -67,9 +68,27 @@ Status HiMechanism::AddReport(const LdpReport& report, uint64_t user) {
     if (entry.group >= levels_of_tuple_.size()) {
       return Status::OutOfRange("bad group id in HI report");
     }
+  }
+  return Status::OK();
+}
+
+Status HiMechanism::AddReport(const LdpReport& report, uint64_t user) {
+  LDP_RETURN_NOT_OK(ValidateReport(report));
+  for (const auto& entry : report.entries) {
     store_.Add(entry.group, entry.fo, user);
   }
   ++num_reports_;
+  return Status::OK();
+}
+
+Status HiMechanism::Merge(Mechanism&& shard) {
+  auto* other = dynamic_cast<HiMechanism*>(&shard);
+  if (other == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-HI shard");
+  }
+  LDP_RETURN_NOT_OK(store_.MergeFrom(std::move(other->store_)));
+  num_reports_ += other->num_reports_;
+  other->num_reports_ = 0;
   return Status::OK();
 }
 
@@ -91,11 +110,17 @@ Result<double> HiMechanism::EstimateBox(std::span<const Interval> ranges,
   LDP_RETURN_NOT_OK(EnsureReports());
   std::vector<SubQuery> sub_queries;
   LDP_RETURN_NOT_OK(grid_->DecomposeBox(ranges, &sub_queries));
+  // Sub-queries fan out over the execution context into per-index slots;
+  // summing the slots in index order reproduces the serial loop's
+  // floating-point grouping exactly, for any thread count.
+  std::vector<double> partial(sub_queries.size(), 0.0);
+  exec().ParallelFor(sub_queries.size(), [&](uint64_t i) {
+    const SubQuery& sq = sub_queries[i];
+    partial[i] = store_.accumulator(static_cast<int>(sq.level_flat))
+                     .EstimateWeighted(sq.cell, weights);
+  });
   double total = 0.0;
-  for (const SubQuery& sq : sub_queries) {
-    total += store_.accumulator(static_cast<int>(sq.level_flat))
-                 .EstimateWeighted(sq.cell, weights);
-  }
+  for (const double p : partial) total += p;
   return total;
 }
 

@@ -29,6 +29,8 @@ class HiMechanism : public Mechanism {
   LdpReport EncodeUser(std::span<const uint32_t> values,
                        Rng& rng) const override;
   Status AddReport(const LdpReport& report, uint64_t user) override;
+  Status ValidateReport(const LdpReport& report) const override;
+  Status Merge(Mechanism&& shard) override;
   Result<double> EstimateBox(std::span<const Interval> ranges,
                              const WeightVector& weights) const override;
   Result<double> VarianceBound(std::span<const Interval> ranges,

@@ -3,12 +3,13 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "exec/execution_context.h"
 
 namespace ldp {
 
 HioMechanism::HioMechanism(const Schema& schema,
                            const MechanismParams& params)
-    : Mechanism(params) {
+    : Mechanism(schema, params) {
   grid_ = std::make_unique<LevelGrid>(BuildHierarchies(schema, params.fanout));
   num_dims_ = grid_->num_dims();
 }
@@ -56,16 +57,32 @@ LdpReport HioMechanism::EncodeUser(std::span<const uint32_t> values,
   return report;
 }
 
-Status HioMechanism::AddReport(const LdpReport& report, uint64_t user) {
+Status HioMechanism::ValidateReport(const LdpReport& report) const {
   if (report.entries.size() != 1) {
     return Status::InvalidArgument("HIO report must have exactly one entry");
   }
-  const auto& entry = report.entries[0];
-  if (entry.group >= levels_of_tuple_.size()) {
+  if (report.entries[0].group >= levels_of_tuple_.size()) {
     return Status::OutOfRange("bad group id in HIO report");
   }
+  return Status::OK();
+}
+
+Status HioMechanism::AddReport(const LdpReport& report, uint64_t user) {
+  LDP_RETURN_NOT_OK(ValidateReport(report));
+  const auto& entry = report.entries[0];
   store_.Add(entry.group, entry.fo, user);
   ++num_reports_;
+  return Status::OK();
+}
+
+Status HioMechanism::Merge(Mechanism&& shard) {
+  auto* other = dynamic_cast<HioMechanism*>(&shard);
+  if (other == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-HIO shard");
+  }
+  LDP_RETURN_NOT_OK(store_.MergeFrom(std::move(other->store_)));
+  num_reports_ += other->num_reports_;
+  other->num_reports_ = 0;
   return Status::OK();
 }
 
@@ -97,10 +114,15 @@ Result<double> HioMechanism::EstimateBox(std::span<const Interval> ranges,
   LDP_RETURN_NOT_OK(EnsureReports());
   std::vector<SubQuery> sub_queries;
   LDP_RETURN_NOT_OK(grid_->DecomposeBox(ranges, &sub_queries));
+  // Per-sub-query slots summed in index order: same floating-point grouping
+  // as the serial loop for any thread count.
+  std::vector<double> partial(sub_queries.size(), 0.0);
+  exec().ParallelFor(sub_queries.size(), [&](uint64_t i) {
+    partial[i] = EstimateCell(sub_queries[i].level_flat, sub_queries[i].cell,
+                              weights);
+  });
   double total = 0.0;
-  for (const SubQuery& sq : sub_queries) {
-    total += EstimateCell(sq.level_flat, sq.cell, weights);
-  }
+  for (const double p : partial) total += p;
   return total;
 }
 

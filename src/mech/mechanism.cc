@@ -1,6 +1,7 @@
 #include "mech/mechanism.h"
 
 #include "common/string_util.h"
+#include "exec/execution_context.h"
 
 namespace ldp {
 
@@ -31,6 +32,10 @@ Result<MechanismKind> MechanismKindFromString(std::string_view name) {
   if (lower == "quadtree" || lower == "qt") return MechanismKind::kQuadTree;
   if (lower == "haar" || lower == "wavelet") return MechanismKind::kHaar;
   return Status::InvalidArgument("unknown mechanism: " + std::string(name));
+}
+
+const ExecutionContext& Mechanism::exec() const {
+  return exec_ != nullptr ? *exec_ : SerialExecutionContext();
 }
 
 Status Mechanism::EnsureReports() const {

@@ -15,6 +15,8 @@
 
 namespace ldp {
 
+class ExecutionContext;
+
 /// The four LDP mechanisms evaluated in the paper (Section 6), plus the
 /// QuadTree and Haar-wavelet space-partitioning alternatives discussed in
 /// Section 7.
@@ -81,6 +83,15 @@ class Mechanism {
 
   virtual MechanismKind kind() const = 0;
   const MechanismParams& params() const { return params_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Attaches a shard-parallel execution context. The mechanism does not own
+  /// it; the caller must keep it alive for the mechanism's lifetime. When no
+  /// context is attached, estimation runs on the serial context (which uses
+  /// the same chunked reductions, so estimates are independent of the
+  /// attached context's thread count, bit for bit).
+  void set_execution_context(const ExecutionContext* exec) { exec_ = exec; }
+  const ExecutionContext* execution_context() const { return exec_; }
 
   /// --- Client side (algorithm A) ---
   /// Encodes one user's sensitive dimension values (one value per sensitive
@@ -92,6 +103,25 @@ class Mechanism {
   /// Ingests the report of user `user` (a dense row id; weights are indexed
   /// by it at estimation time).
   virtual Status AddReport(const LdpReport& report, uint64_t user) = 0;
+
+  /// Structural check of a report against this mechanism's configuration —
+  /// exactly the validation AddReport performs before mutating any state.
+  /// Side-effect free and safe to call concurrently, so a staged ingestion
+  /// pipeline can validate in parallel before committing serially.
+  virtual Status ValidateReport(const LdpReport& report) const = 0;
+
+  /// --- Combiner interface (shard-parallel ingestion) ---
+  /// A fresh, empty mechanism with this mechanism's schema and params.
+  /// Workers ingest disjoint report ranges into private shards, then the
+  /// owner folds them in with Merge; the merged state is identical to having
+  /// ingested every report sequentially in shard order.
+  Result<std::unique_ptr<Mechanism>> NewShard() const;
+
+  /// Folds a shard's accumulated reports into this mechanism, preserving
+  /// report order (this mechanism's reports first, then the shard's). The
+  /// shard must come from NewShard() of an identically-configured mechanism;
+  /// it is drained and must not be used afterwards.
+  virtual Status Merge(Mechanism&& shard) = 0;
 
   /// Unbiased estimate of  sum of w_t  over users whose sensitive values lie
   /// in the axis-aligned box (one closed interval per sensitive dimension,
@@ -114,14 +144,24 @@ class Mechanism {
                                        const WeightVector& weights) const = 0;
 
  protected:
-  explicit Mechanism(MechanismParams params) : params_(params) {}
+  Mechanism(Schema schema, MechanismParams params)
+      : params_(params), schema_(std::move(schema)) {}
 
   /// Typed guard for estimation entry points: with zero accepted reports the
   /// estimators would return a meaningless 0 (or NaN after renormalization),
   /// so surface the condition instead. Call at the top of EstimateBox.
   Status EnsureReports() const;
 
+  /// The context estimation should run on: the attached one, or the serial
+  /// singleton when none is attached.
+  const ExecutionContext& exec() const;
+
   MechanismParams params_;
+  /// The schema this mechanism was configured for; NewShard() rebuilds an
+  /// identical mechanism from it.
+  Schema schema_;
+  /// Not owned; null until set_execution_context.
+  const ExecutionContext* exec_ = nullptr;
   /// Bumped by subclasses in AddReport after a report passes validation.
   uint64_t num_reports_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "exec/execution_context.h"
 
 namespace ldp {
 
@@ -12,7 +13,7 @@ constexpr uint64_t kMaxBoxCells = 1ull << 25;
 }  // namespace
 
 MgMechanism::MgMechanism(const Schema& schema, const MechanismParams& params)
-    : Mechanism(params) {
+    : Mechanism(schema, params) {
   for (const int attr : schema.sensitive_dims()) {
     domains_.push_back(schema.attribute(attr).domain_size);
     total_cells_ *= schema.attribute(attr).domain_size;
@@ -62,12 +63,28 @@ LdpReport MgMechanism::EncodeUser(std::span<const uint32_t> values,
   return report;
 }
 
-Status MgMechanism::AddReport(const LdpReport& report, uint64_t user) {
+Status MgMechanism::ValidateReport(const LdpReport& report) const {
   if (report.entries.size() != 1 || report.entries[0].group != 0) {
     return Status::InvalidArgument("MG report must have exactly one entry");
   }
+  return Status::OK();
+}
+
+Status MgMechanism::AddReport(const LdpReport& report, uint64_t user) {
+  LDP_RETURN_NOT_OK(ValidateReport(report));
   store_.Add(0, report.entries[0].fo, user);
   ++num_reports_;
+  return Status::OK();
+}
+
+Status MgMechanism::Merge(Mechanism&& shard) {
+  auto* other = dynamic_cast<MgMechanism*>(&shard);
+  if (other == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-MG shard");
+  }
+  LDP_RETURN_NOT_OK(store_.MergeFrom(std::move(other->store_)));
+  num_reports_ += other->num_reports_;
+  other->num_reports_ = 0;
   return Status::OK();
 }
 
@@ -108,22 +125,29 @@ Result<double> MgMechanism::EstimateBox(std::span<const Interval> ranges,
       return Status::ResourceExhausted("MG box covers too many cells");
     }
   }
-  // Odometer over the box, summing per-cell weighted estimates (eq. 10).
+  // Chunk-parallel sum of per-cell weighted estimates over the box (eq. 10).
+  // A cell's in-box rank decodes to its coordinates (last dimension fastest,
+  // matching the serial odometer); the chunked reduction's floating-point
+  // grouping depends only on the box, so the sum is bit-identical for every
+  // thread count — including the serial one.
   const FoAccumulator& acc = store_.accumulator(0);
-  std::vector<uint64_t> value(domains_.size());
-  for (size_t i = 0; i < domains_.size(); ++i) value[i] = ranges[i].lo;
-  double total = 0.0;
-  for (uint64_t count = 0; count < box_cells; ++count) {
-    uint64_t cell = 0;
-    for (size_t i = 0; i < domains_.size(); ++i) {
-      cell = cell * domains_[i] + value[i];
-    }
-    total += acc.EstimateWeighted(cell, weights);
-    for (size_t i = domains_.size(); i-- > 0;) {
-      if (++value[i] <= ranges[i].hi) break;
-      value[i] = ranges[i].lo;
-    }
-  }
+  const double total = exec().ParallelSumChunks(
+      box_cells, kExecSumChunk, [&](uint64_t begin, uint64_t end) {
+        double sub = 0.0;
+        for (uint64_t rank = begin; rank < end; ++rank) {
+          uint64_t rem = rank;
+          uint64_t cell = 0;
+          uint64_t stride = 1;
+          for (size_t i = domains_.size(); i-- > 0;) {
+            const uint64_t len = ranges[i].length();
+            cell += (ranges[i].lo + rem % len) * stride;
+            stride *= domains_[i];
+            rem /= len;
+          }
+          sub += acc.EstimateWeighted(cell, weights);
+        }
+        return sub;
+      });
   return total;
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "exec/execution_context.h"
 
 namespace ldp {
 
@@ -14,7 +15,7 @@ constexpr uint64_t kMaxSubQueries = 1ull << 22;
 
 QuadTreeMechanism::QuadTreeMechanism(const Schema& schema,
                                      const MechanismParams& params)
-    : Mechanism(params) {
+    : Mechanism(schema, params) {
   for (const int attr : schema.sensitive_dims()) {
     domains_.push_back(schema.attribute(attr).domain_size);
   }
@@ -71,17 +72,33 @@ LdpReport QuadTreeMechanism::EncodeUser(std::span<const uint32_t> values,
   return report;
 }
 
-Status QuadTreeMechanism::AddReport(const LdpReport& report, uint64_t user) {
+Status QuadTreeMechanism::ValidateReport(const LdpReport& report) const {
   if (report.entries.size() != 1) {
     return Status::InvalidArgument(
         "QuadTree report must have exactly one entry");
   }
-  const auto& entry = report.entries[0];
-  if (entry.group > static_cast<uint32_t>(height_)) {
+  if (report.entries[0].group > static_cast<uint32_t>(height_)) {
     return Status::OutOfRange("bad level in QuadTree report");
   }
+  return Status::OK();
+}
+
+Status QuadTreeMechanism::AddReport(const LdpReport& report, uint64_t user) {
+  LDP_RETURN_NOT_OK(ValidateReport(report));
+  const auto& entry = report.entries[0];
   store_.Add(entry.group, entry.fo, user);
   ++num_reports_;
+  return Status::OK();
+}
+
+Status QuadTreeMechanism::Merge(Mechanism&& shard) {
+  auto* other = dynamic_cast<QuadTreeMechanism*>(&shard);
+  if (other == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-QuadTree shard");
+  }
+  LDP_RETURN_NOT_OK(store_.MergeFrom(std::move(other->store_)));
+  num_reports_ += other->num_reports_;
+  other->num_reports_ = 0;
   return Status::OK();
 }
 
@@ -141,10 +158,16 @@ Result<double> QuadTreeMechanism::EstimateBox(
   // Level sampling: scale each group's estimate by the inverse sampling
   // rate h + 1 (as in HIO / eq. 24).
   const double scale = static_cast<double>(height_ + 1);
+  // Per-node slots summed in node order: unaligned boxes decompose into
+  // O(2^h) nodes, each estimate a scan, so the fan-out is worth it.
+  std::vector<double> partial(nodes.size(), 0.0);
+  exec().ParallelFor(nodes.size(), [&](uint64_t i) {
+    const auto& [level, cell] = nodes[i];
+    partial[i] =
+        scale * store_.accumulator(level).EstimateWeighted(cell, weights);
+  });
   double total = 0.0;
-  for (const auto& [level, cell] : nodes) {
-    total += scale * store_.accumulator(level).EstimateWeighted(cell, weights);
-  }
+  for (const double p : partial) total += p;
   return total;
 }
 

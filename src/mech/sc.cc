@@ -3,15 +3,21 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "exec/execution_context.h"
 
 namespace ldp {
 
 namespace {
 constexpr uint64_t kMaxSubQueries = 1ull << 20;
+/// With at most this many sub-queries, the per-user inner sum dominates and
+/// is chunk-parallelized; above it, the sub-queries themselves fan out (with
+/// serial inner sums). Fixed constant — never thread-count-dependent — so
+/// the floating-point grouping for a given query is always the same.
+constexpr uint64_t kParallelInnerMaxSubQueries = 64;
 }  // namespace
 
 ScMechanism::ScMechanism(const Schema& schema, const MechanismParams& params)
-    : Mechanism(params) {
+    : Mechanism(schema, params) {
   grid_ = std::make_unique<LevelGrid>(BuildHierarchies(schema, params.fanout));
 }
 
@@ -74,7 +80,7 @@ LdpReport ScMechanism::EncodeUser(std::span<const uint32_t> values,
   return report;
 }
 
-Status ScMechanism::AddReport(const LdpReport& report, uint64_t user) {
+Status ScMechanism::ValidateReport(const LdpReport& report) const {
   if (report.entries.size() != protocols_.size()) {
     return Status::InvalidArgument("SC report must cover every (dim, level)");
   }
@@ -82,11 +88,40 @@ Status ScMechanism::AddReport(const LdpReport& report, uint64_t user) {
     if (entry.group >= protocols_.size()) {
       return Status::OutOfRange("bad group id in SC report");
     }
+  }
+  return Status::OK();
+}
+
+Status ScMechanism::AddReport(const LdpReport& report, uint64_t user) {
+  LDP_RETURN_NOT_OK(ValidateReport(report));
+  for (const auto& entry : report.entries) {
     seeds_[entry.group].push_back(entry.fo.seed);
     ys_[entry.group].push_back(entry.fo.value);
   }
   users_.push_back(user);
   ++num_reports_;
+  return Status::OK();
+}
+
+Status ScMechanism::Merge(Mechanism&& shard) {
+  auto* other = dynamic_cast<ScMechanism*>(&shard);
+  if (other == nullptr) {
+    return Status::InvalidArgument("cannot merge a non-SC shard");
+  }
+  if (other->protocols_.size() != protocols_.size()) {
+    return Status::InvalidArgument("SC shard has mismatched group count");
+  }
+  for (size_t g = 0; g < protocols_.size(); ++g) {
+    seeds_[g].insert(seeds_[g].end(), other->seeds_[g].begin(),
+                     other->seeds_[g].end());
+    ys_[g].insert(ys_[g].end(), other->ys_[g].begin(), other->ys_[g].end());
+    other->seeds_[g].clear();
+    other->ys_[g].clear();
+  }
+  users_.insert(users_.end(), other->users_.begin(), other->users_.end());
+  other->users_.clear();
+  num_reports_ += other->num_reports_;
+  other->num_reports_ = 0;
   return Status::OK();
 }
 
@@ -136,33 +171,44 @@ Result<double> ScMechanism::EstimateBox(std::span<const Interval> ranges,
 
   // Precompute, per (dim, piece), the per-user conjunctive factor
   // c(A_i(t)) in {c0, c1}; root pieces (level 0, '*') contribute factor 1
-  // and are marked with an empty vector.
+  // and are marked with an empty vector. Each (dim, piece) job writes only
+  // its own vector, so the jobs fan out over the execution context.
   std::vector<std::vector<std::vector<float>>> factors(d);
+  std::vector<std::pair<int, size_t>> factor_jobs;
   for (int i = 0; i < d; ++i) {
     factors[i].resize(pieces[i].size());
     for (size_t p = 0; p < pieces[i].size(); ++p) {
-      const LevelInterval& piece = pieces[i][p];
-      if (piece.level == 0) continue;  // '*': no constraint, factor 1
-      const int group = GroupOf(i, piece.level);
-      const OlhProtocol& proto = *protocols_[group];
-      std::vector<float>& f = factors[i][p];
-      f.resize(n);
-      const auto& seeds = seeds_[group];
-      const auto& ys = ys_[group];
-      for (size_t t = 0; t < n; ++t) {
-        f[t] = proto.Supports(seeds[t], ys[t], piece.index)
-                   ? static_cast<float>(c1_)
-                   : static_cast<float>(c0_);
-      }
+      if (pieces[i][p].level != 0) factor_jobs.push_back({i, p});
     }
   }
-
-  // Sum the conjunctive estimates of all sub-queries (eq. 42).
-  std::vector<size_t> pick(d, 0);
-  double total = 0.0;
-  for (uint64_t count = 0; count < product; ++count) {
-    double sub = 0.0;
+  exec().ParallelFor(factor_jobs.size(), [&](uint64_t j) {
+    const auto [i, p] = factor_jobs[j];
+    const LevelInterval& piece = pieces[i][p];
+    const int group = GroupOf(i, piece.level);
+    const OlhProtocol& proto = *protocols_[group];
+    std::vector<float>& f = factors[i][p];
+    f.resize(n);
+    const auto& seeds = seeds_[group];
+    const auto& ys = ys_[group];
     for (size_t t = 0; t < n; ++t) {
+      f[t] = proto.Supports(seeds[t], ys[t], piece.index)
+                 ? static_cast<float>(c1_)
+                 : static_cast<float>(c0_);
+    }
+  });
+
+  // One sub-query's conjunctive sum over the user range [begin, end)
+  // (eq. 42), with the d picks decoded from the flat sub-query rank
+  // (last dimension fastest, matching the serial odometer order).
+  const auto SubQuerySum = [&](uint64_t rank, size_t begin,
+                               size_t end) -> double {
+    std::vector<size_t> pick(d, 0);
+    for (int i = d - 1; i >= 0; --i) {
+      pick[i] = rank % pieces[i].size();
+      rank /= pieces[i].size();
+    }
+    double sub = 0.0;
+    for (size_t t = begin; t < end; ++t) {
       double prod = weights[users_[t]];
       for (int i = 0; i < d; ++i) {
         const auto& f = factors[i][pick[i]];
@@ -170,11 +216,29 @@ Result<double> ScMechanism::EstimateBox(std::span<const Interval> ranges,
       }
       sub += prod;
     }
-    total += sub;
-    for (int i = d - 1; i >= 0; --i) {
-      if (++pick[i] < pieces[i].size()) break;
-      pick[i] = 0;
+    return sub;
+  };
+
+  // Sum the conjunctive estimates of all sub-queries. Few sub-queries: the
+  // O(n d) inner sums are chunk-parallelized one sub-query at a time. Many
+  // sub-queries: they fan out into per-rank slots with serial inner sums
+  // (never both — nested fan-out could exhaust the worker pool). Both
+  // groupings depend only on the query and n, so the result is bit-identical
+  // for every thread count.
+  double total = 0.0;
+  if (product <= kParallelInnerMaxSubQueries) {
+    for (uint64_t rank = 0; rank < product; ++rank) {
+      total += exec().ParallelSumChunks(
+          n, kExecSumChunk, [&](uint64_t begin, uint64_t end) {
+            return SubQuerySum(rank, begin, end);
+          });
     }
+  } else {
+    std::vector<double> partial(product, 0.0);
+    exec().ParallelFor(product, [&](uint64_t rank) {
+      partial[rank] = SubQuerySum(rank, 0, n);
+    });
+    for (const double p : partial) total += p;
   }
   return total;
 }

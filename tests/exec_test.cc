@@ -1,0 +1,297 @@
+// The shard-parallel execution primitives: ThreadPool, the deterministic
+// ExecutionContext loops, Rng::Fork substreams, WeightVector id allocation
+// under concurrency, and the FoAccumulator combiner (NewShard/Merge)
+// contract for all four frequency-oracle protocols.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/execution_context.h"
+#include "exec/thread_pool.h"
+#include "fo/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    for (int i = 1; i <= 100; ++i) {
+      pool.Submit([&sum, i] { sum.fetch_add(i); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&pool, &count] {
+        count.fetch_add(1);
+        pool.Submit([&count] { count.fetch_add(1); });
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ExecutionContextTest, ParallelForCoversEachIndexOnce) {
+  for (const int threads : {1, 2, 8}) {
+    const ExecutionContext exec(threads);
+    EXPECT_EQ(exec.num_threads(), threads);
+    for (const uint64_t n : {0ull, 1ull, 7ull, 1000ull}) {
+      std::vector<std::atomic<int>> hits(n);
+      exec.ParallelFor(n, [&hits](uint64_t i) { hits[i].fetch_add(1); });
+      for (uint64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+    }
+  }
+}
+
+TEST(ExecutionContextTest, ParallelChunksBoundariesDependOnlyOnInput) {
+  // Same (n, chunk_size) must produce the same chunk set for any threads.
+  const uint64_t n = 10001;
+  const uint64_t chunk_size = 256;
+  std::set<std::vector<uint64_t>> seen;
+  for (const int threads : {1, 2, 8}) {
+    const ExecutionContext exec(threads);
+    std::mutex mu;
+    std::vector<std::vector<uint64_t>> chunks;
+    exec.ParallelChunks(n, chunk_size,
+                        [&](uint64_t chunk, uint64_t begin, uint64_t end) {
+                          std::lock_guard<std::mutex> lock(mu);
+                          chunks.push_back({chunk, begin, end});
+                        });
+    std::sort(chunks.begin(), chunks.end());
+    // Chunks tile [0, n) exactly.
+    ASSERT_EQ(chunks.size(), (n + chunk_size - 1) / chunk_size);
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      EXPECT_EQ(chunks[c][0], c);
+      EXPECT_EQ(chunks[c][1], c * chunk_size);
+      EXPECT_EQ(chunks[c][2], std::min(n, (c + 1) * chunk_size));
+    }
+    std::vector<uint64_t> flat;
+    for (const auto& c : chunks) flat.insert(flat.end(), c.begin(), c.end());
+    seen.insert(flat);
+  }
+  EXPECT_EQ(seen.size(), 1u);  // identical for every thread count
+}
+
+TEST(ExecutionContextTest, ParallelSumChunksIsBitIdenticalAcrossThreads) {
+  // Sum of values whose magnitudes differ enough that floating-point
+  // grouping matters; only a fixed chunk-order reduction gives the same
+  // bits for every thread count.
+  const uint64_t n = 50000;
+  std::vector<double> values(n);
+  Rng rng(99);
+  for (auto& v : values) {
+    v = (rng.UniformDouble() - 0.5) * 1e6 + rng.UniformDouble();
+  }
+  const auto term = [&values](uint64_t begin, uint64_t end) {
+    double s = 0.0;
+    for (uint64_t i = begin; i < end; ++i) s += values[i];
+    return s;
+  };
+  const double serial = ExecutionContext(1).ParallelSumChunks(n, 512, term);
+  for (const int threads : {2, 8}) {
+    const ExecutionContext exec(threads);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(exec.ParallelSumChunks(n, 512, term), serial);
+    }
+  }
+}
+
+TEST(ExecutionContextTest, SerialContextIsSingleThreaded) {
+  EXPECT_EQ(SerialExecutionContext().num_threads(), 1);
+  // <= 0 resolves to the hardware thread count, at least 1.
+  EXPECT_GE(ExecutionContext(0).num_threads(), 1);
+  EXPECT_GE(ExecutionContext(-3).num_threads(), 1);
+}
+
+TEST(RngForkTest, SubstreamIsReproducible) {
+  const Rng master(1234);
+  Rng a = master.Fork(7);
+  Rng b = master.Fork(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngForkTest, DoesNotAdvanceParent) {
+  Rng master(1234);
+  Rng witness(1234);
+  (void)master.Fork(0);
+  (void)master.Fork(1);
+  (void)master.Fork(123456789);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(master(), witness());
+}
+
+TEST(RngForkTest, DistinctStreamsDiffer) {
+  const Rng master(42);
+  // Distinct streams must produce distinct outputs (so chunk substreams are
+  // independent) and differ from the parent's own stream.
+  std::set<uint64_t> firsts;
+  for (uint64_t stream = 0; stream < 64; ++stream) {
+    firsts.insert(master.Fork(stream)());
+  }
+  EXPECT_EQ(firsts.size(), 64u);
+  Rng parent(42);
+  EXPECT_EQ(firsts.count(parent()), 0u);
+}
+
+TEST(RngForkTest, DependsOnParentState) {
+  Rng a(42);
+  Rng b(42);
+  (void)b();  // advance b one step
+  EXPECT_NE(a.Fork(3)(), b.Fork(3)());
+}
+
+TEST(WeightVectorTest, IdsUniqueAcrossThreads) {
+  // Accumulator caches key on WeightVector::id(); concurrent construction
+  // (estimation fan-out building per-sub-query weights) must never reuse an
+  // id.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&ids, t] {
+      ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[t].push_back(WeightVector::Ones(1).id());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::set<uint64_t> unique;
+  for (const auto& per_thread : ids) {
+    unique.insert(per_thread.begin(), per_thread.end());
+  }
+  EXPECT_EQ(unique.size(),
+            static_cast<size_t>(kThreads) * static_cast<size_t>(kPerThread));
+}
+
+// --- FoAccumulator combiner contract -------------------------------------
+
+struct FoCase {
+  FoKind kind;
+  uint32_t pool;
+};
+
+class FoCombinerTest : public ::testing::TestWithParam<FoCase> {};
+
+// Shard-merged ingestion must reproduce serial ingestion bit for bit: the
+// owner merges shards in chunk order, which re-creates the serial report
+// order exactly.
+TEST_P(FoCombinerTest, ShardMergeMatchesSerialBitwise) {
+  const FoCase c = GetParam();
+  const uint64_t domain = 64;
+  const uint64_t n = 4000;
+  auto oracle =
+      FrequencyOracle::Create(c.kind, 1.5, domain, c.pool).ValueOrDie();
+
+  // Encode one fixed report stream.
+  Rng rng(7);
+  std::vector<FoReport> reports;
+  reports.reserve(n);
+  for (uint64_t u = 0; u < n; ++u) {
+    reports.push_back(oracle->Encode(u % domain, rng));
+  }
+
+  auto serial = oracle->MakeAccumulator();
+  for (uint64_t u = 0; u < n; ++u) serial->Add(reports[u], u);
+
+  // Three shards over contiguous chunks, merged in order.
+  auto merged = oracle->MakeAccumulator();
+  const uint64_t cuts[] = {0, n / 3, 2 * n / 3, n};
+  for (int s = 0; s < 3; ++s) {
+    auto shard = merged->NewShard();
+    for (uint64_t u = cuts[s]; u < cuts[s + 1]; ++u) shard->Add(reports[u], u);
+    ASSERT_TRUE(merged->Merge(std::move(*shard)).ok());
+  }
+
+  ASSERT_EQ(merged->num_reports(), serial->num_reports());
+  std::vector<double> weights(n);
+  for (uint64_t u = 0; u < n; ++u) weights[u] = 1.0 + (u % 5) * 0.25;
+  const WeightVector w(weights);
+  for (uint64_t v = 0; v < domain; ++v) {
+    EXPECT_EQ(merged->EstimateWeighted(v, w), serial->EstimateWeighted(v, w));
+  }
+  EXPECT_EQ(merged->GroupWeight(w), serial->GroupWeight(w));
+}
+
+TEST_P(FoCombinerTest, MergeConsumesShard) {
+  const FoCase c = GetParam();
+  auto oracle = FrequencyOracle::Create(c.kind, 1.0, 16, c.pool).ValueOrDie();
+  auto base = oracle->MakeAccumulator();
+  auto shard = base->NewShard();
+  Rng rng(3);
+  for (uint64_t u = 0; u < 10; ++u) shard->Add(oracle->Encode(u % 16, rng), u);
+  ASSERT_TRUE(base->Merge(std::move(*shard)).ok());
+  EXPECT_EQ(base->num_reports(), 10u);
+  EXPECT_EQ(shard->num_reports(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOracles, FoCombinerTest,
+    ::testing::Values(FoCase{FoKind::kOlh, 0}, FoCase{FoKind::kOlh, 128},
+                      FoCase{FoKind::kGrr, 0}, FoCase{FoKind::kOue, 0},
+                      FoCase{FoKind::kHr, 0}),
+    [](const ::testing::TestParamInfo<FoCase>& info) {
+      return FoKindName(info.param.kind) +
+             (info.param.pool > 0 ? "_pooled" : "");
+    });
+
+TEST(FoCombinerTest, MergeRejectsMismatchedType) {
+  auto olh = FrequencyOracle::Create(FoKind::kOlh, 1.0, 16).ValueOrDie();
+  auto grr = FrequencyOracle::Create(FoKind::kGrr, 1.0, 16).ValueOrDie();
+  auto base = olh->MakeAccumulator();
+  auto wrong = grr->MakeAccumulator();
+  EXPECT_FALSE(base->Merge(std::move(*wrong)).ok());
+}
+
+TEST(ReportStoreTest, MergeFromAppendsPerGroup) {
+  const auto make_store = [] {
+    ReportStore store;
+    store.AddGroup(
+        FrequencyOracle::Create(FoKind::kGrr, 1.0, 8).ValueOrDie());
+    store.AddGroup(
+        FrequencyOracle::Create(FoKind::kOlh, 1.0, 32, 16).ValueOrDie());
+    return store;
+  };
+  ReportStore serial = make_store();
+  ReportStore base = make_store();
+  ReportStore shard = make_store();
+  Rng rng_a(5);
+  Rng rng_b(5);
+  for (uint64_t u = 0; u < 40; ++u) {
+    const int group = static_cast<int>(u % 2);
+    const FoReport r = serial.Encode(group, u % 8, rng_a);
+    serial.Add(group, r, u);
+    ReportStore& target = u < 20 ? base : shard;
+    target.Add(group, serial.Encode(group, u % 8, rng_b), u);
+  }
+  ASSERT_TRUE(base.MergeFrom(std::move(shard)).ok());
+  const WeightVector w = WeightVector::Ones(40);
+  for (int group = 0; group < 2; ++group) {
+    ASSERT_EQ(base.accumulator(group).num_reports(),
+              serial.accumulator(group).num_reports());
+    for (uint64_t v = 0; v < 8; ++v) {
+      EXPECT_EQ(base.accumulator(group).EstimateWeighted(v, w),
+                serial.accumulator(group).EstimateWeighted(v, w));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldp

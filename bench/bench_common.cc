@@ -19,6 +19,8 @@ bool ParseBenchConfig(int argc, char** argv, const std::string& name,
               "OLH hash-seed pool size (0 = unbounded/exact)");
   p->AddInt64("threads", &config->threads,
               "worker threads for collection/estimation (<=0 = all cores)");
+  p->AddBool("cache", &config->cache,
+             "enable the cross-query node-estimate cache");
   p->AddBool("full", &config->full, "use the paper-scale parameters");
   return p->Parse(argc, argv);
 }
@@ -45,7 +47,7 @@ MechanismParams MakeParams(const BenchConfig& config, double eps,
 
 std::vector<std::unique_ptr<AnalyticsEngine>> BuildEngines(
     const Table& table, const std::vector<MechanismSpec>& specs,
-    uint64_t seed, int num_threads) {
+    uint64_t seed, int num_threads, bool enable_estimate_cache) {
   std::vector<std::unique_ptr<AnalyticsEngine>> engines;
   for (const MechanismSpec& spec : specs) {
     EngineOptions options;
@@ -53,6 +55,7 @@ std::vector<std::unique_ptr<AnalyticsEngine>> BuildEngines(
     options.params = spec.params;
     options.seed = seed;
     options.num_threads = num_threads;
+    options.enable_estimate_cache = enable_estimate_cache;
     auto engine = AnalyticsEngine::Create(table, options);
     if (engine.ok()) {
       engines.push_back(std::move(engine).value());

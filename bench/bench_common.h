@@ -31,6 +31,10 @@ struct BenchConfig {
   /// num_threads). Results are bit-identical for a fixed seed regardless of
   /// this value; <= 0 means one thread per hardware core.
   int64_t threads = 1;
+  /// Cross-query node-estimate cache (EngineOptions::enable_estimate_cache).
+  /// Estimates are bit-identical either way; --cache=false measures the
+  /// uncached estimation cost.
+  bool cache = true;
   bool full = false;
 };
 
@@ -52,7 +56,7 @@ MechanismParams MakeParams(const BenchConfig& config, double eps,
 /// config.seed). Specs whose engines cannot be built yield null entries.
 std::vector<std::unique_ptr<AnalyticsEngine>> BuildEngines(
     const Table& table, const std::vector<MechanismSpec>& specs,
-    uint64_t seed, int num_threads = 1);
+    uint64_t seed, int num_threads = 1, bool enable_estimate_cache = true);
 
 /// Evaluates each engine on the workload; null engines yield "n/a" cells.
 /// Returns formatted "mean+-std" MNAE (or MRE) strings per engine.

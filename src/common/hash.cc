@@ -2,19 +2,6 @@
 
 namespace ldp {
 
-uint64_t Mix64(uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
-
-uint64_t HashCombine(uint64_t seed, uint64_t value) {
-  return Mix64(seed * 0x9e3779b97f4a7c15ULL + value + 0x2545f4914f6cdd1dULL);
-}
-
 uint64_t Checksum64(std::string_view bytes) {
   uint64_t h = HashCombine(0x243f6a8885a308d3ULL, bytes.size());
   uint64_t word = 0;
@@ -30,13 +17,6 @@ uint64_t Checksum64(std::string_view bytes) {
   }
   if (shift != 0) h = HashCombine(h, word);
   return h;
-}
-
-uint32_t SeededHashFamily::Eval(uint32_t seed, uint64_t value, uint32_t g) {
-  // Multiply-shift style reduction of a well-mixed 64-bit hash into [0, g).
-  const uint64_t h = HashCombine(seed, value);
-  return static_cast<uint32_t>(
-      (static_cast<__uint128_t>(h) * static_cast<__uint128_t>(g)) >> 64);
 }
 
 }  // namespace ldp

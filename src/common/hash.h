@@ -6,11 +6,21 @@
 
 namespace ldp {
 
-/// Strong 64-bit finalizer (SplitMix64 / Murmur3-style avalanche).
-uint64_t Mix64(uint64_t x);
+/// Strong 64-bit finalizer (SplitMix64 / Murmur3-style avalanche). Inline:
+/// this is the innermost operation of every OLH estimate.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
 
 /// Hash of a (key, value) pair with good avalanche behaviour.
-uint64_t HashCombine(uint64_t seed, uint64_t value);
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed * 0x9e3779b97f4a7c15ULL + value + 0x2545f4914f6cdd1dULL);
+}
 
 /// Order-dependent 64-bit checksum of a byte string (length-seeded
 /// HashCombine chain over little-endian 8-byte words). Endianness-stable, so
@@ -39,8 +49,24 @@ class SeededHashFamily {
     return static_cast<uint32_t>(rng.UniformInt(pool_size_));
   }
 
-  /// Evaluates H_seed(value) in [0, g). Requires g >= 1.
-  static uint32_t Eval(uint32_t seed, uint64_t value, uint32_t g);
+  /// Evaluates H_seed(value) in [0, g). Requires g >= 1. Multiply-shift
+  /// style reduction of a well-mixed 64-bit hash into [0, g).
+  static uint32_t Eval(uint32_t seed, uint64_t value, uint32_t g) {
+    return EvalWithBase(SeedBase(seed), value, g);
+  }
+
+  /// The seed-dependent part of Eval, hoistable out of a loop that evaluates
+  /// one report's hash against many values (the batched estimation kernels):
+  /// Eval(seed, v, g) == EvalWithBase(SeedBase(seed), v, g) for all v.
+  static uint64_t SeedBase(uint32_t seed) {
+    return static_cast<uint64_t>(seed) * 0x9e3779b97f4a7c15ULL +
+           0x2545f4914f6cdd1dULL;
+  }
+  static uint32_t EvalWithBase(uint64_t base, uint64_t value, uint32_t g) {
+    const uint64_t h = Mix64(base + value);
+    return static_cast<uint32_t>(
+        (static_cast<__uint128_t>(h) * static_cast<__uint128_t>(g)) >> 64);
+  }
 
   uint32_t pool_size() const { return pool_size_; }
 

@@ -21,6 +21,9 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
       engine->mechanism_,
       CreateMechanism(options.mechanism, table.schema(), options.params));
   engine->mechanism_->set_execution_context(engine->exec_.get());
+  if (options.enable_estimate_cache && options.estimate_cache_bytes > 0) {
+    engine->mechanism_->EnableEstimateCache(options.estimate_cache_bytes);
+  }
 
   // Simulated collection, shard-parallel (DESIGN.md "Execution model"): rows
   // are split into fixed kExecChunkRows chunks and chunk c is encoded with

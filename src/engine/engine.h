@@ -27,6 +27,13 @@ struct EngineOptions {
   /// value: encoding uses fixed per-chunk RNG substreams and estimation uses
   /// fixed-chunk ordered reductions, so only wall-clock time changes.
   int num_threads = 1;
+  /// Cross-query node-estimate cache (see EstimateCache): repeated or
+  /// overlapping queries reuse per-node estimates instead of re-scanning
+  /// reports. Purely a performance knob — estimates are bit-identical with
+  /// the cache on or off — so it defaults to on.
+  bool enable_estimate_cache = true;
+  /// Byte budget for the node-estimate cache.
+  size_t estimate_cache_bytes = 32ull << 20;  // 32 MiB
 };
 
 /// End-to-end private MDA pipeline over one fact table (Section 2.3).

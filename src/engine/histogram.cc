@@ -36,10 +36,12 @@ Result<std::vector<double>> EstimateHistogram(const HioMechanism& hio,
     std::vector<int> levels(grid.num_dims(), 0);
     levels[dim_position] = dim.height();
     const uint64_t flat = grid.FlatOf(levels);
+    std::vector<uint64_t> cells(m);
     for (uint64_t v = 0; v < m; ++v) {
-      hist[v] = hio.EstimateCell(flat, dim.IntervalIndexOf(v, dim.height()),
-                                 weights);
+      cells[v] = dim.IntervalIndexOf(v, dim.height());
     }
+    // One batched kernel pass over the whole leaf level.
+    hio.EstimateCells(flat, cells, weights, hist);
   }
   if (options.non_negative) {
     // The bins' true total is the public total weight.

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,24 @@ class FoAccumulator {
   /// EstimateWeighted/GroupWeight calls (estimation fan-out); NOT against a
   /// concurrent Add or Merge — ingestion and estimation are distinct stages.
   virtual double EstimateWeighted(uint64_t value, const WeightVector& w) const = 0;
+
+  /// Batched estimation: out[i] = EstimateWeighted(values[i], w) for every
+  /// requested value, with one pass over the reports (or one cached
+  /// histogram fetch) amortized across the whole batch instead of one pass
+  /// per value. `out.size()` must equal `values.size()`.
+  ///
+  /// Bit-identical to the scalar path: each value's floating-point
+  /// accumulation order is the report order regardless of how a value set is
+  /// split into batches, so callers may tile `values` freely — including in
+  /// parallel over disjoint tiles — and always reproduce the serial scalar
+  /// loop exactly. Same thread-safety contract as EstimateWeighted.
+  ///
+  /// The default implementation loops the scalar path, so every oracle is
+  /// correct by construction; OLH/GRR/OUE/HR override it with single-pass
+  /// multi-value kernels.
+  virtual void EstimateManyWeighted(std::span<const uint64_t> values,
+                                    const WeightVector& w,
+                                    std::span<double> out) const;
 
   /// Sum of w over users in this group (exact; weights are public).
   virtual double GroupWeight(const WeightVector& w) const = 0;

@@ -39,11 +39,10 @@ GrrAccumulator::GrrAccumulator(const GrrProtocol& protocol)
     : protocol_(protocol) {}
 
 void GrrAccumulator::Add(const FoReport& report, uint64_t user) {
+  // Cached histograms go stale implicitly: they record the report count at
+  // build time and are discarded lazily inside GetOrBuildHistogram.
   values_.push_back(report.value);
   users_.push_back(user);
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  hist_cache_.clear();
-  hist_order_.clear();
 }
 
 std::unique_ptr<FoAccumulator> GrrAccumulator::NewShard() const {
@@ -59,20 +58,29 @@ Status GrrAccumulator::Merge(FoAccumulator&& other) {
   users_.insert(users_.end(), shard->users_.begin(), shard->users_.end());
   shard->values_.clear();
   shard->users_.clear();
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  hist_cache_.clear();
-  hist_order_.clear();
+  // Stale histograms are detected lazily via built_reports; nothing to do.
   return Status::OK();
+}
+
+bool GrrAccumulator::HasCachedWeightSet(uint64_t weight_id) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return hist_cache_.find(weight_id) != hist_cache_.end();
 }
 
 std::shared_ptr<const GrrAccumulator::WeightedHistogram>
 GrrAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
+  const uint64_t current_reports = values_.size();
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = hist_cache_.find(w.id());
-  if (it != hist_cache_.end()) return it->second;
+  if (it != hist_cache_.end()) {
+    if (it->second->built_reports == current_reports) return it->second;
+    // Built before the latest Add/Merge: discard and rebuild below.
+    hist_cache_.erase(it);
+    std::erase(hist_order_, w.id());
+  }
   if (static_cast<int>(hist_cache_.size()) >= kMaxCachedWeightSets) {
     hist_cache_.erase(hist_order_.front());
-    hist_order_.erase(hist_order_.begin());
+    hist_order_.pop_front();
   }
   auto h = std::make_shared<WeightedHistogram>();
   for (size_t i = 0; i < values_.size(); ++i) {
@@ -80,6 +88,7 @@ GrrAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
     h->by_value[values_[i]] += weight;
     h->group_weight += weight;
   }
+  h->built_reports = current_reports;
   hist_cache_.emplace(w.id(), h);
   hist_order_.push_back(w.id());
   return h;
@@ -92,6 +101,23 @@ double GrrAccumulator::EstimateWeighted(uint64_t value,
   const double theta_w = it == h->by_value.end() ? 0.0 : it->second;
   return (theta_w - h->group_weight * protocol_.q()) /
          (protocol_.p() - protocol_.q());
+}
+
+void GrrAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
+                                          const WeightVector& w,
+                                          std::span<double> out) const {
+  LDP_CHECK_EQ(values.size(), out.size());
+  if (values.empty()) return;
+  // One histogram fetch amortized across the batch; per-value math is
+  // exactly the scalar estimator's.
+  const auto h = GetOrBuildHistogram(w);
+  const double q = protocol_.q();
+  const double pq_diff = protocol_.p() - q;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto it = h->by_value.find(static_cast<uint32_t>(values[i]));
+    const double theta_w = it == h->by_value.end() ? 0.0 : it->second;
+    out[i] = (theta_w - h->group_weight * q) / pq_diff;
+  }
 }
 
 double GrrAccumulator::GroupWeight(const WeightVector& w) const {

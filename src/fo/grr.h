@@ -2,6 +2,7 @@
 #define LDPMDA_FO_GRR_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -52,12 +53,21 @@ class GrrAccumulator : public FoAccumulator {
   std::unique_ptr<FoAccumulator> NewShard() const override;
   Status Merge(FoAccumulator&& other) override;
   double EstimateWeighted(uint64_t value, const WeightVector& w) const override;
+  void EstimateManyWeighted(std::span<const uint64_t> values,
+                            const WeightVector& w,
+                            std::span<double> out) const override;
   double GroupWeight(const WeightVector& w) const override;
+
+  /// Exposed for white-box tests: whether a histogram for this weight set is
+  /// currently cached (stale or not).
+  bool HasCachedWeightSet(uint64_t weight_id) const;
 
  private:
   struct WeightedHistogram {
     std::unordered_map<uint32_t, double> by_value;
     double group_weight = 0.0;
+    /// Report count at build time; a mismatch marks the entry stale.
+    uint64_t built_reports = 0;
   };
   std::shared_ptr<const WeightedHistogram> GetOrBuildHistogram(
       const WeightVector& w) const;
@@ -69,7 +79,7 @@ class GrrAccumulator : public FoAccumulator {
   mutable std::unordered_map<uint64_t,
                              std::shared_ptr<const WeightedHistogram>>
       hist_cache_;
-  mutable std::vector<uint64_t> hist_order_;
+  mutable std::deque<uint64_t> hist_order_;
 };
 
 }  // namespace ldp

@@ -1,5 +1,6 @@
 #include "fo/hadamard.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -42,12 +43,11 @@ HadamardAccumulator::HadamardAccumulator(const HadamardProtocol& protocol)
     : protocol_(protocol) {}
 
 void HadamardAccumulator::Add(const FoReport& report, uint64_t user) {
+  // Cached spectra go stale implicitly: they record the report count at
+  // build time and are discarded lazily inside GetOrBuildSpectrum.
   indices_.push_back(report.seed);
   signs_.push_back(report.value != 0 ? 1 : -1);
   users_.push_back(user);
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  cache_.clear();
-  cache_order_.clear();
 }
 
 std::unique_ptr<FoAccumulator> HadamardAccumulator::NewShard() const {
@@ -66,20 +66,29 @@ Status HadamardAccumulator::Merge(FoAccumulator&& other) {
   shard->indices_.clear();
   shard->signs_.clear();
   shard->users_.clear();
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  cache_.clear();
-  cache_order_.clear();
+  // Stale spectra are detected lazily via built_reports; nothing to do.
   return Status::OK();
+}
+
+bool HadamardAccumulator::HasCachedWeightSet(uint64_t weight_id) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.find(weight_id) != cache_.end();
 }
 
 std::shared_ptr<const HadamardAccumulator::Spectrum>
 HadamardAccumulator::GetOrBuildSpectrum(const WeightVector& w) const {
+  const uint64_t current_reports = indices_.size();
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(w.id());
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    if (it->second->built_reports == current_reports) return it->second;
+    // Built before the latest Add/Merge: discard and rebuild below.
+    cache_.erase(it);
+    std::erase(cache_order_, w.id());
+  }
   if (static_cast<int>(cache_.size()) >= kMaxCachedWeightSets) {
     cache_.erase(cache_order_.front());
-    cache_order_.erase(cache_order_.begin());
+    cache_order_.pop_front();
   }
   auto s = std::make_shared<Spectrum>();
   for (size_t i = 0; i < indices_.size(); ++i) {
@@ -87,6 +96,7 @@ HadamardAccumulator::GetOrBuildSpectrum(const WeightVector& w) const {
     s->signed_sum[indices_[i]] += weight * signs_[i];
     s->group_weight += weight;
   }
+  s->built_reports = current_reports;
   cache_.emplace(w.id(), s);
   cache_order_.push_back(w.id());
   return s;
@@ -100,6 +110,31 @@ double HadamardAccumulator::EstimateWeighted(uint64_t value,
     total += sum * HadamardProtocol::Entry(j, value);
   }
   return protocol_.scale() * total;
+}
+
+void HadamardAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
+                                               const WeightVector& w,
+                                               std::span<double> out) const {
+  LDP_CHECK_EQ(values.size(), out.size());
+  if (values.empty()) return;
+  // One spectrum fetch for the whole batch; spectrum entries run in the
+  // outer loop so every value accumulates over them in the same map
+  // iteration order as the scalar path — bit-identical results.
+  const auto s = GetOrBuildSpectrum(w);
+  constexpr size_t kTile = 512;
+  double total[kTile];
+  for (size_t v0 = 0; v0 < values.size(); v0 += kTile) {
+    const size_t tile = std::min(kTile, values.size() - v0);
+    std::fill(total, total + tile, 0.0);
+    for (const auto& [j, sum] : s->signed_sum) {
+      for (size_t vi = 0; vi < tile; ++vi) {
+        total[vi] += sum * HadamardProtocol::Entry(j, values[v0 + vi]);
+      }
+    }
+    for (size_t vi = 0; vi < tile; ++vi) {
+      out[v0 + vi] = protocol_.scale() * total[vi];
+    }
+  }
 }
 
 double HadamardAccumulator::GroupWeight(const WeightVector& w) const {

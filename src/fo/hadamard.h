@@ -2,6 +2,7 @@
 #define LDPMDA_FO_HADAMARD_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -67,13 +68,22 @@ class HadamardAccumulator : public FoAccumulator {
   std::unique_ptr<FoAccumulator> NewShard() const override;
   Status Merge(FoAccumulator&& other) override;
   double EstimateWeighted(uint64_t value, const WeightVector& w) const override;
+  void EstimateManyWeighted(std::span<const uint64_t> values,
+                            const WeightVector& w,
+                            std::span<double> out) const override;
   double GroupWeight(const WeightVector& w) const override;
+
+  /// Exposed for white-box tests: whether a spectrum for this weight set is
+  /// currently cached (stale or not).
+  bool HasCachedWeightSet(uint64_t weight_id) const;
 
  private:
   struct Spectrum {
     /// signed_sum[j] = sum of w_t * y_t over reports with index j.
     std::unordered_map<uint64_t, double> signed_sum;
     double group_weight = 0.0;
+    /// Report count at build time; a mismatch marks the entry stale.
+    uint64_t built_reports = 0;
   };
   std::shared_ptr<const Spectrum> GetOrBuildSpectrum(
       const WeightVector& w) const;
@@ -84,7 +94,7 @@ class HadamardAccumulator : public FoAccumulator {
   std::vector<uint64_t> users_;
   mutable std::mutex cache_mu_;
   mutable std::unordered_map<uint64_t, std::shared_ptr<const Spectrum>> cache_;
-  mutable std::vector<uint64_t> cache_order_;
+  mutable std::deque<uint64_t> cache_order_;
 };
 
 }  // namespace ldp

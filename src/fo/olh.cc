@@ -1,5 +1,6 @@
 #include "fo/olh.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -12,6 +13,10 @@ namespace {
 /// beats the O(#reports) scan, and the histogram itself is not outlandish.
 constexpr uint64_t kMaxHistogramCells = 1ull << 24;
 constexpr int kMaxCachedWeightSets = 8;
+/// Value-tile width for the batched kernels: small enough that the per-tile
+/// theta accumulators stay in L1, large enough to amortize one report load
+/// over many hash evaluations.
+constexpr size_t kOlhValueTile = 512;
 }  // namespace
 
 OlhProtocol::OlhProtocol(double epsilon, uint64_t domain_size,
@@ -49,12 +54,12 @@ OlhAccumulator::OlhAccumulator(const OlhProtocol& protocol)
 
 void OlhAccumulator::Add(const FoReport& report, uint64_t user) {
   LDP_DCHECK(report.value < protocol_.g());
+  // No cache maintenance here: cached histograms record the report count at
+  // build time, so growing the report vectors implicitly marks them stale
+  // and GetOrBuildHistogram discards them at next lookup.
   seeds_.push_back(report.seed);
   ys_.push_back(report.value);
   users_.push_back(user);
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  hist_cache_.clear();  // any cached histogram is now stale
-  hist_order_.clear();
 }
 
 std::unique_ptr<FoAccumulator> OlhAccumulator::NewShard() const {
@@ -72,9 +77,7 @@ Status OlhAccumulator::Merge(FoAccumulator&& other) {
   shard->seeds_.clear();
   shard->ys_.clear();
   shard->users_.clear();
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  hist_cache_.clear();
-  hist_order_.clear();
+  // Stale histograms are detected lazily via built_reports; nothing to do.
   return Status::OK();
 }
 
@@ -89,14 +92,25 @@ bool OlhAccumulator::UsesHistograms() const {
   return num_reports() >= 2ull * pool;
 }
 
+bool OlhAccumulator::HasCachedWeightSet(uint64_t weight_id) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return hist_cache_.find(weight_id) != hist_cache_.end();
+}
+
 std::shared_ptr<const OlhAccumulator::WeightedHistogram>
 OlhAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
+  const uint64_t current_reports = seeds_.size();
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = hist_cache_.find(w.id());
-  if (it != hist_cache_.end()) return it->second;
+  if (it != hist_cache_.end()) {
+    if (it->second->built_reports == current_reports) return it->second;
+    // Built before the latest Add/Merge: discard and rebuild below.
+    hist_cache_.erase(it);
+    std::erase(hist_order_, w.id());
+  }
   if (static_cast<int>(hist_cache_.size()) >= kMaxCachedWeightSets) {
     hist_cache_.erase(hist_order_.front());
-    hist_order_.erase(hist_order_.begin());
+    hist_order_.pop_front();
   }
   auto h = std::make_shared<WeightedHistogram>();
   const uint32_t pool = protocol_.hash_pool_size();
@@ -107,6 +121,7 @@ OlhAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
     h->hist[static_cast<size_t>(seeds_[i]) * g + ys_[i]] += weight;
     h->group_weight += weight;
   }
+  h->built_reports = current_reports;
   hist_cache_.emplace(w.id(), h);
   hist_order_.push_back(w.id());
   return h;
@@ -114,27 +129,68 @@ OlhAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
 
 double OlhAccumulator::EstimateWeighted(uint64_t value,
                                         const WeightVector& w) const {
+  double out = 0.0;
+  EstimateManyWeighted(std::span<const uint64_t>(&value, 1), w,
+                       std::span<double>(&out, 1));
+  return out;
+}
+
+void OlhAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
+                                          const WeightVector& w,
+                                          std::span<double> out) const {
+  LDP_CHECK_EQ(values.size(), out.size());
+  if (values.empty()) return;
   const uint32_t g = protocol_.g();
-  double theta_w = 0.0;
-  double group_weight = 0.0;
+  const double scale = protocol_.scale();
+  double theta[kOlhValueTile];
   if (UsesHistograms()) {
+    // One histogram fetch amortized over the whole batch; per value the sum
+    // runs over seeds in pool order, exactly as the scalar estimator did.
     const auto h = GetOrBuildHistogram(w);
     const uint32_t pool = protocol_.hash_pool_size();
-    for (uint32_t s = 0; s < pool; ++s) {
-      theta_w += h->hist[static_cast<size_t>(s) * g +
-                         SeededHashFamily::Eval(s, value, g)];
-    }
-    group_weight = h->group_weight;
-  } else {
-    for (size_t i = 0; i < seeds_.size(); ++i) {
-      const double weight = w[users_[i]];
-      group_weight += weight;
-      if (SeededHashFamily::Eval(seeds_[i], value, g) == ys_[i]) {
-        theta_w += weight;
+    const double* hist = h->hist.data();
+    for (size_t v0 = 0; v0 < values.size(); v0 += kOlhValueTile) {
+      const size_t tile = std::min(kOlhValueTile, values.size() - v0);
+      std::fill(theta, theta + tile, 0.0);
+      for (uint32_t s = 0; s < pool; ++s) {
+        const uint64_t base = SeededHashFamily::SeedBase(s);
+        const double* row = hist + static_cast<size_t>(s) * g;
+        for (size_t vi = 0; vi < tile; ++vi) {
+          theta[vi] += row[SeededHashFamily::EvalWithBase(base, values[v0 + vi], g)];
+        }
+      }
+      for (size_t vi = 0; vi < tile; ++vi) {
+        out[v0 + vi] = scale * (theta[vi] - h->group_weight / g);
       }
     }
+    return;
   }
-  return protocol_.scale() * (theta_w - group_weight / g);
+  // Raw path: one pass over the reports per value tile. The group weight
+  // accumulates in report order (independent of the value), so computing it
+  // once reproduces the scalar path bit-for-bit.
+  const size_t n = seeds_.size();
+  double group_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) group_weight += w[users_[i]];
+  for (size_t v0 = 0; v0 < values.size(); v0 += kOlhValueTile) {
+    const size_t tile = std::min(kOlhValueTile, values.size() - v0);
+    std::fill(theta, theta + tile, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t base = SeededHashFamily::SeedBase(seeds_[i]);
+      const uint32_t y = ys_[i];
+      const double weight = w[users_[i]];
+      for (size_t vi = 0; vi < tile; ++vi) {
+        // Branchless: adds +0.0 when the report does not support the value,
+        // which cannot change theta's bits (theta is never -0.0), so this is
+        // bit-identical to the scalar conditional add.
+        const double supports = static_cast<double>(
+            SeededHashFamily::EvalWithBase(base, values[v0 + vi], g) == y);
+        theta[vi] += weight * supports;
+      }
+    }
+    for (size_t vi = 0; vi < tile; ++vi) {
+      out[v0 + vi] = scale * (theta[vi] - group_weight / g);
+    }
+  }
 }
 
 double OlhAccumulator::GroupWeight(const WeightVector& w) const {

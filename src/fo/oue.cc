@@ -1,5 +1,6 @@
 #include "fo/oue.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iterator>
 
@@ -58,17 +59,46 @@ Status OueAccumulator::Merge(FoAccumulator&& other) {
 
 double OueAccumulator::EstimateWeighted(uint64_t value,
                                         const WeightVector& w) const {
-  double theta_w = 0.0;
+  double out = 0.0;
+  EstimateManyWeighted(std::span<const uint64_t>(&value, 1), w,
+                       std::span<double>(&out, 1));
+  return out;
+}
+
+void OueAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
+                                          const WeightVector& w,
+                                          std::span<double> out) const {
+  LDP_CHECK_EQ(values.size(), out.size());
+  if (values.empty()) return;
+  // One pass over the bit vectors for the whole value tile. Per value the
+  // theta sum runs in report order, so results match the scalar path
+  // bit-for-bit no matter how the caller batches values.
+  constexpr size_t kTile = 512;
+  double theta[kTile];
+  const size_t n = users_.size();
   double group_weight = 0.0;
-  for (size_t i = 0; i < users_.size(); ++i) {
-    const double weight = w[users_[i]];
-    group_weight += weight;
-    if (bit_reports_[i][value / 64] & (1ull << (value % 64))) {
-      theta_w += weight;
+  for (size_t i = 0; i < n; ++i) group_weight += w[users_[i]];
+  const double q = protocol_.q();
+  const double pq_diff = protocol_.p() - q;
+  for (size_t v0 = 0; v0 < values.size(); v0 += kTile) {
+    const size_t tile = std::min(kTile, values.size() - v0);
+    std::fill(theta, theta + tile, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t* bits = bit_reports_[i].data();
+      const double weight = w[users_[i]];
+      for (size_t vi = 0; vi < tile; ++vi) {
+        const uint64_t v = values[v0 + vi];
+        // Branchless +0.0 when the bit is unset; bit-identical to the
+        // conditional add (theta can never be -0.0).
+        const double set =
+            static_cast<double>((bits[v / 64] >> (v % 64)) & 1ull);
+        theta[vi] += weight * set;
+      }
+    }
+    for (size_t vi = 0; vi < tile; ++vi) {
+      out[v0 + vi] = (theta[vi] - group_weight * q) / pq_diff;
     }
   }
-  return (theta_w - group_weight * protocol_.q()) /
-         (protocol_.p() - protocol_.q());
 }
 
 double OueAccumulator::GroupWeight(const WeightVector& w) const {

@@ -48,6 +48,9 @@ class OueAccumulator : public FoAccumulator {
   std::unique_ptr<FoAccumulator> NewShard() const override;
   Status Merge(FoAccumulator&& other) override;
   double EstimateWeighted(uint64_t value, const WeightVector& w) const override;
+  void EstimateManyWeighted(std::span<const uint64_t> values,
+                            const WeightVector& w,
+                            std::span<double> out) const override;
   double GroupWeight(const WeightVector& w) const override;
 
  private:

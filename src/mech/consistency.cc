@@ -29,9 +29,10 @@ Result<ConsistentHio> ConsistentHio::Build(const HioMechanism& hio,
   for (int j = 0; j <= h; ++j) {
     const uint64_t cells = hier.NumIntervals(j);
     y[j].resize(cells);
-    for (uint64_t c = 0; c < cells; ++c) {
-      y[j][c] = hio.EstimateCell(static_cast<uint64_t>(j), c, weights);
-    }
+    std::vector<uint64_t> cell_ids(cells);
+    for (uint64_t c = 0; c < cells; ++c) cell_ids[c] = c;
+    // One batched kernel pass per level instead of one report scan per cell.
+    hio.EstimateCells(static_cast<uint64_t>(j), cell_ids, weights, y[j]);
   }
 
   // Bottom-up pass: z_v combines y_v with the children's z sums. For a node

@@ -134,13 +134,26 @@ Result<double> HaarMechanism::EstimateBox(std::span<const Interval> ranges,
   }
   const auto terms = DecomposeRange(ranges[0]);
   // terms[0] is the scaling term against F_{0,0}; the rest pair a detail
-  // coefficient with F_{j+1,2k} - F_{j+1,2k+1}.
-  double total = terms[0].coefficient * BlockEstimate(0, 0, weights);
+  // coefficient with F_{j+1,2k} - F_{j+1,2k+1}. All block estimates batch
+  // into one kernel pass per level (with cache probes); applying the
+  // sampling scale per block and combining in term order reproduces the
+  // per-block serial evaluation bit for bit.
+  std::vector<NodeRef> nodes;
+  nodes.reserve(2 * terms.size() - 1);
+  nodes.push_back({0, 0});
   for (size_t i = 1; i < terms.size(); ++i) {
-    const HaarTerm& t = terms[i];
-    total += t.coefficient *
-             (BlockEstimate(t.child_level, t.left_child, weights) -
-              BlockEstimate(t.child_level, t.left_child + 1, weights));
+    const uint64_t level = static_cast<uint64_t>(terms[i].child_level);
+    nodes.push_back({level, terms[i].left_child});
+    nodes.push_back({level, terms[i].left_child + 1});
+  }
+  std::vector<double> estimates(nodes.size(), 0.0);
+  EstimateNodesBatched(store_, nodes, weights, num_reports_, estimate_cache(),
+                       exec(), estimates);
+  const double scale = static_cast<double>(height_ + 1);  // 1/(sampling rate)
+  double total = terms[0].coefficient * (scale * estimates[0]);
+  for (size_t i = 1; i < terms.size(); ++i) {
+    total += terms[i].coefficient * (scale * estimates[2 * i - 1] -
+                                     scale * estimates[2 * i]);
   }
   return total;
 }

@@ -110,17 +110,19 @@ Result<double> HiMechanism::EstimateBox(std::span<const Interval> ranges,
   LDP_RETURN_NOT_OK(EnsureReports());
   std::vector<SubQuery> sub_queries;
   LDP_RETURN_NOT_OK(grid_->DecomposeBox(ranges, &sub_queries));
-  // Sub-queries fan out over the execution context into per-index slots;
-  // summing the slots in index order reproduces the serial loop's
-  // floating-point grouping exactly, for any thread count.
-  std::vector<double> partial(sub_queries.size(), 0.0);
-  exec().ParallelFor(sub_queries.size(), [&](uint64_t i) {
-    const SubQuery& sq = sub_queries[i];
-    partial[i] = store_.accumulator(static_cast<int>(sq.level_flat))
-                     .EstimateWeighted(sq.cell, weights);
-  });
+  // Sub-queries of the same level batch into one kernel pass each (after a
+  // cache probe); summing the per-sub-query estimates in index order
+  // reproduces the serial loop's floating-point grouping exactly, for any
+  // thread count and cache state.
+  std::vector<NodeRef> nodes(sub_queries.size());
+  for (size_t i = 0; i < sub_queries.size(); ++i) {
+    nodes[i] = {sub_queries[i].level_flat, sub_queries[i].cell};
+  }
+  std::vector<double> estimates(nodes.size(), 0.0);
+  EstimateNodesBatched(store_, nodes, weights, num_reports_, estimate_cache(),
+                       exec(), estimates);
   double total = 0.0;
-  for (const double p : partial) total += p;
+  for (const double e : estimates) total += e;
   return total;
 }
 

@@ -94,6 +94,24 @@ double HioMechanism::EstimateCell(uint64_t level_flat, uint64_t cell,
                      .EstimateWeighted(cell, weights);
 }
 
+void HioMechanism::EstimateCells(uint64_t level_flat,
+                                 std::span<const uint64_t> cells,
+                                 const WeightVector& weights,
+                                 std::span<double> out) const {
+  LDP_CHECK_EQ(cells.size(), out.size());
+  std::vector<NodeRef> nodes(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    nodes[i] = {level_flat, cells[i]};
+  }
+  // The cache stores the raw (unscaled) group estimates, so entries are
+  // shared with EstimateBox; the sampling scale is applied per call — the
+  // same multiply EstimateCell performs, hence bit-identical results.
+  EstimateNodesBatched(store_, nodes, weights, num_reports_, estimate_cache(),
+                       exec(), out);
+  const double scale = static_cast<double>(grid_->num_level_tuples());
+  for (double& o : out) o *= scale;
+}
+
 Result<double> HioMechanism::VarianceBound(
     std::span<const Interval> ranges, const WeightVector& weights) const {
   std::vector<SubQuery> sub_queries;
@@ -114,15 +132,20 @@ Result<double> HioMechanism::EstimateBox(std::span<const Interval> ranges,
   LDP_RETURN_NOT_OK(EnsureReports());
   std::vector<SubQuery> sub_queries;
   LDP_RETURN_NOT_OK(grid_->DecomposeBox(ranges, &sub_queries));
-  // Per-sub-query slots summed in index order: same floating-point grouping
-  // as the serial loop for any thread count.
-  std::vector<double> partial(sub_queries.size(), 0.0);
-  exec().ParallelFor(sub_queries.size(), [&](uint64_t i) {
-    partial[i] = EstimateCell(sub_queries[i].level_flat, sub_queries[i].cell,
-                              weights);
-  });
+  // Sub-queries of the same level batch into one kernel pass each (after a
+  // cache probe); scaling each estimate and summing in index order matches
+  // the serial per-sub-query loop bit for bit, for any thread count and
+  // cache state.
+  std::vector<NodeRef> nodes(sub_queries.size());
+  for (size_t i = 0; i < sub_queries.size(); ++i) {
+    nodes[i] = {sub_queries[i].level_flat, sub_queries[i].cell};
+  }
+  std::vector<double> estimates(nodes.size(), 0.0);
+  EstimateNodesBatched(store_, nodes, weights, num_reports_, estimate_cache(),
+                       exec(), estimates);
+  const double scale = static_cast<double>(grid_->num_level_tuples());
   double total = 0.0;
-  for (const double p : partial) total += p;
+  for (const double e : estimates) total += scale * e;
   return total;
 }
 

@@ -47,6 +47,15 @@ class HioMechanism : public Mechanism {
   double EstimateCell(uint64_t level_flat, uint64_t cell,
                       const WeightVector& weights) const;
 
+  /// Batched EstimateCell over many cells of one level: one kernel pass (or
+  /// histogram fetch) amortized across the whole set, with cache probes
+  /// when the estimate cache is enabled. out[i] is bit-identical to
+  /// EstimateCell(level_flat, cells[i], weights). `out.size()` must equal
+  /// `cells.size()`.
+  void EstimateCells(uint64_t level_flat, std::span<const uint64_t> cells,
+                     const WeightVector& weights,
+                     std::span<double> out) const;
+
  private:
   HioMechanism(const Schema& schema, const MechanismParams& params);
   Status Init();

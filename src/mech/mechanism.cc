@@ -38,6 +38,11 @@ const ExecutionContext& Mechanism::exec() const {
   return exec_ != nullptr ? *exec_ : SerialExecutionContext();
 }
 
+void Mechanism::EnableEstimateCache(size_t max_bytes) {
+  estimate_cache_ =
+      max_bytes == 0 ? nullptr : std::make_unique<EstimateCache>(max_bytes);
+}
+
 Status Mechanism::EnsureReports() const {
   if (num_reports_ == 0) {
     return Status::FailedPrecondition(

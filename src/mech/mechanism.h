@@ -12,6 +12,7 @@
 #include "data/schema.h"
 #include "fo/frequency_oracle.h"
 #include "hierarchy/level_grid.h"
+#include "mech/estimate_cache.h"
 
 namespace ldp {
 
@@ -135,6 +136,16 @@ class Mechanism {
   /// unbiased w.r.t. the cohort that actually reported when clients drop out.
   uint64_t num_reports() const { return num_reports_; }
 
+  /// Enables (or resizes) the cross-query node-estimate cache with a budget
+  /// of `max_bytes` (0 disables it). Purely a performance knob: estimates
+  /// are bit-identical with the cache on or off — it only skips recomputing
+  /// nodes already estimated against the same weight vector and report set.
+  /// Any existing cache contents are dropped.
+  void EnableEstimateCache(size_t max_bytes);
+
+  /// The node-estimate cache, or null when disabled.
+  EstimateCache* estimate_cache() const { return estimate_cache_.get(); }
+
   /// An upper bound on the variance of EstimateBox(ranges, weights) — the
   /// paper's closed-form error analyses (Prop. 4/5, Theorems 6-11)
   /// instantiated for this mechanism's actual decomposition of the box.
@@ -163,7 +174,12 @@ class Mechanism {
   /// Not owned; null until set_execution_context.
   const ExecutionContext* exec_ = nullptr;
   /// Bumped by subclasses in AddReport after a report passes validation.
+  /// Doubles as the estimate-cache epoch: it changes whenever the report set
+  /// does, so stale cache entries are recognized without any explicit
+  /// invalidation on the ingest path.
   uint64_t num_reports_ = 0;
+  /// Null unless EnableEstimateCache was called with a non-zero budget.
+  std::unique_ptr<EstimateCache> estimate_cache_;
 };
 
 /// Builds the per-dimension hierarchies for the schema's sensitive

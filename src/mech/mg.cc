@@ -10,6 +10,10 @@ namespace ldp {
 namespace {
 /// Refuse to sum more cells than this per query (eq. 10 scans the box).
 constexpr uint64_t kMaxBoxCells = 1ull << 25;
+/// Cache per-cell estimates only for boxes at most this large: MG boxes can
+/// cover millions of cells, which would churn the whole cache for entries
+/// unlikely to be probed again before eviction.
+constexpr uint64_t kMaxCachedBoxCells = 1ull << 16;
 }  // namespace
 
 MgMechanism::MgMechanism(const Schema& schema, const MechanismParams& params)
@@ -125,27 +129,44 @@ Result<double> MgMechanism::EstimateBox(std::span<const Interval> ranges,
       return Status::ResourceExhausted("MG box covers too many cells");
     }
   }
-  // Chunk-parallel sum of per-cell weighted estimates over the box (eq. 10).
-  // A cell's in-box rank decodes to its coordinates (last dimension fastest,
-  // matching the serial odometer); the chunked reduction's floating-point
-  // grouping depends only on the box, so the sum is bit-identical for every
-  // thread count — including the serial one.
+  // Chunk-parallel sum of per-cell weighted estimates over the box (eq. 10),
+  // streamed so huge boxes never materialize a full cell list: each fixed
+  // chunk decodes its cells (last dimension fastest, matching the serial
+  // odometer), runs one batched kernel call, and sums the per-cell estimates
+  // in rank order — the same floating-point grouping as the per-cell serial
+  // loop, so the sum is bit-identical for every thread count and cache
+  // state. Small boxes additionally probe/fill the node-estimate cache.
   const FoAccumulator& acc = store_.accumulator(0);
+  EstimateCache* cache =
+      box_cells <= kMaxCachedBoxCells ? estimate_cache() : nullptr;
   const double total = exec().ParallelSumChunks(
       box_cells, kExecSumChunk, [&](uint64_t begin, uint64_t end) {
-        double sub = 0.0;
+        const size_t len = end - begin;
+        std::vector<uint64_t> cells(len);
         for (uint64_t rank = begin; rank < end; ++rank) {
           uint64_t rem = rank;
           uint64_t cell = 0;
           uint64_t stride = 1;
           for (size_t i = domains_.size(); i-- > 0;) {
-            const uint64_t len = ranges[i].length();
-            cell += (ranges[i].lo + rem % len) * stride;
+            const uint64_t dim_len = ranges[i].length();
+            cell += (ranges[i].lo + rem % dim_len) * stride;
             stride *= domains_[i];
-            rem /= len;
+            rem /= dim_len;
           }
-          sub += acc.EstimateWeighted(cell, weights);
+          cells[rank - begin] = cell;
         }
+        std::vector<double> estimates(len, 0.0);
+        if (cache != nullptr) {
+          std::vector<NodeRef> nodes(len);
+          for (size_t k = 0; k < len; ++k) nodes[k] = {0, cells[k]};
+          // Already inside a parallel chunk: run the batch serially.
+          EstimateNodesBatched(store_, nodes, weights, num_reports_, cache,
+                               SerialExecutionContext(), estimates);
+        } else {
+          acc.EstimateManyWeighted(cells, weights, estimates);
+        }
+        double sub = 0.0;
+        for (const double e : estimates) sub += e;
         return sub;
       });
   return total;

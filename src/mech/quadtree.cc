@@ -158,16 +158,19 @@ Result<double> QuadTreeMechanism::EstimateBox(
   // Level sampling: scale each group's estimate by the inverse sampling
   // rate h + 1 (as in HIO / eq. 24).
   const double scale = static_cast<double>(height_ + 1);
-  // Per-node slots summed in node order: unaligned boxes decompose into
-  // O(2^h) nodes, each estimate a scan, so the fan-out is worth it.
-  std::vector<double> partial(nodes.size(), 0.0);
-  exec().ParallelFor(nodes.size(), [&](uint64_t i) {
-    const auto& [level, cell] = nodes[i];
-    partial[i] =
-        scale * store_.accumulator(level).EstimateWeighted(cell, weights);
-  });
+  // Nodes of the same level batch into one kernel pass each (after a cache
+  // probe); unaligned boxes decompose into O(2^h) nodes, so the
+  // amortization is worth it. Scaling and summing in node order matches the
+  // serial loop bit for bit.
+  std::vector<NodeRef> refs(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    refs[i] = {static_cast<uint64_t>(nodes[i].first), nodes[i].second};
+  }
+  std::vector<double> estimates(refs.size(), 0.0);
+  EstimateNodesBatched(store_, refs, weights, num_reports_, estimate_cache(),
+                       exec(), estimates);
   double total = 0.0;
-  for (const double p : partial) total += p;
+  for (const double e : estimates) total += scale * e;
   return total;
 }
 

@@ -1,6 +1,8 @@
 #include "mech/sc.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "exec/execution_context.h"
@@ -11,9 +13,16 @@ namespace {
 constexpr uint64_t kMaxSubQueries = 1ull << 20;
 /// With at most this many sub-queries, the per-user inner sum dominates and
 /// is chunk-parallelized; above it, the sub-queries themselves fan out (with
-/// serial inner sums). Fixed constant — never thread-count-dependent — so
-/// the floating-point grouping for a given query is always the same.
+/// chunk-grouped serial inner sums). Fixed constant — never
+/// thread-count-dependent — so the floating-point grouping for a given query
+/// is always the same. Both branches group the inner sum by the same fixed
+/// chunk size, so a sub-query's value is identical whichever branch computes
+/// it — the property that lets values be cached across query shapes.
 constexpr uint64_t kParallelInnerMaxSubQueries = 64;
+/// Probe/fill the node-estimate cache only for decompositions at most this
+/// large; bigger fan-outs would churn the cache with entries unlikely to be
+/// probed again before eviction.
+constexpr uint64_t kMaxCachedSubQueries = 4096;
 }  // namespace
 
 ScMechanism::ScMechanism(const Schema& schema, const MechanismParams& params)
@@ -169,44 +178,119 @@ Result<double> ScMechanism::EstimateBox(std::span<const Interval> ranges,
   }
   const size_t n = users_.size();
 
-  // Precompute, per (dim, piece), the per-user conjunctive factor
-  // c(A_i(t)) in {c0, c1}; root pieces (level 0, '*') contribute factor 1
-  // and are marked with an empty vector. Each (dim, piece) job writes only
-  // its own vector, so the jobs fan out over the execution context.
-  std::vector<std::vector<std::vector<float>>> factors(d);
-  std::vector<std::pair<int, size_t>> factor_jobs;
-  for (int i = 0; i < d; ++i) {
-    factors[i].resize(pieces[i].size());
-    for (size_t p = 0; p < pieces[i].size(); ++p) {
-      if (pieces[i][p].level != 0) factor_jobs.push_back({i, p});
+  // Decode a flat sub-query rank into per-dimension piece picks (last
+  // dimension fastest, matching the serial odometer order).
+  const auto PicksOf = [&](uint64_t rank, std::vector<size_t>* pick) {
+    for (int i = d - 1; i >= 0; --i) {
+      (*pick)[i] = rank % pieces[i].size();
+      rank /= pieces[i].size();
+    }
+  };
+
+  // Cache probe. A sub-query is one node of the d-dim level grid, so its
+  // canonical key is (flat level tuple, flat cell) — exact and independent
+  // of which query shape decomposed to it. Values are grouping-independent
+  // too (both computation branches below chunk the inner sum identically),
+  // so a value cached by one query is the bit-exact value any other query
+  // would compute for the same node.
+  EstimateCache* cache =
+      product <= kMaxCachedSubQueries ? estimate_cache() : nullptr;
+  std::vector<double> value(product, 0.0);
+  std::vector<char> cached(product, 0);
+  std::vector<uint64_t> key_group, key_node;
+  uint64_t num_cached = 0;
+  if (cache != nullptr) {
+    key_group.resize(product);
+    key_node.resize(product);
+    std::vector<size_t> pick(d, 0);
+    std::vector<int> levels(d, 0);
+    std::vector<uint64_t> intervals(d, 0);
+    for (uint64_t rank = 0; rank < product; ++rank) {
+      PicksOf(rank, &pick);
+      for (int i = 0; i < d; ++i) {
+        levels[i] = pieces[i][pick[i]].level;
+        intervals[i] = pieces[i][pick[i]].index;
+      }
+      key_group[rank] = grid_->FlatOf(levels);
+      key_node[rank] = grid_->CellOfIntervals(levels, intervals);
+      if (cache->Get(key_group[rank], key_node[rank], weights.id(),
+                     num_reports_, &value[rank])) {
+        cached[rank] = 1;
+        ++num_cached;
+      }
     }
   }
-  exec().ParallelFor(factor_jobs.size(), [&](uint64_t j) {
-    const auto [i, p] = factor_jobs[j];
-    const LevelInterval& piece = pieces[i][p];
-    const int group = GroupOf(i, piece.level);
-    const OlhProtocol& proto = *protocols_[group];
-    std::vector<float>& f = factors[i][p];
-    f.resize(n);
-    const auto& seeds = seeds_[group];
-    const auto& ys = ys_[group];
-    for (size_t t = 0; t < n; ++t) {
-      f[t] = proto.Supports(seeds[t], ys[t], piece.index)
-                 ? static_cast<float>(c1_)
-                 : static_cast<float>(c0_);
+
+  std::vector<uint64_t> todo;
+  todo.reserve(product - num_cached);
+  for (uint64_t rank = 0; rank < product; ++rank) {
+    if (!cached[rank]) todo.push_back(rank);
+  }
+
+  // Precompute per-user conjunctive factors c(A_i(t)) in {c0, c1}, but only
+  // for pieces some uncached sub-query actually uses; root pieces (level 0,
+  // '*') contribute factor 1 and keep an empty vector. Pieces sharing a
+  // (dim, level) group batch into ONE pass over that group's reports — the
+  // report's seed hash base is computed once and evaluated against every
+  // member piece — instead of one full pass per piece.
+  std::vector<std::vector<std::vector<float>>> factors(d);
+  if (!todo.empty()) {
+    std::vector<std::vector<char>> needed(d);
+    for (int i = 0; i < d; ++i) {
+      factors[i].resize(pieces[i].size());
+      needed[i].assign(pieces[i].size(), 0);
     }
-  });
+    std::vector<size_t> pick(d, 0);
+    for (const uint64_t rank : todo) {
+      PicksOf(rank, &pick);
+      for (int i = 0; i < d; ++i) needed[i][pick[i]] = 1;
+    }
+    struct GroupJob {
+      int group = 0;
+      std::vector<std::pair<int, size_t>> members;  // (dim, piece index)
+    };
+    std::vector<GroupJob> jobs;
+    std::unordered_map<int, size_t> job_of_group;
+    for (int i = 0; i < d; ++i) {
+      for (size_t p = 0; p < pieces[i].size(); ++p) {
+        if (!needed[i][p] || pieces[i][p].level == 0) continue;
+        const int group = GroupOf(i, pieces[i][p].level);
+        auto [it, inserted] = job_of_group.try_emplace(group, jobs.size());
+        if (inserted) {
+          jobs.emplace_back();
+          jobs.back().group = group;
+        }
+        jobs[it->second].members.push_back({i, p});
+      }
+    }
+    const float c1f = static_cast<float>(c1_);
+    const float c0f = static_cast<float>(c0_);
+    exec().ParallelFor(jobs.size(), [&](uint64_t j) {
+      const GroupJob& job = jobs[j];
+      const OlhProtocol& proto = *protocols_[job.group];
+      const uint32_t g = proto.g();
+      const auto& seeds = seeds_[job.group];
+      const auto& ys = ys_[job.group];
+      for (const auto& [i, p] : job.members) factors[i][p].resize(n);
+      for (size_t t = 0; t < n; ++t) {
+        const uint64_t base = SeededHashFamily::SeedBase(seeds[t]);
+        const uint32_t y = ys[t];
+        for (const auto& [i, p] : job.members) {
+          factors[i][p][t] =
+              SeededHashFamily::EvalWithBase(base, pieces[i][p].index, g) == y
+                  ? c1f
+                  : c0f;
+        }
+      }
+    });
+  }
 
   // One sub-query's conjunctive sum over the user range [begin, end)
-  // (eq. 42), with the d picks decoded from the flat sub-query rank
-  // (last dimension fastest, matching the serial odometer order).
+  // (eq. 42).
   const auto SubQuerySum = [&](uint64_t rank, size_t begin,
                                size_t end) -> double {
     std::vector<size_t> pick(d, 0);
-    for (int i = d - 1; i >= 0; --i) {
-      pick[i] = rank % pieces[i].size();
-      rank /= pieces[i].size();
-    }
+    PicksOf(rank, &pick);
     double sub = 0.0;
     for (size_t t = begin; t < end; ++t) {
       double prod = weights[users_[t]];
@@ -219,27 +303,41 @@ Result<double> ScMechanism::EstimateBox(std::span<const Interval> ranges,
     return sub;
   };
 
-  // Sum the conjunctive estimates of all sub-queries. Few sub-queries: the
-  // O(n d) inner sums are chunk-parallelized one sub-query at a time. Many
-  // sub-queries: they fan out into per-rank slots with serial inner sums
-  // (never both — nested fan-out could exhaust the worker pool). Both
-  // groupings depend only on the query and n, so the result is bit-identical
-  // for every thread count.
-  double total = 0.0;
+  // Compute the uncached sub-queries. Few sub-queries: the O(n d) inner
+  // sums are chunk-parallelized one sub-query at a time. Many sub-queries:
+  // they fan out into per-rank slots with serial inner sums (never both —
+  // nested fan-out could exhaust the worker pool), grouped by the same
+  // fixed chunk size. Both groupings depend only on n, so a sub-query's
+  // value is bit-identical for every thread count and either branch.
   if (product <= kParallelInnerMaxSubQueries) {
-    for (uint64_t rank = 0; rank < product; ++rank) {
-      total += exec().ParallelSumChunks(
+    for (const uint64_t rank : todo) {
+      value[rank] = exec().ParallelSumChunks(
           n, kExecSumChunk, [&](uint64_t begin, uint64_t end) {
             return SubQuerySum(rank, begin, end);
           });
     }
   } else {
-    std::vector<double> partial(product, 0.0);
-    exec().ParallelFor(product, [&](uint64_t rank) {
-      partial[rank] = SubQuerySum(rank, 0, n);
+    exec().ParallelFor(todo.size(), [&](uint64_t idx) {
+      const uint64_t rank = todo[idx];
+      double sum = 0.0;
+      for (size_t begin = 0; begin < n; begin += kExecSumChunk) {
+        sum += SubQuerySum(rank, begin,
+                           std::min<size_t>(begin + kExecSumChunk, n));
+      }
+      value[rank] = sum;
     });
-    for (const double p : partial) total += p;
   }
+  if (cache != nullptr) {
+    for (const uint64_t rank : todo) {
+      cache->Put(key_group[rank], key_node[rank], weights.id(), num_reports_,
+                 value[rank]);
+    }
+  }
+
+  // Total in rank order — cached and freshly computed values interleave
+  // without changing the floating-point grouping.
+  double total = 0.0;
+  for (const double v : value) total += v;
   return total;
 }
 

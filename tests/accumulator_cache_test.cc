@@ -66,6 +66,37 @@ TEST(AccumulatorCacheTest, HadamardSpectrumEviction) {
                                                                    7);
 }
 
+template <typename Protocol, typename Accumulator>
+void CheckEvictionKeepsMostRecent(const Protocol& proto) {
+  const uint64_t n = 200;
+  Accumulator acc(proto);
+  Rng rng(6);
+  for (uint64_t u = 0; u < n; ++u) acc.Add(proto.Encode(u % 16, rng), u);
+  // Build 12 cached weight sets in order; the 8-entry LRU must keep exactly
+  // the 8 most recently used and have evicted the 4 oldest.
+  const auto weight_sets = ManyWeightSets(n, 12);
+  for (const auto& w : weight_sets) (void)acc.EstimateWeighted(3, *w);
+  for (size_t k = 0; k < weight_sets.size(); ++k) {
+    EXPECT_EQ(acc.HasCachedWeightSet(weight_sets[k]->id()), k >= 4)
+        << "weight set " << k;
+  }
+}
+
+TEST(AccumulatorCacheTest, OlhEvictionKeepsMostRecent) {
+  const OlhProtocol proto(1.0, 16, 32);
+  CheckEvictionKeepsMostRecent<OlhProtocol, OlhAccumulator>(proto);
+}
+
+TEST(AccumulatorCacheTest, GrrEvictionKeepsMostRecent) {
+  const GrrProtocol proto(1.0, 16);
+  CheckEvictionKeepsMostRecent<GrrProtocol, GrrAccumulator>(proto);
+}
+
+TEST(AccumulatorCacheTest, HadamardEvictionKeepsMostRecent) {
+  const HadamardProtocol proto(1.0, 16);
+  CheckEvictionKeepsMostRecent<HadamardProtocol, HadamardAccumulator>(proto);
+}
+
 TEST(AccumulatorCacheTest, AddInvalidatesCachedHistogram) {
   const OlhProtocol proto(2.0, 16, 16);
   OlhAccumulator acc(proto);

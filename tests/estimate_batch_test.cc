@@ -1,0 +1,404 @@
+// Batched estimation kernels and the cross-query node-estimate cache:
+//  * FoAccumulator::EstimateManyWeighted must be bit-identical to the scalar
+//    per-value path for every oracle and for any tiling of the value set,
+//  * the EstimateCache must hit/miss/invalidate/evict as specified,
+//  * every mechanism's EstimateBox must answer bit-identically across thread
+//    counts and cache states, and repeated queries must be served from the
+//    cache without changing a single bit.
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "engine/engine.h"
+#include "exec/execution_context.h"
+#include "fo/grr.h"
+#include "fo/hadamard.h"
+#include "fo/olh.h"
+#include "fo/oue.h"
+#include "mech/estimate_cache.h"
+
+namespace ldp {
+namespace {
+
+// Bitwise equality: stricter than ==, which would let +0.0 / -0.0 or
+// silently-different NaNs slip through.
+void ExpectBitEqual(double a, double b, const std::string& what) {
+  uint64_t ba = 0;
+  uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  EXPECT_EQ(ba, bb) << what << ": " << a << " vs " << b;
+}
+
+WeightVector MixedWeights(uint64_t n) {
+  std::vector<double> w(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    w[i] = 0.25 * static_cast<double>(i % 7) - 0.5;  // mixed signs and zeros
+  }
+  return WeightVector(std::move(w));
+}
+
+/// Batch-of-all, batch-per-tile (several tile sizes), and the scalar loop
+/// must agree bit for bit on every oracle.
+template <typename Protocol, typename Accumulator>
+void CheckBatchMatchesScalar(const Protocol& proto, uint64_t n,
+                             uint64_t domain) {
+  Accumulator acc(proto);
+  Rng rng(17);
+  for (uint64_t u = 0; u < n; ++u) {
+    acc.Add(proto.Encode((u * 13) % domain, rng), u);
+  }
+  const WeightVector w = MixedWeights(n);
+  std::vector<uint64_t> values;
+  for (uint64_t v = 0; v < domain; ++v) values.push_back(v);
+  values.push_back(3);  // duplicates are legal
+
+  std::vector<double> scalar(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    scalar[i] = acc.EstimateWeighted(values[i], w);
+  }
+  std::vector<double> batched(values.size());
+  acc.EstimateManyWeighted(values, w, batched);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ExpectBitEqual(batched[i], scalar[i],
+                   "full batch, value " + std::to_string(values[i]));
+  }
+  for (const size_t tile : {size_t{1}, size_t{3}, size_t{7}}) {
+    std::vector<double> tiled(values.size());
+    for (size_t v0 = 0; v0 < values.size(); v0 += tile) {
+      const size_t len = std::min(tile, values.size() - v0);
+      acc.EstimateManyWeighted(
+          std::span<const uint64_t>(values.data() + v0, len), w,
+          std::span<double>(tiled.data() + v0, len));
+    }
+    for (size_t i = 0; i < values.size(); ++i) {
+      ExpectBitEqual(tiled[i], scalar[i],
+                     "tile " + std::to_string(tile) + ", value " +
+                         std::to_string(values[i]));
+    }
+  }
+}
+
+TEST(EstimateBatchTest, OlhUnpooledMatchesScalar) {
+  const OlhProtocol proto(1.0, 24, 0);
+  CheckBatchMatchesScalar<OlhProtocol, OlhAccumulator>(proto, 500, 24);
+}
+
+TEST(EstimateBatchTest, OlhPooledMatchesScalar) {
+  // Pool small enough (n >= 2 * pool) that the histogram path is active.
+  const OlhProtocol proto(1.0, 24, 32);
+  CheckBatchMatchesScalar<OlhProtocol, OlhAccumulator>(proto, 500, 24);
+}
+
+TEST(EstimateBatchTest, GrrMatchesScalar) {
+  const GrrProtocol proto(1.0, 24);
+  CheckBatchMatchesScalar<GrrProtocol, GrrAccumulator>(proto, 500, 24);
+}
+
+TEST(EstimateBatchTest, OueMatchesScalar) {
+  const OueProtocol proto(1.0, 24);
+  CheckBatchMatchesScalar<OueProtocol, OueAccumulator>(proto, 500, 24);
+}
+
+TEST(EstimateBatchTest, HadamardMatchesScalar) {
+  const HadamardProtocol proto(1.0, 24);
+  CheckBatchMatchesScalar<HadamardProtocol, HadamardAccumulator>(proto, 500,
+                                                                 24);
+}
+
+/// An accumulator that only implements the scalar path: the base-class
+/// EstimateManyWeighted fallback must loop it verbatim.
+class ScalarOnlyAccumulator : public FoAccumulator {
+ public:
+  void Add(const FoReport&, uint64_t) override { ++n_; }
+  uint64_t num_reports() const override { return n_; }
+  std::unique_ptr<FoAccumulator> NewShard() const override {
+    return std::make_unique<ScalarOnlyAccumulator>();
+  }
+  Status Merge(FoAccumulator&&) override { return Status::OK(); }
+  double EstimateWeighted(uint64_t value,
+                          const WeightVector& w) const override {
+    return static_cast<double>(value) * 1.5 +
+           static_cast<double>(w.size()) * 0.125;
+  }
+  double GroupWeight(const WeightVector& w) const override {
+    return w.total();
+  }
+
+ private:
+  uint64_t n_ = 0;
+};
+
+TEST(EstimateBatchTest, DefaultFallbackLoopsScalarPath) {
+  const ScalarOnlyAccumulator acc;
+  const WeightVector w = MixedWeights(10);
+  const std::vector<uint64_t> values = {5, 0, 9, 5};
+  std::vector<double> out(values.size());
+  acc.EstimateManyWeighted(values, w, out);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ExpectBitEqual(out[i], acc.EstimateWeighted(values[i], w), "fallback");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EstimateCache unit behavior.
+
+TEST(EstimateCacheTest, HitMissAndStats) {
+  EstimateCache cache(1 << 20);
+  double out = 0.0;
+  EXPECT_FALSE(cache.Get(1, 2, 3, 10, &out));
+  cache.Put(1, 2, 3, 10, 42.5);
+  EXPECT_TRUE(cache.Get(1, 2, 3, 10, &out));
+  EXPECT_EQ(out, 42.5);
+  // Any key component mismatch is a miss.
+  EXPECT_FALSE(cache.Get(0, 2, 3, 10, &out));
+  EXPECT_FALSE(cache.Get(1, 0, 3, 10, &out));
+  EXPECT_FALSE(cache.Get(1, 2, 0, 10, &out));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EstimateCacheTest, StaleEpochIsAMissAndErases) {
+  EstimateCache cache(1 << 20);
+  cache.Put(1, 2, 3, /*epoch=*/10, 42.5);
+  double out = 0.0;
+  // New reports arrived (epoch moved): the entry must not be served.
+  EXPECT_FALSE(cache.Get(1, 2, 3, /*epoch=*/11, &out));
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Put(1, 2, 3, 11, 43.0);
+  EXPECT_TRUE(cache.Get(1, 2, 3, 11, &out));
+  EXPECT_EQ(out, 43.0);
+}
+
+TEST(EstimateCacheTest, EvictsLeastRecentlyUsed) {
+  // Budget for exactly 4 entries (112 approx bytes per entry).
+  EstimateCache cache(4 * 112);
+  for (uint64_t k = 0; k < 4; ++k) cache.Put(0, k, 1, 1, 1.0 * k);
+  double out = 0.0;
+  // Touch node 0 so node 1 becomes the least recently used.
+  EXPECT_TRUE(cache.Get(0, 0, 1, 1, &out));
+  cache.Put(0, 100, 1, 1, 100.0);  // evicts node 1
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_FALSE(cache.Get(0, 1, 1, 1, &out));
+  EXPECT_TRUE(cache.Get(0, 0, 1, 1, &out));
+  EXPECT_TRUE(cache.Get(0, 2, 1, 1, &out));
+  EXPECT_TRUE(cache.Get(0, 3, 1, 1, &out));
+  EXPECT_TRUE(cache.Get(0, 100, 1, 1, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(EstimateCacheTest, PutRefreshesExistingEntry) {
+  EstimateCache cache(1 << 20);
+  cache.Put(1, 2, 3, 10, 1.0);
+  cache.Put(1, 2, 3, 12, 2.0);
+  EXPECT_EQ(cache.size(), 1u);
+  double out = 0.0;
+  EXPECT_TRUE(cache.Get(1, 2, 3, 12, &out));
+  EXPECT_EQ(out, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// EstimateNodesBatched over a real store: cold, warm, and parallel runs must
+// all reproduce the serial scalar loop bit for bit.
+
+TEST(EstimateNodesBatchedTest, MatchesScalarAndServesFromCache) {
+  ReportStore store;
+  for (int g = 0; g < 2; ++g) {
+    store.AddGroup(
+        FrequencyOracle::Create(FoKind::kOlh, 1.0, 32, 0).ValueOrDie());
+  }
+  Rng rng(23);
+  for (uint64_t u = 0; u < 400; ++u) {
+    for (int g = 0; g < 2; ++g) {
+      store.Add(g, store.Encode(g, (u + 7 * g) % 32, rng), u);
+    }
+  }
+  const WeightVector w = MixedWeights(400);
+  std::vector<NodeRef> nodes;
+  for (uint64_t v = 0; v < 32; ++v) nodes.push_back({v % 2, v});
+  nodes.push_back({0, 5});  // repeated node
+
+  std::vector<double> scalar(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    scalar[i] = store.accumulator(static_cast<int>(nodes[i].group))
+                    .EstimateWeighted(nodes[i].node, w);
+  }
+
+  EstimateCache cache(1 << 20);
+  const ExecutionContext parallel_exec(4);
+  for (const bool use_cache : {false, true, true}) {
+    for (const ExecutionContext* exec :
+         {&SerialExecutionContext(), &parallel_exec}) {
+      std::vector<double> out(nodes.size(), -1.0);
+      EstimateNodesBatched(store, nodes, w, /*epoch=*/400,
+                           use_cache ? &cache : nullptr, *exec, out);
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        ExpectBitEqual(out[i], scalar[i], "node " + std::to_string(i));
+      }
+    }
+  }
+  const auto stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.insertions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: every mechanism must answer bit-identically for any thread
+// count and cache state, and repeats must be pure cache hits.
+
+Table TwoDimTable(uint64_t n = 2500) {
+  TableSpec spec;
+  spec.dims.push_back(
+      {"a", AttributeKind::kSensitiveOrdinal, 16, ColumnDist::kGaussianBell,
+       1.0});
+  spec.dims.push_back(
+      {"b", AttributeKind::kSensitiveOrdinal, 16, ColumnDist::kZipf, 1.1});
+  spec.measures.push_back(
+      {"m", 0.0, 10.0, ColumnDist::kUniform, 1.0, -1, 0.0});
+  return GenerateTable(spec, n, 99).ValueOrDie();
+}
+
+Table OneDimTable(uint64_t n = 2500) {
+  TableSpec spec;
+  spec.dims.push_back(
+      {"a", AttributeKind::kSensitiveOrdinal, 16, ColumnDist::kGaussianBell,
+       1.0});
+  spec.measures.push_back(
+      {"m", 0.0, 10.0, ColumnDist::kUniform, 1.0, -1, 0.0});
+  return GenerateTable(spec, n, 99).ValueOrDie();
+}
+
+std::unique_ptr<AnalyticsEngine> MakeEngine(const Table& table,
+                                            MechanismKind kind,
+                                            int num_threads, bool cache,
+                                            uint32_t pool) {
+  EngineOptions options;
+  options.mechanism = kind;
+  options.params.epsilon = 2.0;
+  options.params.fanout = 2;
+  options.params.hash_pool_size = pool;
+  options.seed = 4242;
+  options.num_threads = num_threads;
+  options.enable_estimate_cache = cache;
+  return AnalyticsEngine::Create(table, options).ValueOrDie();
+}
+
+void CheckBitIdenticalAcrossConfigs(const Table& table, MechanismKind kind,
+                                    const std::vector<std::string>& sqls,
+                                    uint32_t pool) {
+  // Reference: one thread, no cache.
+  std::vector<double> reference;
+  {
+    auto engine = MakeEngine(table, kind, 1, false, pool);
+    for (const auto& sql : sqls) {
+      reference.push_back(engine->ExecuteSql(sql).ValueOrDie());
+    }
+  }
+  for (const int threads : {1, 2, 8}) {
+    for (const bool cache : {false, true}) {
+      auto engine = MakeEngine(table, kind, threads, cache, pool);
+      for (size_t q = 0; q < sqls.size(); ++q) {
+        const double est = engine->ExecuteSql(sqls[q]).ValueOrDie();
+        ExpectBitEqual(est, reference[q],
+                       MechanismKindName(kind) + " query " +
+                           std::to_string(q) + " threads " +
+                           std::to_string(threads) +
+                           (cache ? " cache" : " no-cache"));
+      }
+      if (cache) {
+        // The query list repeats its first query; the repeat must have been
+        // served (at least partly) from the cache.
+        const EstimateCache* cache_ptr = engine->mechanism().estimate_cache();
+        ASSERT_NE(cache_ptr, nullptr);
+        EXPECT_GT(cache_ptr->stats().hits, 0u)
+            << MechanismKindName(kind) << " threads " << threads;
+      } else {
+        EXPECT_EQ(engine->mechanism().estimate_cache(), nullptr);
+      }
+    }
+  }
+}
+
+std::vector<std::string> TwoDimQueries() {
+  const std::string q1 =
+      "SELECT COUNT(*) FROM T WHERE a BETWEEN 2 AND 11 AND b BETWEEN 1 AND "
+      "13";
+  const std::string q2 =
+      "SELECT SUM(m) FROM T WHERE a BETWEEN 0 AND 7 AND b BETWEEN 4 AND 15";
+  return {q1, q2, q1};  // q1 repeats: the second run must hit the cache
+}
+
+std::vector<std::string> OneDimQueries() {
+  const std::string q1 = "SELECT COUNT(*) FROM T WHERE a BETWEEN 3 AND 12";
+  const std::string q2 = "SELECT SUM(m) FROM T WHERE a BETWEEN 0 AND 9";
+  return {q1, q2, q1};
+}
+
+TEST(MechanismBatchedEstimateTest, HiBitIdentical) {
+  CheckBitIdenticalAcrossConfigs(TwoDimTable(), MechanismKind::kHi,
+                                 TwoDimQueries(), 0);
+}
+
+TEST(MechanismBatchedEstimateTest, HioBitIdentical) {
+  CheckBitIdenticalAcrossConfigs(TwoDimTable(), MechanismKind::kHio,
+                                 TwoDimQueries(), 0);
+}
+
+TEST(MechanismBatchedEstimateTest, HioPooledBitIdentical) {
+  // The pooled-histogram estimation path through the same fan-out.
+  CheckBitIdenticalAcrossConfigs(TwoDimTable(), MechanismKind::kHio,
+                                 TwoDimQueries(), 64);
+}
+
+TEST(MechanismBatchedEstimateTest, ScBitIdentical) {
+  CheckBitIdenticalAcrossConfigs(TwoDimTable(), MechanismKind::kSc,
+                                 TwoDimQueries(), 0);
+}
+
+TEST(MechanismBatchedEstimateTest, MgBitIdentical) {
+  CheckBitIdenticalAcrossConfigs(TwoDimTable(), MechanismKind::kMg,
+                                 TwoDimQueries(), 0);
+}
+
+TEST(MechanismBatchedEstimateTest, QuadTreeBitIdentical) {
+  CheckBitIdenticalAcrossConfigs(TwoDimTable(), MechanismKind::kQuadTree,
+                                 TwoDimQueries(), 0);
+}
+
+TEST(MechanismBatchedEstimateTest, HaarBitIdentical) {
+  CheckBitIdenticalAcrossConfigs(OneDimTable(), MechanismKind::kHaar,
+                                 OneDimQueries(), 0);
+}
+
+TEST(MechanismBatchedEstimateTest, RepeatedQueryHitsCacheCompletely) {
+  // After a warm-up execution the repeat of the identical query must probe
+  // the cache only: no new insertions, only hits.
+  const Table table = TwoDimTable();
+  auto engine = MakeEngine(table, MechanismKind::kHio, 1, true, 0);
+  const std::string sql =
+      "SELECT COUNT(*) FROM T WHERE a BETWEEN 2 AND 11 AND b BETWEEN 1 AND "
+      "13";
+  const double first = engine->ExecuteSql(sql).ValueOrDie();
+  const EstimateCache* cache = engine->mechanism().estimate_cache();
+  ASSERT_NE(cache, nullptr);
+  const auto warm = cache->stats();
+  const double second = engine->ExecuteSql(sql).ValueOrDie();
+  const auto after = cache->stats();
+  ExpectBitEqual(second, first, "repeat");
+  EXPECT_EQ(after.insertions, warm.insertions);
+  EXPECT_EQ(after.misses, warm.misses);
+  EXPECT_GT(after.hits, warm.hits);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,15 +1,67 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
 
 namespace ldp {
 namespace bench {
+
+namespace {
+/// Destination of the atexit stats dump; set once by ParseBenchConfig.
+std::string& StatsJsonPath() {
+  static std::string path;
+  return path;
+}
+
+void DumpStatsAtExit() {
+  const std::string& path = StatsJsonPath();
+  if (path.empty()) return;
+  if (WriteStatsJson(path)) {
+    std::fprintf(stderr, "stats written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write stats to %s\n",
+                 path.c_str());
+  }
+}
+}  // namespace
+
+QueryProfile& WorkloadProfile() {
+  static QueryProfile profile;
+  return profile;
+}
+
+bool WriteStatsJson(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\"metrics\":" << GlobalMetrics().TakeSnapshot().ToJson()
+      << ",\"query_profile\":" << WorkloadProfile().ToJson() << "}\n";
+  return static_cast<bool>(out);
+}
+
+void EnableStatsJsonFromArgs(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kPrefix = "--stats_json=";
+    if (arg.rfind(kPrefix, 0) == 0) {
+      StatsJsonPath() = std::string(arg.substr(kPrefix.size()));
+      std::atexit(DumpStatsAtExit);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
 
 bool ParseBenchConfig(int argc, char** argv, const std::string& name,
                       const std::string& description, BenchConfig* config,
                       FlagParser* parser) {
   FlagParser local(name, description);
   FlagParser* p = parser != nullptr ? parser : &local;
+  p->AddString("stats_json", &config->stats_json,
+               "write a JSON metrics + query-profile report here at exit");
   p->AddInt64("n", &config->n, "number of users (0 = bench default)");
   p->AddDouble("eps", &config->eps, "privacy budget epsilon");
   p->AddInt64("queries", &config->queries,
@@ -22,7 +74,12 @@ bool ParseBenchConfig(int argc, char** argv, const std::string& name,
   p->AddBool("cache", &config->cache,
              "enable the cross-query node-estimate cache");
   p->AddBool("full", &config->full, "use the paper-scale parameters");
-  return p->Parse(argc, argv);
+  if (!p->Parse(argc, argv)) return false;
+  if (!config->stats_json.empty()) {
+    StatsJsonPath() = config->stats_json;
+    std::atexit(DumpStatsAtExit);
+  }
+  return true;
 }
 
 int64_t ResolveN(const BenchConfig& config, int64_t quick_default,
@@ -78,7 +135,7 @@ std::vector<std::string> EvalRow(
       cells.push_back("n/a");
       continue;
     }
-    const auto stats = EvaluateQueries(*engine, queries);
+    const auto stats = EvaluateQueries(*engine, queries, &WorkloadProfile());
     if (!stats.ok()) {
       cells.push_back("err");
       continue;

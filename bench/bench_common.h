@@ -36,6 +36,11 @@ struct BenchConfig {
   /// uncached estimation cost.
   bool cache = true;
   bool full = false;
+  /// When non-empty, the process writes a JSON observability report to this
+  /// path at exit: the full GlobalMetrics() snapshot (every counter /
+  /// histogram the library exports; see the README metrics reference) plus
+  /// the accumulated per-query profile of the bench's workload.
+  std::string stats_json;
 };
 
 /// Parses the standard flags (plus `extra`, which may add its own flags
@@ -43,6 +48,12 @@ struct BenchConfig {
 bool ParseBenchConfig(int argc, char** argv, const std::string& name,
                       const std::string& description, BenchConfig* config,
                       FlagParser* parser = nullptr);
+
+/// --stats_json support for benches with a foreign flag parser (the Google
+/// Benchmark micro benches): consumes any `--stats_json=PATH` argument from
+/// argv (so the foreign parser never sees it) and registers the exit-time
+/// stats dump. Call before benchmark::Initialize.
+void EnableStatsJsonFromArgs(int* argc, char** argv);
 
 /// Resolves defaults: n and queries fall back to (full ? paper : quick).
 int64_t ResolveN(const BenchConfig& config, int64_t quick_default,
@@ -59,10 +70,20 @@ std::vector<std::unique_ptr<AnalyticsEngine>> BuildEngines(
     uint64_t seed, int num_threads = 1, bool enable_estimate_cache = true);
 
 /// Evaluates each engine on the workload; null engines yield "n/a" cells.
-/// Returns formatted "mean+-std" MNAE (or MRE) strings per engine.
+/// Returns formatted "mean+-std" MNAE (or MRE) strings per engine. Query
+/// profiles accumulate into WorkloadProfile() for the --stats_json report.
 std::vector<std::string> EvalRow(
     const std::vector<std::unique_ptr<AnalyticsEngine>>& engines,
     const std::vector<Query>& queries, bool use_mre = false);
+
+/// The process-wide profile every profiled bench query accumulates into;
+/// dumped (with the metrics snapshot) by --stats_json at exit.
+QueryProfile& WorkloadProfile();
+
+/// Writes `{"metrics": <GlobalMetrics snapshot>, "query_profile": ...}` to
+/// `path`. Called automatically at exit when --stats_json is set; exposed
+/// for benches that want to dump mid-run.
+bool WriteStatsJson(const std::string& path);
 
 /// Prints the standard experiment banner.
 void PrintBanner(const std::string& title, const std::string& paper_ref,

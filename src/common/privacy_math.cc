@@ -7,20 +7,25 @@
 
 namespace ldp {
 
-namespace {
-/// ceil(log_b(m)) computed in exact integer arithmetic; >= 1.
 int CeilLogB(uint32_t b, uint64_t m) {
   LDP_CHECK_GE(b, 2u);
   LDP_CHECK_GE(m, 1u);
   int h = 0;
   uint64_t cap = 1;
   while (cap < m) {
+    // `cap * b` would wrap for m near 2^64 (e.g. b=2, m=2^64-1: cap reaches
+    // 2^63 < m, doubles to 0, and the loop never terminates). If the next
+    // power exceeds the uint64 range it certainly exceeds m, so one more
+    // level is exactly enough.
+    if (cap > UINT64_MAX / b) {
+      ++h;
+      break;
+    }
     cap *= b;
     ++h;
   }
   return std::max(h, 1);
 }
-}  // namespace
 
 uint32_t OptimalOlhG(double epsilon) {
   LDP_CHECK_GT(epsilon, 0.0);

@@ -9,6 +9,12 @@ namespace ldp {
 /// SIGMOD'19). These are used by the estimators themselves and by property
 /// tests that check empirical mean-squared errors against the stated bounds.
 
+/// ceil(log_b(m)) computed in exact integer arithmetic, clamped to >= 1.
+/// Requires b >= 2 and m >= 1. Safe for the full uint64 range: the running
+/// power is checked against overflow before each multiply, so m near 2^64
+/// terminates instead of wrapping into an infinite loop.
+int CeilLogB(uint32_t b, uint64_t m);
+
 /// Optimal OLH hash-domain size g = round(e^eps) + 1, at least 2 (eq. 38).
 uint32_t OptimalOlhG(double epsilon);
 

@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
@@ -16,6 +17,9 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
     const Table& table, const EngineOptions& options) {
   std::unique_ptr<AnalyticsEngine> engine(
       new AnalyticsEngine(table, options));
+  // Process-wide switch: the registry gates every counter/histogram/span in
+  // the library, so one engine configures observability for the process.
+  GlobalMetrics().set_enabled(options.enable_metrics);
   engine->exec_ = std::make_unique<ExecutionContext>(options.num_threads);
   LDP_ASSIGN_OR_RETURN(
       engine->mechanism_,
@@ -76,9 +80,13 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
   return engine;
 }
 
-Result<double> AnalyticsEngine::ExecuteSql(std::string_view sql) const {
-  LDP_ASSIGN_OR_RETURN(const Query query, ParseQuery(schema(), sql));
-  return Execute(query);
+Result<double> AnalyticsEngine::ExecuteSql(std::string_view sql,
+                                           QueryProfile* profile) const {
+  TraceSpan parse_span(profile, QueryProfile::kParse);
+  auto parsed = ParseQuery(schema(), sql);
+  parse_span.Stop();
+  LDP_RETURN_NOT_OK(parsed.status());
+  return Execute(parsed.value(), profile);
 }
 
 Status AnalyticsEngine::SplitBox(
@@ -154,50 +162,146 @@ Result<std::shared_ptr<const WeightVector>> AnalyticsEngine::GetWeights(
 
 Result<double> AnalyticsEngine::EstimateComponent(
     Component component, const Query& query,
-    const std::vector<IeTerm>& terms) const {
+    const std::vector<IeTerm>& terms, QueryProfile* profile) const {
   double total = 0.0;
   std::vector<Interval> sensitive_ranges;
   std::vector<Constraint> public_constraints;
   for (const IeTerm& term : terms) {
+    TraceSpan fanout_span(profile, QueryProfile::kFanout);
     LDP_RETURN_NOT_OK(
         SplitBox(term.box, &sensitive_ranges, &public_constraints));
     LDP_ASSIGN_OR_RETURN(auto weights,
                          GetWeights(component, query, term.box));
+    fanout_span.Stop();
+    TraceSpan estimate_span(profile, QueryProfile::kEstimate);
     LDP_ASSIGN_OR_RETURN(
         const double estimate,
         mechanism_->EstimateBox(sensitive_ranges, *weights));
+    estimate_span.Stop();
     total += term.coefficient * estimate;
   }
+  if (profile != nullptr) profile->ie_terms += terms.size();
   return total;
 }
 
-Result<double> AnalyticsEngine::Execute(const Query& query) const {
+namespace {
+
+/// Differences engine-level work stats around a profiled query and folds
+/// them into the profile. Stack-scoped: captured at construction, folded at
+/// destruction, so every Execute exit path is covered.
+class ProfiledQueryScope {
+ public:
+  ProfiledQueryScope(QueryProfile* profile, const Mechanism& mechanism,
+                     const ExecutionContext& exec)
+      : profile_(profile), mechanism_(mechanism), exec_(exec) {
+    if (profile_ == nullptr) return;
+    start_ = std::chrono::steady_clock::now();
+    stage_nanos_before_ = StageNanos();
+    chunks_before_ = exec_.chunks_dispatched();
+    if (const EstimateCache* cache = mechanism_.estimate_cache()) {
+      cache_before_ = cache->stats();
+    }
+    nodes_counter_before_ = EstimateNodes()->value();
+  }
+
+  ~ProfiledQueryScope() {
+    if (profile_ == nullptr) return;
+    const uint64_t total = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    profile_->total_nanos += total;
+    ++profile_->queries;
+    // The aggregate stage is everything Execute did outside the explicitly
+    // spanned stages (component assembly, AVG/STDEV combination), so the
+    // stage walls partition the query wall.
+    const uint64_t staged = StageNanos() - stage_nanos_before_;
+    profile_->stages[QueryProfile::kAggregate].wall_nanos +=
+        total > staged ? total - staged : 0;
+    ++profile_->stages[QueryProfile::kAggregate].calls;
+    profile_->exec_chunks += exec_.chunks_dispatched() - chunks_before_;
+    if (const EstimateCache* cache = mechanism_.estimate_cache()) {
+      const EstimateCache::Stats now = cache->stats();
+      profile_->cache_hits += now.hits - cache_before_.hits;
+      profile_->cache_misses += now.misses - cache_before_.misses;
+      profile_->cache_epoch_drops +=
+          now.epoch_drops - cache_before_.epoch_drops;
+      // Every cache miss is exactly one node estimated by a kernel, for
+      // every mechanism (they all route per-node estimates through the
+      // cache when it is on).
+      profile_->nodes_estimated += now.misses - cache_before_.misses;
+    } else {
+      // Cache off: fall back to the batched-kernel counter. Zero while
+      // metrics are disabled, and blind to mechanisms that bypass
+      // EstimateNodesBatched — a best-effort view, unlike the cache path.
+      profile_->nodes_estimated +=
+          static_cast<uint64_t>(EstimateNodes()->value()) -
+          nodes_counter_before_;
+    }
+  }
+
+ private:
+  static Counter* EstimateNodes() {
+    static Counter* counter = GlobalMetrics().counter("estimate.nodes");
+    return counter;
+  }
+  uint64_t StageNanos() const {
+    uint64_t nanos = 0;
+    for (int s = 0; s < QueryProfile::kNumStages; ++s) {
+      if (s == QueryProfile::kAggregate) continue;
+      nanos += profile_->stages[s].wall_nanos;
+    }
+    return nanos;
+  }
+
+  QueryProfile* profile_;
+  const Mechanism& mechanism_;
+  const ExecutionContext& exec_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t stage_nanos_before_ = 0;
+  uint64_t chunks_before_ = 0;
+  uint64_t nodes_counter_before_ = 0;
+  EstimateCache::Stats cache_before_;
+};
+
+}  // namespace
+
+Result<double> AnalyticsEngine::Execute(const Query& query,
+                                        QueryProfile* profile) const {
+  ProfiledQueryScope scope(profile, *mechanism_, *exec_);
+  TraceSpan rewrite_span(profile, QueryProfile::kRewrite);
   LDP_RETURN_NOT_OK(ValidateQuery(schema(), query));
   LDP_ASSIGN_OR_RETURN(
       const std::vector<IeTerm> terms,
       RewritePredicate(schema(), query.where.get()));
+  rewrite_span.Stop();
   if (terms.empty()) return 0.0;  // unsatisfiable predicate
 
   switch (query.aggregate.kind) {
     case AggregateKind::kCount:
-      return EstimateComponent(Component::kCount, query, terms);
+      return EstimateComponent(Component::kCount, query, terms, profile);
     case AggregateKind::kSum:
-      return EstimateComponent(Component::kSum, query, terms);
+      return EstimateComponent(Component::kSum, query, terms, profile);
     case AggregateKind::kAvg: {
-      LDP_ASSIGN_OR_RETURN(const double sum,
-                           EstimateComponent(Component::kSum, query, terms));
-      LDP_ASSIGN_OR_RETURN(const double count,
-                           EstimateComponent(Component::kCount, query, terms));
+      LDP_ASSIGN_OR_RETURN(
+          const double sum,
+          EstimateComponent(Component::kSum, query, terms, profile));
+      LDP_ASSIGN_OR_RETURN(
+          const double count,
+          EstimateComponent(Component::kCount, query, terms, profile));
       if (count <= 0.0) return 0.0;  // noise swamped the group entirely
       return sum / count;
     }
     case AggregateKind::kStdev: {
-      LDP_ASSIGN_OR_RETURN(const double sum_sq,
-                           EstimateComponent(Component::kSumSq, query, terms));
-      LDP_ASSIGN_OR_RETURN(const double sum,
-                           EstimateComponent(Component::kSum, query, terms));
-      LDP_ASSIGN_OR_RETURN(const double count,
-                           EstimateComponent(Component::kCount, query, terms));
+      LDP_ASSIGN_OR_RETURN(
+          const double sum_sq,
+          EstimateComponent(Component::kSumSq, query, terms, profile));
+      LDP_ASSIGN_OR_RETURN(
+          const double sum,
+          EstimateComponent(Component::kSum, query, terms, profile));
+      LDP_ASSIGN_OR_RETURN(
+          const double count,
+          EstimateComponent(Component::kCount, query, terms, profile));
       if (count <= 0.0) return 0.0;
       const double mean = sum / count;
       return std::sqrt(std::max(0.0, sum_sq / count - mean * mean));
@@ -222,7 +326,7 @@ Result<AnalyticsEngine::BoundedEstimate> AnalyticsEngine::ExecuteWithBound(
                                   ? Component::kCount
                                   : Component::kSum;
   LDP_ASSIGN_OR_RETURN(out.estimate,
-                       EstimateComponent(component, query, terms));
+                       EstimateComponent(component, query, terms, nullptr));
   // Conservative combination across inclusion-exclusion terms: the term
   // errors may be correlated (they share reports), so bound the total
   // stddev by the sum of per-term |coef| * stddev bounds.

@@ -10,6 +10,7 @@
 #include "data/table.h"
 #include "exec/execution_context.h"
 #include "mech/factory.h"
+#include "obs/trace.h"
 #include "query/exact.h"
 #include "query/parser.h"
 #include "query/rewriter.h"
@@ -34,6 +35,11 @@ struct EngineOptions {
   bool enable_estimate_cache = true;
   /// Byte budget for the node-estimate cache.
   size_t estimate_cache_bytes = 32ull << 20;  // 32 MiB
+  /// Process-wide observability (GlobalMetrics counters/histograms). Purely
+  /// diagnostic: metrics never feed back into estimation, so results are
+  /// bit-identical with metrics on or off. Off leaves the hot paths with a
+  /// single relaxed atomic-bool test per would-be increment.
+  bool enable_metrics = true;
 };
 
 /// End-to-end private MDA pipeline over one fact table (Section 2.3).
@@ -57,8 +63,18 @@ class AnalyticsEngine {
   static Result<std::unique_ptr<AnalyticsEngine>> Create(
       const Table& table, const EngineOptions& options);
 
-  /// Estimated answer P̄(q) to the MDA query.
-  Result<double> Execute(const Query& query) const;
+  /// Estimated answer P̄(q) to the MDA query. When `profile` is non-null the
+  /// query's stage timings (rewrite / fan-out / estimate / aggregate) and
+  /// work counters (inclusion-exclusion terms, nodes estimated, estimate-
+  /// cache hits/misses/epoch-drops, execution chunks) are ACCUMULATED into
+  /// it — pass a zeroed profile for one query, or reuse one to aggregate a
+  /// workload. Work counters are attributed by differencing engine-level
+  /// stats around the query, so profiled queries on the same engine should
+  /// not run concurrently (results are still correct; only the attribution
+  /// would blur). Profiling is independent of EngineOptions::enable_metrics
+  /// and never changes the estimate.
+  Result<double> Execute(const Query& query,
+                         QueryProfile* profile = nullptr) const;
 
   /// An estimate together with a conservative standard-deviation bound
   /// derived from the mechanism's closed-form error analysis
@@ -73,8 +89,10 @@ class AnalyticsEngine {
   /// on the data in a way no closed form in the paper covers).
   Result<BoundedEstimate> ExecuteWithBound(const Query& query) const;
 
-  /// Parses and executes a SQL string.
-  Result<double> ExecuteSql(std::string_view sql) const;
+  /// Parses and executes a SQL string. `profile` additionally captures the
+  /// parse stage; see Execute for the accumulation contract.
+  Result<double> ExecuteSql(std::string_view sql,
+                            QueryProfile* profile = nullptr) const;
 
   /// Exact (non-private) answer — ground truth for error reporting.
   Result<double> ExecuteExact(const Query& query) const {
@@ -97,7 +115,8 @@ class AnalyticsEngine {
   enum class Component { kCount, kSum, kSumSq };
 
   Result<double> EstimateComponent(Component component, const Query& query,
-                                   const std::vector<IeTerm>& terms) const;
+                                   const std::vector<IeTerm>& terms,
+                                   QueryProfile* profile) const;
 
   /// Weight vector for (component, query expr) masked by the public part of
   /// `box`; cached across queries so accumulator-side histogram caches hit.

@@ -17,11 +17,13 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 Result<EvalStats> EvaluateQueries(const AnalyticsEngine& engine,
-                                  std::span<const Query> queries) {
+                                  std::span<const Query> queries,
+                                  QueryProfile* profile) {
   EvalStats stats;
   for (const Query& query : queries) {
     LDP_ASSIGN_OR_RETURN(const double truth, engine.ExecuteExact(query));
-    LDP_ASSIGN_OR_RETURN(const double estimate, engine.Execute(query));
+    LDP_ASSIGN_OR_RETURN(const double estimate,
+                         engine.Execute(query, profile));
     stats.mnae.Add(
         NormalizedAbsError(estimate, truth, engine.AbsWeightTotal(query)));
     stats.mre.Add(RelativeError(estimate, truth));

@@ -18,8 +18,11 @@ struct EvalStats {
 };
 
 /// Executes each query privately and exactly, accumulating MNAE and MRE.
+/// A non-null `profile` accumulates per-stage timings and work counters
+/// across the whole workload (AnalyticsEngine::Execute's contract).
 Result<EvalStats> EvaluateQueries(const AnalyticsEngine& engine,
-                                  std::span<const Query> queries);
+                                  std::span<const Query> queries,
+                                  QueryProfile* profile = nullptr);
 
 /// One mechanism configuration in a comparison sweep.
 struct MechanismSpec {

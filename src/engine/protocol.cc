@@ -5,10 +5,30 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace ldp {
 
 namespace {
+
+/// GlobalMetrics mirrors of IngestStats (ingest.*). The per-server struct
+/// stays the authoritative view; these aggregate across all servers in the
+/// process for the exported snapshot.
+struct IngestCounters {
+  Counter* accepted;
+  Counter* duplicate;
+  Counter* corrupt;
+  Counter* rejected;
+};
+const IngestCounters& IngestMetrics() {
+  static const IngestCounters counters = {
+      GlobalMetrics().counter("ingest.accepted"),
+      GlobalMetrics().counter("ingest.duplicate"),
+      GlobalMetrics().counter("ingest.corrupt"),
+      GlobalMetrics().counter("ingest.rejected"),
+  };
+  return counters;
+}
 
 constexpr std::string_view kHeader = "ldpmda-collection-spec v1";
 constexpr std::string_view kFrameMagic = "LDPR";
@@ -230,15 +250,18 @@ Status CollectionServer::Ingest(std::string_view frame_bytes, uint64_t user) {
   const auto payload = UnframeReport(frame_bytes);
   if (!payload.ok()) {
     ++stats_.corrupt;
+    IngestMetrics().corrupt->Add(1);
     return payload.status();
   }
   const auto report = LdpReport::Deserialize(payload.value());
   if (!report.ok()) {
     ++stats_.corrupt;
+    IngestMetrics().corrupt->Add(1);
     return report.status();
   }
   if (users_.contains(user)) {
     ++stats_.duplicate;
+    IngestMetrics().duplicate->Add(1);
     return Status::AlreadyExists("user " + std::to_string(user) +
                                  " already reported; duplicate discarded");
   }
@@ -247,10 +270,12 @@ Status CollectionServer::Ingest(std::string_view frame_bytes, uint64_t user) {
     // Well-formed bytes that don't fit the spec (e.g. wrong mechanism shape).
     // The user stays un-seen so a correct retry can still land.
     ++stats_.rejected;
+    IngestMetrics().rejected->Add(1);
     return added;
   }
   users_.insert(user);
   ++stats_.accepted;
+  IngestMetrics().accepted->Add(1);
   return Status::OK();
 }
 
@@ -293,18 +318,22 @@ Status CollectionServer::IngestBatch(std::span<const ReportFrame> frames) {
   for (uint64_t i = 0; i < n; ++i) {
     if (fate[i] == kCorrupt) {
       ++stats_.corrupt;
+      IngestMetrics().corrupt->Add(1);
       continue;
     }
     if (users_.contains(frames[i].user)) {
       ++stats_.duplicate;
+      IngestMetrics().duplicate->Add(1);
       continue;
     }
     if (fate[i] == kMisfit) {
       ++stats_.rejected;
+      IngestMetrics().rejected->Add(1);
       continue;
     }
     users_.insert(frames[i].user);
     ++stats_.accepted;
+    IngestMetrics().accepted->Add(1);
     accepted.push_back(i);
   }
   if (accepted.empty()) return Status::OK();

@@ -57,6 +57,14 @@ void ExecutionContext::ParallelChunks(
   if (n == 0) return;
   LDP_CHECK_GT(chunk_size, 0u);
   const uint64_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  chunks_dispatched_.fetch_add(num_chunks, std::memory_order_relaxed);
+  parallel_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (GlobalMetrics().enabled()) {
+    static Counter* chunks = GlobalMetrics().counter("exec.chunks");
+    static Counter* calls = GlobalMetrics().counter("exec.parallel_calls");
+    chunks->Add(static_cast<int64_t>(num_chunks));
+    calls->Add(1);
+  }
   if (pool_ == nullptr || num_chunks == 1) {
     for (uint64_t c = 0; c < num_chunks; ++c) {
       fn(c, c * chunk_size, std::min(n, (c + 1) * chunk_size));

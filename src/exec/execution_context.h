@@ -1,11 +1,13 @@
 #ifndef LDPMDA_EXEC_EXECUTION_CONTEXT_H_
 #define LDPMDA_EXEC_EXECUTION_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace ldp {
 
@@ -64,9 +66,25 @@ class ExecutionContext {
       uint64_t n, uint64_t chunk_size,
       const std::function<double(uint64_t begin, uint64_t end)>& fn) const;
 
+  /// Total work chunks dispatched through this context (every ParallelFor
+  /// index and ParallelChunks/ParallelSumChunks chunk, serial or pooled).
+  /// Monotone; QueryProfile attributes per-query fan-out by differencing it
+  /// around a query. Also mirrored into the global `exec.chunks` counter.
+  uint64_t chunks_dispatched() const {
+    return chunks_dispatched_.load(std::memory_order_relaxed);
+  }
+  /// Number of Parallel* entry calls (mirrored as `exec.parallel_calls`).
+  uint64_t parallel_calls() const {
+    return parallel_calls_.load(std::memory_order_relaxed);
+  }
+
  private:
   int num_threads_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
+  /// Bumped once per Parallel* call (not per chunk), so instrumentation
+  /// never touches the chunk hot loop.
+  mutable std::atomic<uint64_t> chunks_dispatched_{0};
+  mutable std::atomic<uint64_t> parallel_calls_{0};
 };
 
 /// Process-wide single-threaded context, used by components that were not

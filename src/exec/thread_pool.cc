@@ -4,7 +4,18 @@
 
 namespace ldp {
 
-ThreadPool::ThreadPool(int num_threads) {
+namespace {
+/// The pool whose WorkerLoop is running on this thread, if any. Lets Submit
+/// distinguish a task spawning follow-up work during the shutdown drain
+/// (legal: the submitting worker itself drains the queue before exiting)
+/// from an external submit after shutdown (a caller lifetime bug).
+thread_local const ThreadPool* t_running_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : tasks_submitted_(GlobalMetrics().counter("exec.tasks_submitted")),
+      tasks_run_(GlobalMetrics().counter("exec.tasks_run")),
+      queue_wait_(GlobalMetrics().histogram("exec.queue_wait")) {
   LDP_CHECK_GE(num_threads, 1);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
@@ -12,34 +23,62 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && workers_.empty()) return;  // already shut down
     stop_ = true;
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Workers only exit once stop_ is set AND the queue is empty, so every
+  // task enqueued before Shutdown has run by now.
+  LDP_DCHECK(queue_.empty());
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  if (GlobalMetrics().enabled()) {
+    queued.enqueued = std::chrono::steady_clock::now();
+    queued.timed = true;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    // A task enqueued from outside after the drain decision might never run
+    // (workers may already have exited on an empty queue). Fail loudly
+    // instead of dropping work: submitting into a stopping pool is a
+    // lifetime bug in the caller. A *worker* submitting during the drain is
+    // fine — it will process the queue itself before exiting.
+    LDP_CHECK(!stop_ || t_running_pool == this);
+    queue_.push_back(std::move(queued));
   }
   cv_.notify_one();
+  tasks_submitted_->Add(1);
 }
 
 void ThreadPool::WorkerLoop() {
+  t_running_pool = this;
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
+      if (queue_.empty()) return;  // stop_ set and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (task.timed) {
+      queue_wait_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count()));
+    }
+    task.fn();
+    tasks_run_->Add(1);
   }
 }
 

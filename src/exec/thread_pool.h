@@ -1,12 +1,15 @@
 #ifndef LDPMDA_EXEC_THREAD_POOL_H_
 #define LDPMDA_EXEC_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace ldp {
 
@@ -17,12 +20,26 @@ namespace ldp {
 /// into it. The pool makes no ordering promise between tasks — callers that
 /// need determinism index their outputs (see ExecutionContext) so the result
 /// is independent of which worker ran what.
+///
+/// Lifecycle: Submit is legal until Shutdown (or the destructor, which
+/// calls it) begins. Every task enqueued before shutdown is guaranteed to
+/// run to completion before Shutdown returns, and a running task may submit
+/// follow-up work at any time — including during the drain, which the
+/// follow-up extends. Submitting from any *other* thread after shutdown has
+/// started is a programmer error and fails an LDP_CHECK rather than
+/// silently dropping the task.
+///
+/// Observability: the pool reports `exec.tasks_submitted`, `exec.tasks_run`
+/// and the `exec.queue_wait` latency histogram (enqueue -> dequeue) into
+/// GlobalMetrics(). Increments are sharded relaxed atomics and queue-wait
+/// timestamps are captured only while metrics are enabled, so the hot path
+/// adds no allocation and no contention.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains the queue, then joins all workers.
+  /// Calls Shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -30,17 +47,39 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task. Never blocks on task execution.
+  /// Enqueues a task. Never blocks on task execution. LDP_CHECK-fails if
+  /// shutdown has already started and the caller is not one of this pool's
+  /// workers: a task accepted from outside after the drain decision could
+  /// never be guaranteed to run. (Workers may submit during the drain; the
+  /// submitting worker drains its own follow-up work before exiting.)
   void Submit(std::function<void()> task);
 
+  /// Drains every task enqueued so far, then joins all workers. Idempotent;
+  /// safe to call before destruction (e.g. to fence a pool in tests).
+  /// Submit must not race with or follow Shutdown.
+  void Shutdown();
+
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    /// Enqueue time for the queue-wait histogram; only captured (and only
+    /// meaningful) while metrics are enabled at submit time.
+    std::chrono::steady_clock::time_point enqueued;
+    bool timed = false;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  /// GlobalMetrics handles, resolved once per pool.
+  Counter* tasks_submitted_;
+  Counter* tasks_run_;
+  LatencyHistogram* queue_wait_;
 };
 
 }  // namespace ldp

@@ -12,6 +12,16 @@
 
 namespace ldp {
 
+const FoCacheCounters& FoCacheMetrics() {
+  static const FoCacheCounters counters = {
+      GlobalMetrics().counter("fo_cache.hits"),
+      GlobalMetrics().counter("fo_cache.builds"),
+      GlobalMetrics().counter("fo_cache.stale_rebuilds"),
+      GlobalMetrics().counter("fo_cache.evictions"),
+  };
+  return counters;
+}
+
 std::string FoKindName(FoKind kind) {
   switch (kind) {
     case FoKind::kOlh:

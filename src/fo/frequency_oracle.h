@@ -9,8 +9,22 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace ldp {
+
+/// Shared GlobalMetrics handles for the oracles' lazy weighted-histogram /
+/// spectrum caches (`fo_cache.*`): hits (generation-valid cached entry
+/// served), builds (full O(n) rebuilds, first-time or after staleness),
+/// stale_rebuilds (subset of builds caused by the built_reports generation
+/// check), evictions (FIFO capacity drops). Resolved once per process.
+struct FoCacheCounters {
+  Counter* hits;
+  Counter* builds;
+  Counter* stale_rebuilds;
+  Counter* evictions;
+};
+const FoCacheCounters& FoCacheMetrics();
 
 /// Which LDP frequency-oracle protocol to use as the building block.
 /// The paper uses OLH (optimal local hashing, [35]); GRR, OUE and Hadamard

@@ -73,15 +73,21 @@ GrrAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = hist_cache_.find(w.id());
   if (it != hist_cache_.end()) {
-    if (it->second->built_reports == current_reports) return it->second;
+    if (it->second->built_reports == current_reports) {
+      FoCacheMetrics().hits->Add(1);
+      return it->second;
+    }
     // Built before the latest Add/Merge: discard and rebuild below.
     hist_cache_.erase(it);
     std::erase(hist_order_, w.id());
+    FoCacheMetrics().stale_rebuilds->Add(1);
   }
   if (static_cast<int>(hist_cache_.size()) >= kMaxCachedWeightSets) {
     hist_cache_.erase(hist_order_.front());
     hist_order_.pop_front();
+    FoCacheMetrics().evictions->Add(1);
   }
+  FoCacheMetrics().builds->Add(1);
   auto h = std::make_shared<WeightedHistogram>();
   for (size_t i = 0; i < values_.size(); ++i) {
     const double weight = w[users_[i]];

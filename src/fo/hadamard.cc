@@ -81,15 +81,21 @@ HadamardAccumulator::GetOrBuildSpectrum(const WeightVector& w) const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = cache_.find(w.id());
   if (it != cache_.end()) {
-    if (it->second->built_reports == current_reports) return it->second;
+    if (it->second->built_reports == current_reports) {
+      FoCacheMetrics().hits->Add(1);
+      return it->second;
+    }
     // Built before the latest Add/Merge: discard and rebuild below.
     cache_.erase(it);
     std::erase(cache_order_, w.id());
+    FoCacheMetrics().stale_rebuilds->Add(1);
   }
   if (static_cast<int>(cache_.size()) >= kMaxCachedWeightSets) {
     cache_.erase(cache_order_.front());
     cache_order_.pop_front();
+    FoCacheMetrics().evictions->Add(1);
   }
+  FoCacheMetrics().builds->Add(1);
   auto s = std::make_shared<Spectrum>();
   for (size_t i = 0; i < indices_.size(); ++i) {
     const double weight = w[users_[i]];

@@ -20,6 +20,11 @@ OrdinalHierarchy::OrdinalHierarchy(uint64_t m, uint32_t fanout)
   height_ = 0;
   padded_ = 1;
   while (padded_ < m_) {
+    // The padded domain must be an exact power of the fanout that fits in
+    // uint64; without this guard the multiply wraps for m near 2^64 and the
+    // loop never terminates. Fail loudly — such a domain cannot be
+    // represented by this hierarchy.
+    LDP_CHECK(padded_ <= UINT64_MAX / fanout_);
     padded_ *= fanout_;
     ++height_;
   }

@@ -13,16 +13,11 @@ namespace ldp {
 namespace {
 
 /// ceil(log_b m), at least 1 for ordinals; categorical hierarchies have
-/// height 1.
+/// height 1. Delegates to the overflow-safe shared helper rather than
+/// repeating the power loop (the naive loop wraps for domains near 2^64).
 int HierarchyHeight(const Attribute& attr, uint32_t fanout) {
   if (attr.kind == AttributeKind::kSensitiveCategorical) return 1;
-  int h = 0;
-  uint64_t cap = 1;
-  while (cap < attr.domain_size) {
-    cap *= fanout;
-    ++h;
-  }
-  return std::max(h, 1);
+  return CeilLogB(fanout, std::max<uint64_t>(attr.domain_size, 1));
 }
 
 /// Pieces a range on this dimension typically decomposes into: half the

@@ -16,7 +16,12 @@ size_t EstimateCache::KeyHash::operator()(const Key& k) const {
 
 EstimateCache::EstimateCache(size_t max_bytes)
     : max_bytes_(max_bytes),
-      max_entries_(std::max<size_t>(1, max_bytes / kApproxEntryBytes)) {}
+      max_entries_(std::max<size_t>(1, max_bytes / kApproxEntryBytes)),
+      m_hits_(GlobalMetrics().counter("estimate_cache.hits")),
+      m_misses_(GlobalMetrics().counter("estimate_cache.misses")),
+      m_insertions_(GlobalMetrics().counter("estimate_cache.insertions")),
+      m_evictions_(GlobalMetrics().counter("estimate_cache.evictions")),
+      m_epoch_drops_(GlobalMetrics().counter("estimate_cache.epoch_drops")) {}
 
 bool EstimateCache::Get(uint64_t group, uint64_t node, uint64_t weight_id,
                         uint64_t epoch, double* out) {
@@ -25,19 +30,26 @@ bool EstimateCache::Get(uint64_t group, uint64_t node, uint64_t weight_id,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    m_misses_->Add(1);
     return false;
   }
   if (it->second.epoch != epoch) {
-    // Reports arrived after this entry was stored; the estimate no longer
-    // reflects the accumulator state.
+    // Epoch mismatch in either direction: a newer query epoch means reports
+    // arrived after the entry was stored; an older one means the report
+    // state was reset or rebuilt under this cache. Neither matches the
+    // current accumulator state, so drop the entry and miss.
     lru_.erase(it->second.lru_it);
     entries_.erase(it);
     ++stats_.misses;
+    ++stats_.epoch_drops;
+    m_misses_->Add(1);
+    m_epoch_drops_->Add(1);
     return false;
   }
   lru_.splice(lru_.end(), lru_, it->second.lru_it);  // mark most-recent
   *out = it->second.value;
   ++stats_.hits;
+  m_hits_->Add(1);
   return true;
 }
 
@@ -56,6 +68,7 @@ void EstimateCache::Put(uint64_t group, uint64_t node, uint64_t weight_id,
     entries_.erase(lru_.front());
     lru_.pop_front();
     ++stats_.evictions;
+    m_evictions_->Add(1);
   }
   lru_.push_back(key);
   Entry entry;
@@ -64,6 +77,7 @@ void EstimateCache::Put(uint64_t group, uint64_t node, uint64_t weight_id,
   entry.lru_it = std::prev(lru_.end());
   entries_.emplace(key, entry);
   ++stats_.insertions;
+  m_insertions_->Add(1);
 }
 
 EstimateCache::Stats EstimateCache::stats() const {
@@ -83,6 +97,10 @@ void EstimateNodesBatched(const ReportStore& store,
                           std::span<double> out) {
   LDP_CHECK_EQ(nodes.size(), out.size());
   if (nodes.empty()) return;
+  if (GlobalMetrics().enabled()) {
+    static Counter* nodes_counter = GlobalMetrics().counter("estimate.nodes");
+    nodes_counter->Add(static_cast<int64_t>(nodes.size()));
+  }
 
   // Probe the cache; gather misses per group in first-appearance order.
   struct Bucket {
@@ -128,6 +146,10 @@ void EstimateNodesBatched(const ReportStore& store,
           {b, v0,
            std::min(v0 + kEstimateValueChunk, buckets[b].values.size())});
     }
+  }
+  if (GlobalMetrics().enabled()) {
+    static Counter* batches = GlobalMetrics().counter("estimate.batches");
+    batches->Add(static_cast<int64_t>(tasks.size()));
   }
   exec.ParallelFor(tasks.size(), [&](uint64_t t) {
     const Task& task = tasks[t];

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "fo/frequency_oracle.h"
+#include "obs/metrics.h"
 
 namespace ldp {
 
@@ -35,9 +36,14 @@ struct NodeRef {
 /// post-processing of the reports, so recomputing one is pure waste.
 ///
 /// Invalidation is by epoch: each entry records the mechanism's report count
-/// at insertion, and a Get carrying a newer epoch treats the entry as a miss
-/// and drops it. Ingestion therefore never touches the cache — no lock on
-/// the Add/Merge path and O(1) invalidation of arbitrarily many entries.
+/// at insertion, and a Get whose epoch differs from the stored one — in
+/// EITHER direction — treats the entry as a miss and drops it. A newer epoch
+/// means reports arrived after the value was computed; an older epoch means
+/// the report state was reset or rebuilt (e.g. a fresh server reusing the
+/// cache), and the stored value describes data that no longer exists. Only
+/// exact equality proves the entry matches the current accumulator state.
+/// Ingestion therefore never touches the cache — no lock on the Add/Merge
+/// path and O(1) invalidation of arbitrarily many entries.
 ///
 /// Entries are evicted least-recently-used once the estimated footprint
 /// exceeds `max_bytes`. All methods are thread-safe behind one internal
@@ -50,9 +56,10 @@ class EstimateCache {
  public:
   explicit EstimateCache(size_t max_bytes);
 
-  /// Looks up (group, node, weight_id). On a hit at the same epoch, writes
-  /// the stored estimate to *out and returns true. A hit at a stale epoch
-  /// erases the entry and counts as a miss.
+  /// Looks up (group, node, weight_id). On a hit at the exact same epoch,
+  /// writes the stored estimate to *out and returns true. An entry found at
+  /// any other epoch — newer or older — is erased and counted as both a miss
+  /// and an epoch_drop.
   bool Get(uint64_t group, uint64_t node, uint64_t weight_id, uint64_t epoch,
            double* out);
 
@@ -65,6 +72,9 @@ class EstimateCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    /// Misses caused by an epoch mismatch (entry present but stale or from a
+    /// reset/rebuilt report state). Always <= misses.
+    uint64_t epoch_drops = 0;
   };
   Stats stats() const;
 
@@ -98,6 +108,13 @@ class EstimateCache {
   /// LRU order, front = least recently used; entries hold their iterator.
   std::list<Key> lru_;
   Stats stats_;
+
+  /// GlobalMetrics mirrors of stats_ (estimate_cache.*), resolved once.
+  Counter* m_hits_;
+  Counter* m_misses_;
+  Counter* m_insertions_;
+  Counter* m_evictions_;
+  Counter* m_epoch_drops_;
 };
 
 /// Estimates every node of `nodes` against `w`, writing out[i] for

@@ -1,0 +1,74 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace ldp {
+
+const char* QueryProfile::StageName(Stage stage) {
+  switch (stage) {
+    case kParse:
+      return "parse";
+    case kRewrite:
+      return "rewrite";
+    case kFanout:
+      return "fanout";
+    case kEstimate:
+      return "estimate";
+    case kAggregate:
+      return "aggregate";
+    case kNumStages:
+      break;
+  }
+  return "?";
+}
+
+void QueryProfile::Merge(const QueryProfile& other) {
+  for (int s = 0; s < kNumStages; ++s) {
+    stages[s].wall_nanos += other.stages[s].wall_nanos;
+    stages[s].calls += other.stages[s].calls;
+  }
+  total_nanos += other.total_nanos;
+  ie_terms += other.ie_terms;
+  nodes_estimated += other.nodes_estimated;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_epoch_drops += other.cache_epoch_drops;
+  exec_chunks += other.exec_chunks;
+  queries += other.queries;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::ostringstream os;
+  os << "{\"queries\":" << queries << ",\"total_nanos\":" << total_nanos
+     << ",\"ie_terms\":" << ie_terms
+     << ",\"nodes_estimated\":" << nodes_estimated
+     << ",\"cache_hits\":" << cache_hits
+     << ",\"cache_misses\":" << cache_misses
+     << ",\"cache_epoch_drops\":" << cache_epoch_drops
+     << ",\"exec_chunks\":" << exec_chunks << ",\"stages\":{";
+  for (int s = 0; s < kNumStages; ++s) {
+    if (s != 0) os << ",";
+    os << "\"" << StageName(static_cast<Stage>(s))
+       << "\":{\"wall_nanos\":" << stages[s].wall_nanos
+       << ",\"calls\":" << stages[s].calls << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void TraceSpan::Stop() {
+  if (profile_ == nullptr && hist_ == nullptr) return;
+  const uint64_t nanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  if (profile_ != nullptr) {
+    profile_->stages[stage_].wall_nanos += nanos;
+    ++profile_->stages[stage_].calls;
+  }
+  if (hist_ != nullptr) hist_->Record(nanos);
+  profile_ = nullptr;
+  hist_ = nullptr;
+}
+
+}  // namespace ldp

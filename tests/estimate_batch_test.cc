@@ -178,6 +178,50 @@ TEST(EstimateCacheTest, StaleEpochIsAMissAndErases) {
   cache.Put(1, 2, 3, 11, 43.0);
   EXPECT_TRUE(cache.Get(1, 2, 3, 11, &out));
   EXPECT_EQ(out, 43.0);
+  EXPECT_EQ(cache.stats().epoch_drops, 1u);
+}
+
+TEST(EstimateCacheTest, OlderEpochIsAlsoAMissAndErases) {
+  // Regression: an entry stored at a HIGHER epoch than the probe must be
+  // dropped too. This is the "reset/rebuilt server" case — a fresh report
+  // state whose count restarted below the old one; only exact epoch
+  // equality proves the entry describes the current reports.
+  EstimateCache cache(1 << 20);
+  cache.Put(1, 2, 3, /*epoch=*/10, 42.5);
+  double out = 0.0;
+  EXPECT_FALSE(cache.Get(1, 2, 3, /*epoch=*/4, &out));
+  EXPECT_EQ(cache.size(), 0u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.epoch_drops, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(EstimateCacheTest, RebuiltReportStateNeverServesStaleHit) {
+  // End-to-end shape of the reset scenario: a server answers queries at
+  // epoch 100 into a shared cache, is then torn down and rebuilt (epochs
+  // restart from 0), and answers again. Every probe from the rebuilt server
+  // must recompute — a stale hit would return estimates for data that no
+  // longer exists.
+  EstimateCache cache(1 << 20);
+  for (uint64_t node = 0; node < 8; ++node) {
+    cache.Put(0, node, /*weight_id=*/7, /*epoch=*/100, 1000.0 + node);
+  }
+  double out = 0.0;
+  // Rebuilt server: same nodes and weight id, small fresh epoch.
+  for (uint64_t node = 0; node < 8; ++node) {
+    EXPECT_FALSE(cache.Get(0, node, 7, /*epoch=*/8, &out))
+        << "stale hit for node " << node;
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().epoch_drops, 8u);
+  // The fresh values cache normally afterwards.
+  for (uint64_t node = 0; node < 8; ++node) {
+    cache.Put(0, node, 7, 8, 2000.0 + node);
+    EXPECT_TRUE(cache.Get(0, node, 7, 8, &out));
+    EXPECT_EQ(out, 2000.0 + node);
+  }
+  EXPECT_EQ(cache.stats().epoch_drops, 8u);  // no further drops
 }
 
 TEST(EstimateCacheTest, EvictsLeastRecentlyUsed) {

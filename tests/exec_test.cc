@@ -48,6 +48,40 @@ TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
   EXPECT_EQ(count.load(), 16);
 }
 
+TEST(ThreadPoolTest, ShutdownDrainsEveryEnqueuedTask) {
+  // Regression: every task enqueued before Shutdown must run to completion
+  // before Shutdown returns — including a backlog far deeper than the
+  // worker count, where early workers could otherwise exit on stop_ while
+  // the queue still holds work.
+  std::atomic<int> sum{0};
+  ThreadPool pool(2);
+  for (int i = 1; i <= 500; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(sum.load(), 500 * 501 / 2);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  pool.Submit([&runs] { runs.fetch_add(1); });
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, not a double-join
+  EXPECT_EQ(runs.load(), 1);
+}  // destructor calls Shutdown a third time
+
+TEST(ThreadPoolDeathTest, SubmitAfterShutdownIsFatal) {
+  // Regression for the silent-drop bug: Submit used to enqueue into a
+  // stopped pool, where workers may already have exited on an empty queue —
+  // the task would never run and nobody would know. It must fail loudly.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ThreadPool pool(1);
+  pool.Submit([] {});
+  pool.Shutdown();
+  EXPECT_DEATH(pool.Submit([] {}), "stop_");
+}
+
 TEST(ExecutionContextTest, ParallelForCoversEachIndexOnce) {
   for (const int threads : {1, 2, 8}) {
     const ExecutionContext exec(threads);

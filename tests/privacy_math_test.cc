@@ -89,6 +89,32 @@ TEST(DecompositionBoundTest, MatchesFormula) {
   EXPECT_EQ(MaxDecomposedIntervals(2, 2), 2u * 1 * 1);
 }
 
+TEST(CeilLogBTest, ExactPowersAndOffByOne) {
+  EXPECT_EQ(CeilLogB(2, 1), 1);  // clamped to >= 1
+  EXPECT_EQ(CeilLogB(2, 2), 1);
+  EXPECT_EQ(CeilLogB(2, 3), 2);
+  EXPECT_EQ(CeilLogB(2, 1024), 10);
+  EXPECT_EQ(CeilLogB(2, 1025), 11);
+  EXPECT_EQ(CeilLogB(5, 125), 3);
+  EXPECT_EQ(CeilLogB(5, 126), 4);
+  EXPECT_EQ(CeilLogB(10, 1000000), 6);
+}
+
+TEST(CeilLogBTest, Uint64BoundaryTerminates) {
+  // Regression: the running power used to wrap in uint64 for m near 2^64
+  // (for b=2, cap reached 2^63 < m, doubled to 0, and the loop spun
+  // forever). The overflow guard must make these return, with the
+  // mathematically exact answer.
+  EXPECT_EQ(CeilLogB(2, 1ull << 63), 63);            // exact power: cap hits m
+  EXPECT_EQ(CeilLogB(2, (1ull << 63) + 1), 64);      // first wrapping input
+  EXPECT_EQ(CeilLogB(2, UINT64_MAX), 64);            // 2^64 - 1
+  EXPECT_EQ(CeilLogB(3, UINT64_MAX), 41);            // 3^40 < 2^64-1 < 3^41
+  EXPECT_EQ(CeilLogB(5, UINT64_MAX), 28);            // 5^27 < 2^64-1 < 5^28
+  EXPECT_EQ(CeilLogB(UINT32_MAX, UINT64_MAX), 3);    // (2^32-1)^2 < 2^64-1
+  // The decomposition bound built on it must terminate too.
+  EXPECT_EQ(MaxDecomposedIntervals(2, UINT64_MAX), 2u * 1 * 64);
+}
+
 TEST(TheoremBoundsTest, HioBeatsHi) {
   // Theorem 7's bound should be well below Theorem 6's (budget splitting
   // inflates the per-level noise exponentially in h).

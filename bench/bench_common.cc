@@ -32,6 +32,11 @@ QueryProfile& WorkloadProfile() {
   return profile;
 }
 
+bool& ExplainFirstQuery() {
+  static bool enabled = false;
+  return enabled;
+}
+
 bool WriteStatsJson(const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
@@ -74,7 +79,10 @@ bool ParseBenchConfig(int argc, char** argv, const std::string& name,
   p->AddBool("cache", &config->cache,
              "enable the cross-query node-estimate cache");
   p->AddBool("full", &config->full, "use the paper-scale parameters");
+  p->AddBool("explain", &config->explain,
+             "dump each engine's plan for the first workload query");
   if (!p->Parse(argc, argv)) return false;
+  ExplainFirstQuery() = config->explain;
   if (!config->stats_json.empty()) {
     StatsJsonPath() = config->stats_json;
     std::atexit(DumpStatsAtExit);
@@ -134,6 +142,13 @@ std::vector<std::string> EvalRow(
     if (engine == nullptr || queries.empty()) {
       cells.push_back("n/a");
       continue;
+    }
+    if (ExplainFirstQuery()) {
+      const auto plan_text = engine->Explain(queries.front());
+      std::fprintf(stderr, "--explain [%s]\n%s",
+                   MechanismKindName(engine->mechanism().kind()).c_str(),
+                   plan_text.ok() ? plan_text.value().c_str()
+                                  : plan_text.status().ToString().c_str());
     }
     const auto stats = EvaluateQueries(*engine, queries, &WorkloadProfile());
     if (!stats.ok()) {

@@ -36,6 +36,10 @@ struct BenchConfig {
   /// uncached estimation cost.
   bool cache = true;
   bool full = false;
+  /// Dump the physical plan (EXPLAIN text) of the first workload query per
+  /// engine to stderr before evaluation — a quick look at the strategy and
+  /// predicted cost a bench is about to measure.
+  bool explain = false;
   /// When non-empty, the process writes a JSON observability report to this
   /// path at exit: the full GlobalMetrics() snapshot (every counter /
   /// histogram the library exports; see the README metrics reference) plus
@@ -79,6 +83,10 @@ std::vector<std::string> EvalRow(
 /// The process-wide profile every profiled bench query accumulates into;
 /// dumped (with the metrics snapshot) by --stats_json at exit.
 QueryProfile& WorkloadProfile();
+
+/// Process-wide --explain switch (set by ParseBenchConfig): when true,
+/// EvalRow dumps each engine's plan for the first workload query to stderr.
+bool& ExplainFirstQuery();
 
 /// Writes `{"metrics": <GlobalMetrics snapshot>, "query_profile": ...}` to
 /// `path`. Called automatically at exit when --stats_json is set; exposed

@@ -4,6 +4,7 @@
 //
 //   ./examples/sql_console --dataset census --mechanism hio --eps 2
 //   > SELECT AVG(weekly_work_hour) FROM T WHERE marital_status = 1
+//   > EXPLAIN SELECT COUNT(*) FROM T WHERE age > 10   -- show the plan
 //   > \schema        -- print the schema
 //   > \exact on      -- also print exact answers
 //   > \quit
@@ -65,7 +66,9 @@ int main(int argc, char** argv) {
               dataset.c_str(),
               static_cast<unsigned long long>(table.num_rows()), eps,
               MechanismKindName(kind.value()).c_str());
-  std::printf("type SQL, or \\schema, \\exact on|off, \\quit\n");
+  std::printf(
+      "type SQL (EXPLAIN SELECT ... shows the plan), or \\schema, "
+      "\\exact on|off, \\quit\n");
 
   std::string line;
   while (true) {
@@ -85,6 +88,20 @@ int main(int argc, char** argv) {
     }
     if (trimmed == "\\exact off") {
       show_exact = false;
+      continue;
+    }
+    const auto stmt = ParseStatement(table.schema(), trimmed);
+    if (!stmt.ok()) {
+      std::printf("error: %s\n", stmt.status().ToString().c_str());
+      continue;
+    }
+    if (stmt.value().explain) {
+      const auto plan_text = engine->Explain(stmt.value().query);
+      if (!plan_text.ok()) {
+        std::printf("error: %s\n", plan_text.status().ToString().c_str());
+      } else {
+        std::printf("%s", plan_text.value().c_str());
+      }
       continue;
     }
     const auto estimate = engine->ExecuteSql(trimmed);

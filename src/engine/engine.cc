@@ -1,17 +1,12 @@
 #include "engine/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <sstream>
 
 #include "common/logging.h"
+#include "query/plan.h"
 
 namespace ldp {
-
-namespace {
-constexpr size_t kMaxCachedWeightVectors = 32;
-}  // namespace
 
 Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
     const Table& table, const EngineOptions& options) {
@@ -28,6 +23,15 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
   if (options.enable_estimate_cache && options.estimate_cache_bytes > 0) {
     engine->mechanism_->EnableEstimateCache(options.estimate_cache_bytes);
   }
+  engine->planner_ = std::make_unique<Planner>(
+      table.schema(), options.mechanism, options.params,
+      PlannerOptions{options.planner_consistency});
+  if (options.enable_plan_cache && options.plan_cache_entries > 0) {
+    engine->plan_cache_ =
+        std::make_unique<PlanCache>(options.plan_cache_entries);
+  }
+  engine->executor_ = std::make_unique<PlanExecutor>(
+      table, *engine->mechanism_, *engine->exec_);
 
   // Simulated collection, shard-parallel (DESIGN.md "Execution model"): rows
   // are split into fixed kExecChunkRows chunks and chunk c is encoded with
@@ -80,234 +84,59 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
   return engine;
 }
 
-Result<double> AnalyticsEngine::ExecuteSql(std::string_view sql,
-                                           QueryProfile* profile) const {
-  TraceSpan parse_span(profile, QueryProfile::kParse);
-  auto parsed = ParseQuery(schema(), sql);
-  parse_span.Stop();
-  LDP_RETURN_NOT_OK(parsed.status());
-  return Execute(parsed.value(), profile);
+Result<std::shared_ptr<const PhysicalPlan>> AnalyticsEngine::GetPlan(
+    const Query& query, QueryProfile* profile) const {
+  const uint64_t epoch = mechanism_->num_reports();
+  std::string key;
+  {
+    TraceSpan probe_span(profile, QueryProfile::kPlan);
+    if (plan_cache_ != nullptr) {
+      key = QueryCacheKey(schema(), query);
+      if (auto plan = plan_cache_->Get(key, epoch)) return plan;
+    }
+  }
+  TraceSpan rewrite_span(profile, QueryProfile::kRewrite);
+  auto logical = BuildLogicalPlan(schema(), query);
+  rewrite_span.Stop();
+  LDP_RETURN_NOT_OK(logical.status());
+  TraceSpan build_span(profile, QueryProfile::kPlan);
+  LDP_ASSIGN_OR_RETURN(PhysicalPlan physical,
+                       planner_->Plan(std::move(logical).value(), epoch));
+  build_span.Stop();
+  auto plan = std::make_shared<const PhysicalPlan>(std::move(physical));
+  if (plan_cache_ != nullptr) plan_cache_->Put(key, plan);
+  return plan;
 }
-
-Status AnalyticsEngine::SplitBox(
-    const ConjunctiveBox& box, std::vector<Interval>* sensitive,
-    std::vector<Constraint>* public_constraints) const {
-  const Schema& schema = table_.schema();
-  sensitive->clear();
-  public_constraints->clear();
-  for (const int attr : schema.sensitive_dims()) {
-    sensitive->push_back(box.RangeOf(attr, schema.attribute(attr).domain_size));
-  }
-  for (const auto& c : box.constraints) {
-    const AttributeKind kind = schema.attribute(c.attr).kind;
-    if (kind == AttributeKind::kPublicDimension) {
-      public_constraints->push_back(c);
-    } else if (!IsSensitive(kind)) {
-      return Status::InvalidArgument("constraint on non-dimension attribute");
-    }
-  }
-  return Status::OK();
-}
-
-Result<std::shared_ptr<const WeightVector>> AnalyticsEngine::GetWeights(
-    Component component, const Query& query,
-    const ConjunctiveBox& box) const {
-  // Cache key: component + measure expression + the public part of the box.
-  std::ostringstream key;
-  key << static_cast<int>(component) << "|";
-  if (component != Component::kCount) {
-    key << query.aggregate.expr.ToString(schema());
-  }
-  key << "|";
-  const Schema& schema = table_.schema();
-  for (const auto& c : box.constraints) {
-    if (schema.attribute(c.attr).kind == AttributeKind::kPublicDimension) {
-      key << c.attr << ":" << c.range.lo << "-" << c.range.hi << ";";
-    }
-  }
-  auto it = weight_cache_.find(key.str());
-  if (it != weight_cache_.end()) return it->second;
-
-  const uint64_t n = table_.num_rows();
-  std::vector<double> weights;
-  switch (component) {
-    case Component::kCount:
-      weights.assign(n, 1.0);
-      break;
-    case Component::kSum:
-      weights = query.aggregate.expr.EvalColumn(table_);
-      break;
-    case Component::kSumSq: {
-      weights = query.aggregate.expr.EvalColumn(table_);
-      for (auto& w : weights) w *= w;
-      break;
-    }
-  }
-  // Fold public-dimension constraints into the weights (Section 7): the
-  // server evaluates them exactly, so a non-matching user contributes 0.
-  for (const auto& c : box.constraints) {
-    if (schema.attribute(c.attr).kind != AttributeKind::kPublicDimension) {
-      continue;
-    }
-    const auto& col = table_.DimColumn(c.attr);
-    for (uint64_t row = 0; row < n; ++row) {
-      if (!c.range.Contains(col[row])) weights[row] = 0.0;
-    }
-  }
-  if (weight_cache_.size() >= kMaxCachedWeightVectors) weight_cache_.clear();
-  auto wv = std::make_shared<const WeightVector>(std::move(weights));
-  weight_cache_.emplace(key.str(), wv);
-  return {std::move(wv)};
-}
-
-Result<double> AnalyticsEngine::EstimateComponent(
-    Component component, const Query& query,
-    const std::vector<IeTerm>& terms, QueryProfile* profile) const {
-  double total = 0.0;
-  std::vector<Interval> sensitive_ranges;
-  std::vector<Constraint> public_constraints;
-  for (const IeTerm& term : terms) {
-    TraceSpan fanout_span(profile, QueryProfile::kFanout);
-    LDP_RETURN_NOT_OK(
-        SplitBox(term.box, &sensitive_ranges, &public_constraints));
-    LDP_ASSIGN_OR_RETURN(auto weights,
-                         GetWeights(component, query, term.box));
-    fanout_span.Stop();
-    TraceSpan estimate_span(profile, QueryProfile::kEstimate);
-    LDP_ASSIGN_OR_RETURN(
-        const double estimate,
-        mechanism_->EstimateBox(sensitive_ranges, *weights));
-    estimate_span.Stop();
-    total += term.coefficient * estimate;
-  }
-  if (profile != nullptr) profile->ie_terms += terms.size();
-  return total;
-}
-
-namespace {
-
-/// Differences engine-level work stats around a profiled query and folds
-/// them into the profile. Stack-scoped: captured at construction, folded at
-/// destruction, so every Execute exit path is covered.
-class ProfiledQueryScope {
- public:
-  ProfiledQueryScope(QueryProfile* profile, const Mechanism& mechanism,
-                     const ExecutionContext& exec)
-      : profile_(profile), mechanism_(mechanism), exec_(exec) {
-    if (profile_ == nullptr) return;
-    start_ = std::chrono::steady_clock::now();
-    stage_nanos_before_ = StageNanos();
-    chunks_before_ = exec_.chunks_dispatched();
-    if (const EstimateCache* cache = mechanism_.estimate_cache()) {
-      cache_before_ = cache->stats();
-    }
-    nodes_counter_before_ = EstimateNodes()->value();
-  }
-
-  ~ProfiledQueryScope() {
-    if (profile_ == nullptr) return;
-    const uint64_t total = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start_)
-            .count());
-    profile_->total_nanos += total;
-    ++profile_->queries;
-    // The aggregate stage is everything Execute did outside the explicitly
-    // spanned stages (component assembly, AVG/STDEV combination), so the
-    // stage walls partition the query wall.
-    const uint64_t staged = StageNanos() - stage_nanos_before_;
-    profile_->stages[QueryProfile::kAggregate].wall_nanos +=
-        total > staged ? total - staged : 0;
-    ++profile_->stages[QueryProfile::kAggregate].calls;
-    profile_->exec_chunks += exec_.chunks_dispatched() - chunks_before_;
-    if (const EstimateCache* cache = mechanism_.estimate_cache()) {
-      const EstimateCache::Stats now = cache->stats();
-      profile_->cache_hits += now.hits - cache_before_.hits;
-      profile_->cache_misses += now.misses - cache_before_.misses;
-      profile_->cache_epoch_drops +=
-          now.epoch_drops - cache_before_.epoch_drops;
-      // Every cache miss is exactly one node estimated by a kernel, for
-      // every mechanism (they all route per-node estimates through the
-      // cache when it is on).
-      profile_->nodes_estimated += now.misses - cache_before_.misses;
-    } else {
-      // Cache off: fall back to the batched-kernel counter. Zero while
-      // metrics are disabled, and blind to mechanisms that bypass
-      // EstimateNodesBatched — a best-effort view, unlike the cache path.
-      profile_->nodes_estimated +=
-          static_cast<uint64_t>(EstimateNodes()->value()) -
-          nodes_counter_before_;
-    }
-  }
-
- private:
-  static Counter* EstimateNodes() {
-    static Counter* counter = GlobalMetrics().counter("estimate.nodes");
-    return counter;
-  }
-  uint64_t StageNanos() const {
-    uint64_t nanos = 0;
-    for (int s = 0; s < QueryProfile::kNumStages; ++s) {
-      if (s == QueryProfile::kAggregate) continue;
-      nanos += profile_->stages[s].wall_nanos;
-    }
-    return nanos;
-  }
-
-  QueryProfile* profile_;
-  const Mechanism& mechanism_;
-  const ExecutionContext& exec_;
-  std::chrono::steady_clock::time_point start_;
-  uint64_t stage_nanos_before_ = 0;
-  uint64_t chunks_before_ = 0;
-  uint64_t nodes_counter_before_ = 0;
-  EstimateCache::Stats cache_before_;
-};
-
-}  // namespace
 
 Result<double> AnalyticsEngine::Execute(const Query& query,
                                         QueryProfile* profile) const {
   ProfiledQueryScope scope(profile, *mechanism_, *exec_);
-  TraceSpan rewrite_span(profile, QueryProfile::kRewrite);
-  LDP_RETURN_NOT_OK(ValidateQuery(schema(), query));
-  LDP_ASSIGN_OR_RETURN(
-      const std::vector<IeTerm> terms,
-      RewritePredicate(schema(), query.where.get()));
-  rewrite_span.Stop();
-  if (terms.empty()) return 0.0;  // unsatisfiable predicate
+  LDP_ASSIGN_OR_RETURN(const auto plan, GetPlan(query, profile));
+  return executor_->Run(*plan, profile);
+}
 
-  switch (query.aggregate.kind) {
-    case AggregateKind::kCount:
-      return EstimateComponent(Component::kCount, query, terms, profile);
-    case AggregateKind::kSum:
-      return EstimateComponent(Component::kSum, query, terms, profile);
-    case AggregateKind::kAvg: {
-      LDP_ASSIGN_OR_RETURN(
-          const double sum,
-          EstimateComponent(Component::kSum, query, terms, profile));
-      LDP_ASSIGN_OR_RETURN(
-          const double count,
-          EstimateComponent(Component::kCount, query, terms, profile));
-      if (count <= 0.0) return 0.0;  // noise swamped the group entirely
-      return sum / count;
-    }
-    case AggregateKind::kStdev: {
-      LDP_ASSIGN_OR_RETURN(
-          const double sum_sq,
-          EstimateComponent(Component::kSumSq, query, terms, profile));
-      LDP_ASSIGN_OR_RETURN(
-          const double sum,
-          EstimateComponent(Component::kSum, query, terms, profile));
-      LDP_ASSIGN_OR_RETURN(
-          const double count,
-          EstimateComponent(Component::kCount, query, terms, profile));
-      if (count <= 0.0) return 0.0;
-      const double mean = sum / count;
-      return std::sqrt(std::max(0.0, sum_sq / count - mean * mean));
+Result<double> AnalyticsEngine::ExecuteSql(std::string_view sql,
+                                           QueryProfile* profile) const {
+  // SQL side index: a repeated SQL string maps straight to its cached plan,
+  // skipping the parse as well. The index never stores plans itself — the
+  // epoch check happens in the keyed cache it points into.
+  if (plan_cache_ != nullptr) {
+    if (auto plan =
+            plan_cache_->GetSql(std::string(sql), mechanism_->num_reports())) {
+      ProfiledQueryScope scope(profile, *mechanism_, *exec_);
+      return executor_->Run(*plan, profile);
     }
   }
-  return Status::Internal("bad aggregate kind");
+  TraceSpan parse_span(profile, QueryProfile::kParse);
+  auto parsed = ParseQuery(schema(), sql);
+  parse_span.Stop();
+  LDP_RETURN_NOT_OK(parsed.status());
+  LDP_ASSIGN_OR_RETURN(const double result, Execute(parsed.value(), profile));
+  if (plan_cache_ != nullptr) {
+    plan_cache_->LinkSql(std::string(sql),
+                         QueryCacheKey(schema(), parsed.value()));
+  }
+  return result;
 }
 
 Result<AnalyticsEngine::BoundedEstimate> AnalyticsEngine::ExecuteWithBound(
@@ -318,32 +147,43 @@ Result<AnalyticsEngine::BoundedEstimate> AnalyticsEngine::ExecuteWithBound(
     return Status::InvalidArgument(
         "error bounds are supported for COUNT and SUM");
   }
-  LDP_ASSIGN_OR_RETURN(const std::vector<IeTerm> terms,
-                       RewritePredicate(schema(), query.where.get()));
-  BoundedEstimate out;
-  if (terms.empty()) return out;
-  const Component component = query.aggregate.kind == AggregateKind::kCount
-                                  ? Component::kCount
-                                  : Component::kSum;
-  LDP_ASSIGN_OR_RETURN(out.estimate,
-                       EstimateComponent(component, query, terms, nullptr));
-  // Conservative combination across inclusion-exclusion terms: the term
-  // errors may be correlated (they share reports), so bound the total
-  // stddev by the sum of per-term |coef| * stddev bounds.
-  std::vector<Interval> sensitive_ranges;
-  std::vector<Constraint> public_constraints;
-  double stddev = 0.0;
-  for (const IeTerm& term : terms) {
-    LDP_RETURN_NOT_OK(
-        SplitBox(term.box, &sensitive_ranges, &public_constraints));
-    LDP_ASSIGN_OR_RETURN(auto weights, GetWeights(component, query, term.box));
-    LDP_ASSIGN_OR_RETURN(
-        const double variance,
-        mechanism_->VarianceBound(sensitive_ranges, *weights));
-    stddev += std::abs(term.coefficient) * std::sqrt(std::max(variance, 0.0));
+  // One plan serves both entry points: if Execute already planned (or ran)
+  // this query, the rewrite is not repeated here.
+  LDP_ASSIGN_OR_RETURN(const auto plan, GetPlan(query, nullptr));
+  LDP_ASSIGN_OR_RETURN(const PlanExecutor::Bounded bounded,
+                       executor_->RunWithBound(*plan));
+  return BoundedEstimate{bounded.estimate, bounded.stddev};
+}
+
+Status AnalyticsEngine::ExecuteBatch(std::span<const Query> queries,
+                                     std::span<double> out,
+                                     QueryProfile* profile) const {
+  if (out.size() < queries.size()) {
+    return Status::InvalidArgument("ExecuteBatch: output span too small");
   }
-  out.stddev = stddev;
-  return out;
+  ProfiledQueryScope scope(profile, *mechanism_, *exec_, queries.size());
+  std::vector<std::shared_ptr<const PhysicalPlan>> plans;
+  plans.reserve(queries.size());
+  for (const Query& query : queries) {
+    LDP_ASSIGN_OR_RETURN(auto plan, GetPlan(query, profile));
+    plans.push_back(std::move(plan));
+  }
+  return executor_->RunBatch(plans, out, profile);
+}
+
+Result<std::shared_ptr<const PhysicalPlan>> AnalyticsEngine::PlanFor(
+    const Query& query) const {
+  return GetPlan(query, nullptr);
+}
+
+Result<std::string> AnalyticsEngine::Explain(const Query& query) const {
+  LDP_ASSIGN_OR_RETURN(const auto plan, GetPlan(query, nullptr));
+  return plan->ToText(schema());
+}
+
+Result<std::string> AnalyticsEngine::ExplainSql(std::string_view sql) const {
+  LDP_ASSIGN_OR_RETURN(const SqlStatement stmt, ParseStatement(schema(), sql));
+  return Explain(stmt.query);
 }
 
 double AnalyticsEngine::AbsWeightTotal(const Query& query) const {

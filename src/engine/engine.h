@@ -2,8 +2,8 @@
 #define LDPMDA_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -11,9 +11,11 @@
 #include "exec/execution_context.h"
 #include "mech/factory.h"
 #include "obs/trace.h"
+#include "plan/executor.h"
+#include "plan/plan_cache.h"
+#include "plan/planner.h"
 #include "query/exact.h"
 #include "query/parser.h"
-#include "query/rewriter.h"
 
 namespace ldp {
 
@@ -40,6 +42,18 @@ struct EngineOptions {
   /// bit-identical with metrics on or off. Off leaves the hot paths with a
   /// single relaxed atomic-bool test per would-be increment.
   bool enable_metrics = true;
+  /// Physical-plan cache (see PlanCache): a repeated query skips
+  /// validate + rewrite + plan, a repeated SQL string additionally skips the
+  /// parse. Plans are immutable and execution replays them exactly, so
+  /// results are bit-identical with the cache on or off.
+  bool enable_plan_cache = true;
+  /// Entry budget for the plan cache (plans are small; this bounds the
+  /// number of distinct query shapes kept hot).
+  size_t plan_cache_entries = 256;
+  /// Opt-in consistency-corrected strategy (least-squares consistent HIO
+  /// tree) for qualifying deployments — see PlannerOptions. Changes answers
+  /// (that is its point), hence off by default.
+  bool planner_consistency = false;
 };
 
 /// End-to-end private MDA pipeline over one fact table (Section 2.3).
@@ -55,6 +69,12 @@ struct EngineOptions {
 ///     per-user weights (Section 7),
 ///   * COUNT/SUM natively; AVG and STDEV as ratios of estimates (Section 7).
 ///
+/// Query answering is staged through an explicit plan pipeline:
+/// parse -> logical plan (BuildLogicalPlan: validate + rewrite) -> physical
+/// plan (Planner: strategy + ops + cost annotations) -> PlanExecutor. The
+/// engine's Execute* methods are thin wrappers that obtain a (usually
+/// cached) plan and run it; Explain* render the plan instead of running it.
+///
 /// The engine keeps a reference to `table`: the sensitive columns are read
 /// only during the simulated collection; estimation touches only reports and
 /// public columns.
@@ -64,15 +84,15 @@ class AnalyticsEngine {
       const Table& table, const EngineOptions& options);
 
   /// Estimated answer P̄(q) to the MDA query. When `profile` is non-null the
-  /// query's stage timings (rewrite / fan-out / estimate / aggregate) and
-  /// work counters (inclusion-exclusion terms, nodes estimated, estimate-
-  /// cache hits/misses/epoch-drops, execution chunks) are ACCUMULATED into
-  /// it — pass a zeroed profile for one query, or reuse one to aggregate a
-  /// workload. Work counters are attributed by differencing engine-level
-  /// stats around the query, so profiled queries on the same engine should
-  /// not run concurrently (results are still correct; only the attribution
-  /// would blur). Profiling is independent of EngineOptions::enable_metrics
-  /// and never changes the estimate.
+  /// query's stage timings (rewrite / plan / fan-out / estimate / aggregate)
+  /// and work counters (inclusion-exclusion terms, nodes estimated,
+  /// estimate-cache hits/misses/epoch-drops, execution chunks) are
+  /// ACCUMULATED into it — pass a zeroed profile for one query, or reuse one
+  /// to aggregate a workload. Work counters are attributed by differencing
+  /// engine-level stats around the query, so profiled queries on the same
+  /// engine should not run concurrently (results are still correct; only the
+  /// attribution would blur). Profiling is independent of
+  /// EngineOptions::enable_metrics and never changes the estimate.
   Result<double> Execute(const Query& query,
                          QueryProfile* profile = nullptr) const;
 
@@ -86,13 +106,38 @@ class AnalyticsEngine {
 
   /// Like Execute, with an error bar. Supported for the linear aggregates
   /// COUNT and SUM (AVG/STDEV are ratios of estimates; their error depends
-  /// on the data in a way no closed form in the paper covers).
+  /// on the data in a way no closed form in the paper covers). Shares the
+  /// cached plan with Execute — the query is validated and rewritten once,
+  /// not once per entry point.
   Result<BoundedEstimate> ExecuteWithBound(const Query& query) const;
 
   /// Parses and executes a SQL string. `profile` additionally captures the
-  /// parse stage; see Execute for the accumulation contract.
+  /// parse stage; see Execute for the accumulation contract. With the plan
+  /// cache on, a repeated SQL string skips the parse via the cache's SQL
+  /// side index.
   Result<double> ExecuteSql(std::string_view sql,
                             QueryProfile* profile = nullptr) const;
+
+  /// Answers a whole workload in one pass: out[i] receives the estimate for
+  /// queries[i]. Node-estimate work with identical (weights, sensitive box)
+  /// is computed once and shared across the batch, so large templated
+  /// workloads issue far fewer mechanism estimate calls than sequential
+  /// Execute — with bit-identical answers (estimates are deterministic
+  /// post-processing, so sharing returns the exact bits a recomputation
+  /// would). Requires out.size() >= queries.size().
+  Status ExecuteBatch(std::span<const Query> queries, std::span<double> out,
+                      QueryProfile* profile = nullptr) const;
+
+  /// Stable, human-readable rendering of the physical plan the engine would
+  /// execute for `query` (strategy, op list, cost annotations) — the
+  /// EXPLAIN surface. Does not touch the reports.
+  Result<std::string> Explain(const Query& query) const;
+  /// Explain for a SQL string; accepts both "SELECT ..." and
+  /// "EXPLAIN SELECT ...".
+  Result<std::string> ExplainSql(std::string_view sql) const;
+  /// The plan itself, for programmatic consumers (ToJson, tests).
+  Result<std::shared_ptr<const PhysicalPlan>> PlanFor(
+      const Query& query) const;
 
   /// Exact (non-private) answer — ground truth for error reporting.
   Result<double> ExecuteExact(const Query& query) const {
@@ -102,6 +147,8 @@ class AnalyticsEngine {
   const Table& table() const { return table_; }
   const Mechanism& mechanism() const { return *mechanism_; }
   const Schema& schema() const { return table_.schema(); }
+  /// The plan cache, or null when disabled.
+  PlanCache* plan_cache() const { return plan_cache_.get(); }
 
   /// Sum over rows of |expr| for the query's aggregate — the MNAE
   /// normalizer Sigma_S (Section 6, error measures). COUNT uses n.
@@ -111,32 +158,21 @@ class AnalyticsEngine {
   AnalyticsEngine(const Table& table, const EngineOptions& options)
       : table_(table), options_(options) {}
 
-  /// The primitive estimates Execute() is assembled from.
-  enum class Component { kCount, kSum, kSumSq };
-
-  Result<double> EstimateComponent(Component component, const Query& query,
-                                   const std::vector<IeTerm>& terms,
-                                   QueryProfile* profile) const;
-
-  /// Weight vector for (component, query expr) masked by the public part of
-  /// `box`; cached across queries so accumulator-side histogram caches hit.
-  Result<std::shared_ptr<const WeightVector>> GetWeights(
-      Component component, const Query& query,
-      const ConjunctiveBox& box) const;
-
-  /// Splits a box into sensitive ranges (dense, per sensitive-dim position)
-  /// and public constraints.
-  Status SplitBox(const ConjunctiveBox& box, std::vector<Interval>* sensitive,
-                  std::vector<Constraint>* public_constraints) const;
+  /// The cached-or-planned physical plan for `query` at the current report
+  /// epoch. kPlan spans cover the cache probe and the planner; kRewrite
+  /// covers BuildLogicalPlan on a miss.
+  Result<std::shared_ptr<const PhysicalPlan>> GetPlan(
+      const Query& query, QueryProfile* profile) const;
 
   const Table& table_;
   EngineOptions options_;
   /// Declared before mechanism_: the mechanism holds a raw pointer into it.
   std::unique_ptr<ExecutionContext> exec_;
   std::unique_ptr<Mechanism> mechanism_;
-  mutable std::unordered_map<std::string,
-                             std::shared_ptr<const WeightVector>>
-      weight_cache_;
+  std::unique_ptr<Planner> planner_;
+  /// Null when EngineOptions::enable_plan_cache is off.
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<PlanExecutor> executor_;
 };
 
 }  // namespace ldp

@@ -181,7 +181,11 @@ MetricsRegistry& GlobalMetrics() {
              "estimate.batches", "estimate_cache.hits", "estimate_cache.misses",
              "estimate_cache.insertions", "estimate_cache.evictions",
              "estimate_cache.epoch_drops", "fo_cache.hits", "fo_cache.builds",
-             "fo_cache.stale_rebuilds", "fo_cache.evictions"}) {
+             "fo_cache.stale_rebuilds", "fo_cache.evictions",
+             "plan.rewrites", "plan.estimate_calls", "plan.batch_queries",
+             "plan.batch_dedup_hits", "plan_cache.hits", "plan_cache.misses",
+             "plan_cache.insertions", "plan_cache.evictions",
+             "plan_cache.epoch_drops"}) {
       registry->counter(name);
     }
     registry->histogram("exec.queue_wait");

@@ -10,6 +10,8 @@ const char* QueryProfile::StageName(Stage stage) {
       return "parse";
     case kRewrite:
       return "rewrite";
+    case kPlan:
+      return "plan";
     case kFanout:
       return "fanout";
     case kEstimate:

@@ -25,6 +25,7 @@ struct QueryProfile {
   enum Stage {
     kParse = 0,     ///< SQL text -> Query AST
     kRewrite,       ///< predicate -> inclusion-exclusion box terms
+    kPlan,          ///< plan-cache probe + physical-plan build (planner)
     kFanout,        ///< box -> weight vectors + node decomposition setup
     kEstimate,      ///< mechanism EstimateBox calls (kernel time lives here)
     kAggregate,     ///< combining component estimates (AVG/STDEV arithmetic)

@@ -1,0 +1,268 @@
+#include "plan/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "mech/consistency.h"
+#include "mech/hio.h"
+
+namespace ldp {
+
+namespace {
+
+Counter* EstimateCalls() {
+  static Counter* c = GlobalMetrics().counter("plan.estimate_calls");
+  return c;
+}
+Counter* BatchQueries() {
+  static Counter* c = GlobalMetrics().counter("plan.batch_queries");
+  return c;
+}
+Counter* BatchDedupHits() {
+  static Counter* c = GlobalMetrics().counter("plan.batch_dedup_hits");
+  return c;
+}
+
+/// Dedup handle of one estimate op: the weight key (component + expr +
+/// public constraints) plus the sensitive box and the strategy-relevant
+/// consistency bit. Everything the estimate depends on besides the reports.
+std::string TaskKey(const PlanOp& op, const PhysicalPlan& plan) {
+  std::ostringstream key;
+  key << plan.ops[op.weight_op].weight_key << "|";
+  for (const Interval& r : plan.logical.terms[op.term].sensitive) {
+    key << r.lo << "-" << r.hi << ";";
+  }
+  if (op.kind == PlanOpKind::kConsistency) key << "|c";
+  return key.str();
+}
+
+}  // namespace
+
+struct PlanExecutor::RunState {
+  /// task key -> estimate; shared across the ops (and plans) of one call.
+  std::unordered_map<std::string, double> memo;
+  /// weight-vector id -> consistent tree (kConsistency strategy only).
+  std::unordered_map<uint64_t, std::shared_ptr<const ConsistentHio>> trees;
+  bool dedup = false;
+};
+
+PlanExecutor::PlanExecutor(const Table& table, const Mechanism& mechanism,
+                           const ExecutionContext& exec)
+    : table_(table),
+      mechanism_(mechanism),
+      exec_(exec),
+      weights_(std::make_unique<WeightStore>(table)) {}
+
+Status PlanExecutor::AccumulateComponents(
+    const PhysicalPlan& plan, RunState* state, QueryProfile* profile,
+    double (&totals)[kNumComponentKinds]) const {
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind != PlanOpKind::kNodeEstimate &&
+        op.kind != PlanOpKind::kConsistency) {
+      continue;  // filters resolve lazily below; compose happens after
+    }
+    const LogicalTerm& term = plan.logical.terms[op.term];
+    std::string task_key;
+    if (state->dedup) {
+      task_key = TaskKey(op, plan);
+      auto it = state->memo.find(task_key);
+      if (it != state->memo.end()) {
+        // Bit-exact reuse: EstimateBox is deterministic post-processing, so
+        // the skipped call would have produced these very bits.
+        BatchDedupHits()->Increment();
+        totals[static_cast<int>(op.component)] +=
+            term.coefficient * it->second;
+        continue;
+      }
+    }
+    TraceSpan fanout_span(profile, QueryProfile::kFanout);
+    LDP_ASSIGN_OR_RETURN(
+        auto weights,
+        weights_->Get(op.component, plan.logical.query.aggregate.expr,
+                      term.public_constraints));
+    fanout_span.Stop();
+    TraceSpan estimate_span(profile, QueryProfile::kEstimate);
+    double estimate = 0.0;
+    if (op.kind == PlanOpKind::kConsistency) {
+      auto tree_it = state->trees.find(weights->id());
+      if (tree_it == state->trees.end()) {
+        const auto* hio = dynamic_cast<const HioMechanism*>(&mechanism_);
+        if (hio == nullptr) {
+          return Status::Internal(
+              "consistency strategy planned for a non-HIO mechanism");
+        }
+        LDP_ASSIGN_OR_RETURN(ConsistentHio tree,
+                             ConsistentHio::Build(*hio, *weights));
+        tree_it = state->trees
+                      .emplace(weights->id(), std::make_shared<const ConsistentHio>(
+                                                  std::move(tree)))
+                      .first;
+      }
+      LDP_ASSIGN_OR_RETURN(estimate,
+                           tree_it->second->EstimateRange(term.sensitive[0]));
+    } else {
+      LDP_ASSIGN_OR_RETURN(estimate,
+                           mechanism_.EstimateBox(term.sensitive, *weights));
+    }
+    estimate_span.Stop();
+    EstimateCalls()->Increment();
+    if (state->dedup) state->memo.emplace(std::move(task_key), estimate);
+    totals[static_cast<int>(op.component)] += term.coefficient * estimate;
+  }
+  if (profile != nullptr) {
+    profile->ie_terms +=
+        plan.logical.components.size() * plan.logical.terms.size();
+  }
+  return Status::OK();
+}
+
+double PlanExecutor::Compose(const PhysicalPlan& plan,
+                             const double (&totals)[kNumComponentKinds]) const {
+  const double count = totals[static_cast<int>(ComponentKind::kCount)];
+  const double sum = totals[static_cast<int>(ComponentKind::kSum)];
+  const double sum_sq = totals[static_cast<int>(ComponentKind::kSumSq)];
+  switch (plan.logical.query.aggregate.kind) {
+    case AggregateKind::kCount:
+      return count;
+    case AggregateKind::kSum:
+      return sum;
+    case AggregateKind::kAvg:
+      if (count <= 0.0) return 0.0;  // noise swamped the group entirely
+      return sum / count;
+    case AggregateKind::kStdev: {
+      if (count <= 0.0) return 0.0;
+      const double mean = sum / count;
+      return std::sqrt(std::max(0.0, sum_sq / count - mean * mean));
+    }
+  }
+  return 0.0;
+}
+
+Result<double> PlanExecutor::Run(const PhysicalPlan& plan,
+                                 QueryProfile* profile) const {
+  if (plan.logical.terms.empty()) return 0.0;  // unsatisfiable predicate
+  RunState state;
+  double totals[kNumComponentKinds] = {0.0, 0.0, 0.0};
+  LDP_RETURN_NOT_OK(AccumulateComponents(plan, &state, profile, totals));
+  return Compose(plan, totals);
+}
+
+Result<PlanExecutor::Bounded> PlanExecutor::RunWithBound(
+    const PhysicalPlan& plan) const {
+  Bounded out;
+  if (plan.logical.terms.empty()) return out;
+  LDP_ASSIGN_OR_RETURN(out.estimate, Run(plan, nullptr));
+  // Conservative combination across inclusion-exclusion terms: the term
+  // errors may be correlated (they share reports), so bound the total
+  // stddev by the sum of per-term |coef| * stddev bounds.
+  const ComponentKind component = plan.logical.components[0];
+  double stddev = 0.0;
+  for (const LogicalTerm& term : plan.logical.terms) {
+    LDP_ASSIGN_OR_RETURN(
+        auto weights,
+        weights_->Get(component, plan.logical.query.aggregate.expr,
+                      term.public_constraints));
+    LDP_ASSIGN_OR_RETURN(const double variance,
+                         mechanism_.VarianceBound(term.sensitive, *weights));
+    stddev += std::abs(term.coefficient) * std::sqrt(std::max(variance, 0.0));
+  }
+  out.stddev = stddev;
+  return out;
+}
+
+Status PlanExecutor::RunBatch(
+    std::span<const std::shared_ptr<const PhysicalPlan>> plans,
+    std::span<double> out, QueryProfile* profile) const {
+  if (out.size() < plans.size()) {
+    return Status::InvalidArgument("RunBatch: output span too small");
+  }
+  BatchQueries()->Add(plans.size());
+  RunState state;
+  state.dedup = true;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const PhysicalPlan& plan = *plans[i];
+    if (plan.logical.terms.empty()) {
+      out[i] = 0.0;
+      continue;
+    }
+    double totals[kNumComponentKinds] = {0.0, 0.0, 0.0};
+    LDP_RETURN_NOT_OK(AccumulateComponents(plan, &state, profile, totals));
+    out[i] = Compose(plan, totals);
+  }
+  return Status::OK();
+}
+
+// --- ProfiledQueryScope ----------------------------------------------------
+
+namespace {
+Counter* EstimateNodes() {
+  static Counter* counter = GlobalMetrics().counter("estimate.nodes");
+  return counter;
+}
+}  // namespace
+
+ProfiledQueryScope::ProfiledQueryScope(QueryProfile* profile,
+                                       const Mechanism& mechanism,
+                                       const ExecutionContext& exec,
+                                       uint64_t num_queries)
+    : profile_(profile),
+      mechanism_(mechanism),
+      exec_(exec),
+      num_queries_(num_queries) {
+  if (profile_ == nullptr) return;
+  start_ = std::chrono::steady_clock::now();
+  stage_nanos_before_ = StageNanos();
+  chunks_before_ = exec_.chunks_dispatched();
+  if (const EstimateCache* cache = mechanism_.estimate_cache()) {
+    cache_before_ = cache->stats();
+  }
+  nodes_counter_before_ = EstimateNodes()->value();
+}
+
+ProfiledQueryScope::~ProfiledQueryScope() {
+  if (profile_ == nullptr) return;
+  const uint64_t total = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  profile_->total_nanos += total;
+  profile_->queries += num_queries_;
+  // The aggregate stage is everything done outside the explicitly spanned
+  // stages (component assembly, AVG/STDEV combination), so the stage walls
+  // partition the query wall.
+  const uint64_t staged = StageNanos() - stage_nanos_before_;
+  profile_->stages[QueryProfile::kAggregate].wall_nanos +=
+      total > staged ? total - staged : 0;
+  profile_->stages[QueryProfile::kAggregate].calls += num_queries_;
+  profile_->exec_chunks += exec_.chunks_dispatched() - chunks_before_;
+  if (const EstimateCache* cache = mechanism_.estimate_cache()) {
+    const EstimateCache::Stats now = cache->stats();
+    profile_->cache_hits += now.hits - cache_before_.hits;
+    profile_->cache_misses += now.misses - cache_before_.misses;
+    profile_->cache_epoch_drops += now.epoch_drops - cache_before_.epoch_drops;
+    // Every cache miss is exactly one node estimated by a kernel, for every
+    // mechanism (they all route per-node estimates through the cache when it
+    // is on).
+    profile_->nodes_estimated += now.misses - cache_before_.misses;
+  } else {
+    // Cache off: fall back to the batched-kernel counter. Zero while metrics
+    // are disabled, and blind to mechanisms that bypass
+    // EstimateNodesBatched — a best-effort view, unlike the cache path.
+    profile_->nodes_estimated +=
+        static_cast<uint64_t>(EstimateNodes()->value()) -
+        nodes_counter_before_;
+  }
+}
+
+uint64_t ProfiledQueryScope::StageNanos() const {
+  uint64_t nanos = 0;
+  for (int s = 0; s < QueryProfile::kNumStages; ++s) {
+    if (s == QueryProfile::kAggregate) continue;
+    nanos += profile_->stages[s].wall_nanos;
+  }
+  return nanos;
+}
+
+}  // namespace ldp

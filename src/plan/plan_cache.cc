@@ -1,0 +1,96 @@
+#include "plan/plan_cache.h"
+
+#include <algorithm>
+
+namespace ldp {
+
+PlanCache::PlanCache(size_t max_entries)
+    : max_entries_(std::max<size_t>(max_entries, 1)),
+      m_hits_(GlobalMetrics().counter("plan_cache.hits")),
+      m_misses_(GlobalMetrics().counter("plan_cache.misses")),
+      m_insertions_(GlobalMetrics().counter("plan_cache.insertions")),
+      m_evictions_(GlobalMetrics().counter("plan_cache.evictions")),
+      m_epoch_drops_(GlobalMetrics().counter("plan_cache.epoch_drops")) {}
+
+void PlanCache::EraseLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+std::shared_ptr<const PhysicalPlan> PlanCache::Get(const std::string& key,
+                                                   uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    m_misses_->Increment();
+    return nullptr;
+  }
+  if (it->second.plan->epoch != epoch) {
+    // Hard drop on mismatch in either direction — see the class comment.
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    ++stats_.misses;
+    ++stats_.epoch_drops;
+    m_misses_->Increment();
+    m_epoch_drops_->Increment();
+    return nullptr;
+  }
+  lru_.splice(lru_.end(), lru_, it->second.lru_it);
+  ++stats_.hits;
+  m_hits_->Increment();
+  return it->second.plan;
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const PhysicalPlan> plan) {
+  if (plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  EraseLocked(key);
+  while (entries_.size() >= max_entries_) {
+    entries_.erase(lru_.front());
+    lru_.pop_front();
+    ++stats_.evictions;
+    m_evictions_->Increment();
+  }
+  auto lru_it = lru_.insert(lru_.end(), key);
+  entries_.emplace(key, Entry{std::move(plan), lru_it});
+  ++stats_.insertions;
+  m_insertions_->Increment();
+}
+
+std::shared_ptr<const PhysicalPlan> PlanCache::GetSql(const std::string& sql,
+                                                      uint64_t epoch) {
+  std::string key;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sql_index_.find(sql);
+    if (it == sql_index_.end()) return nullptr;
+    key = it->second;
+  }
+  return Get(key, epoch);
+}
+
+void PlanCache::LinkSql(const std::string& sql, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sql_index_.size() >= max_entries_ && !sql_index_.count(sql)) {
+    // Crude bound: the side index is an optimization, not a registry; a
+    // full reset keeps it O(max_entries) without LRU bookkeeping.
+    sql_index_.clear();
+  }
+  sql_index_[sql] = key;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ldp

@@ -1,0 +1,60 @@
+#include "plan/weights.h"
+
+#include <sstream>
+
+namespace ldp {
+
+std::string WeightStore::Key(ComponentKind component, const MeasureExpr& expr,
+                             const Schema& schema,
+                             std::span<const Constraint> public_constraints) {
+  // Key format matches the pre-planner engine cache: component + measure
+  // expression + the public part of the box.
+  std::ostringstream key;
+  key << static_cast<int>(component) << "|";
+  if (component != ComponentKind::kCount) key << expr.ToString(schema);
+  key << "|";
+  for (const auto& c : public_constraints) {
+    key << c.attr << ":" << c.range.lo << "-" << c.range.hi << ";";
+  }
+  return key.str();
+}
+
+Result<std::shared_ptr<const WeightVector>> WeightStore::Get(
+    ComponentKind component, const MeasureExpr& expr,
+    std::span<const Constraint> public_constraints) {
+  const std::string key =
+      Key(component, expr, table_.schema(), public_constraints);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const uint64_t n = table_.num_rows();
+  std::vector<double> weights;
+  switch (component) {
+    case ComponentKind::kCount:
+      weights.assign(n, 1.0);
+      break;
+    case ComponentKind::kSum:
+      weights = expr.EvalColumn(table_);
+      break;
+    case ComponentKind::kSumSq: {
+      weights = expr.EvalColumn(table_);
+      for (auto& w : weights) w *= w;
+      break;
+    }
+  }
+  // Fold public-dimension constraints into the weights (Section 7): the
+  // server evaluates them exactly, so a non-matching user contributes 0.
+  for (const auto& c : public_constraints) {
+    const auto& col = table_.DimColumn(c.attr);
+    for (uint64_t row = 0; row < n; ++row) {
+      if (!c.range.Contains(col[row])) weights[row] = 0.0;
+    }
+  }
+  if (cache_.size() >= kMaxCachedWeightVectors) cache_.clear();
+  auto wv = std::make_shared<const WeightVector>(std::move(weights));
+  cache_.emplace(key, wv);
+  return {std::move(wv)};
+}
+
+}  // namespace ldp

@@ -275,4 +275,17 @@ Result<Query> ParseQuery(const Schema& schema, std::string_view sql) {
   return parser.Parse();
 }
 
+Result<SqlStatement> ParseStatement(const Schema& schema,
+                                    std::string_view sql) {
+  LDP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  SqlStatement stmt;
+  if (!tokens.empty() && tokens.front().IsKeyword("EXPLAIN")) {
+    stmt.explain = true;
+    tokens.erase(tokens.begin());
+  }
+  ParserImpl parser(schema, std::move(tokens));
+  LDP_ASSIGN_OR_RETURN(stmt.query, parser.Parse());
+  return stmt;
+}
+
 }  // namespace ldp

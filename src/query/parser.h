@@ -28,6 +28,19 @@ namespace ldp {
 /// empty parse into always-false constraints (the query answers 0).
 Result<Query> ParseQuery(const Schema& schema, std::string_view sql);
 
+/// A parsed SQL statement: the query plus statement-level modifiers.
+struct SqlStatement {
+  Query query;
+  /// True when the statement was prefixed with EXPLAIN — the caller should
+  /// render the query's plan instead of executing it.
+  bool explain = false;
+};
+
+/// Parses `EXPLAIN? SELECT ...` — ParseQuery plus the optional EXPLAIN
+/// statement prefix.
+Result<SqlStatement> ParseStatement(const Schema& schema,
+                                    std::string_view sql);
+
 }  // namespace ldp
 
 #endif  // LDPMDA_QUERY_PARSER_H_

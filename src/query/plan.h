@@ -1,0 +1,79 @@
+#ifndef LDPMDA_QUERY_PLAN_H_
+#define LDPMDA_QUERY_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/schema.h"
+#include "query/query.h"
+#include "query/rewriter.h"
+
+namespace ldp {
+
+/// The primitive estimands an MDA aggregate is assembled from (Section 7):
+/// COUNT and SUM are native; AVG = SUM/COUNT and STDEV is derived from
+/// SUM(M^2), SUM, COUNT — all post-processing of the same LDP reports.
+enum class ComponentKind { kCount = 0, kSum = 1, kSumSq = 2 };
+inline constexpr int kNumComponentKinds = 3;
+
+const char* ComponentKindName(ComponentKind kind);
+
+/// One inclusion–exclusion term of the normalized predicate, pre-split into
+/// the parts the two estimation paths consume: the dense per-sensitive-dim
+/// ranges handed to the mechanism, and the public-dimension constraints the
+/// server folds into the per-user weights (the exact pre-filter).
+struct LogicalTerm {
+  /// Signed inclusion–exclusion coefficient.
+  double coefficient = 1.0;
+  /// The conjunctive box as produced by the rewriter (canonical, sorted).
+  ConjunctiveBox box;
+  /// One closed interval per sensitive dimension, in
+  /// Schema::sensitive_dims() order; full domain for unconstrained dims.
+  std::vector<Interval> sensitive;
+  /// Constraints on public dimensions, evaluated exactly server-side.
+  std::vector<Constraint> public_constraints;
+  /// True iff every sensitive range spans its full domain — the box
+  /// collapses to the hierarchy root on every sensitive dimension, so the
+  /// sensitive part of the estimate is a single root-node lookup.
+  bool root_collapsed = false;
+};
+
+/// The logical plan of one MDA query: the validated aggregate composition
+/// (which primitive components to estimate, in a fixed evaluation order) over
+/// the normalized predicate DNF (inclusion–exclusion terms with their
+/// sensitive/public split). Everything here is derived from the schema and
+/// the query alone — no mechanism, reports, or cost information; the planner
+/// (src/plan) lowers it to a physical plan.
+struct LogicalPlan {
+  Query query;
+  /// Primitive components in evaluation order. The order is load-bearing for
+  /// bit-identical floating-point results and matches the legacy engine:
+  /// COUNT -> [kCount]; SUM -> [kSum]; AVG -> [kSum, kCount];
+  /// STDEV -> [kSumSq, kSum, kCount].
+  std::vector<ComponentKind> components;
+  /// Normalized inclusion–exclusion terms; empty iff the predicate is
+  /// unsatisfiable (the query answers exactly 0).
+  std::vector<LogicalTerm> terms;
+  /// Canonical cache key of the query (see QueryCacheKey).
+  std::string cache_key;
+};
+
+/// Canonical, lossless cache key for a query against `schema`: structurally
+/// identical queries — same aggregate, same predicate tree — map to the same
+/// key, and doubles are serialized exactly (hex floats), so distinct
+/// coefficients never collide. Computable without rewriting the predicate,
+/// which is what lets the plan cache skip parse/rewrite/plan on a hit.
+std::string QueryCacheKey(const Schema& schema, const Query& query);
+
+/// Validates `query` and lowers it to a logical plan: predicate -> NNF ->
+/// DNF -> inclusion–exclusion terms (rewriter), then per-term splitting into
+/// sensitive ranges and public constraints, plus the aggregate composition.
+/// Increments the `plan.rewrites` counter exactly once per call — the
+/// regression hook for "one rewrite per distinct query" (Execute and
+/// ExecuteWithBound share the cached plan instead of rewriting twice).
+Result<LogicalPlan> BuildLogicalPlan(const Schema& schema, const Query& query);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_QUERY_PLAN_H_

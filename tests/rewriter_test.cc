@@ -200,6 +200,82 @@ TEST_P(RewriterPropertyTest, InclusionExclusionMatchesExactCount) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RewriterPropertyTest, testing::Range(0, 5));
 
+TEST(RewriterTest, DuplicateOrClausesMergeToSingleTerm) {
+  // A OR A: inclusion–exclusion yields A + A - (A AND A); the rewriter's
+  // canonical-box merging must collapse this to a single +1 term, not leave
+  // three terms whose estimation noise would triple.
+  const PredicatePtr p = Predicate::MakeOr(
+      {Predicate::MakeConstraint(0, {0, 5}),
+       Predicate::MakeConstraint(0, {0, 5})});
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(terms[0].coefficient, 1.0);
+  EXPECT_EQ(terms[0].box.RangeOf(0, 16), (Interval{0, 5}));
+}
+
+TEST(RewriterTest, TripleDuplicateOrStillMergesExactly) {
+  // A OR A OR A: the signed subset sum is 3 - 3 + 1 = 1; merging must get
+  // the arithmetic right, not just deduplicate pairs.
+  const PredicatePtr p = Predicate::MakeOr(
+      {Predicate::MakeConstraint(0, {0, 5}),
+       Predicate::MakeConstraint(0, {0, 5}),
+       Predicate::MakeConstraint(0, {0, 5})});
+  const auto terms = RewritePredicate(TestSchema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(terms[0].coefficient, 1.0);
+  const Table table = TestTable();
+  EXPECT_NEAR(IeCount(table, terms),
+              static_cast<double>(ExactMatchCount(table, p.get())), 1e-9);
+}
+
+TEST(RewriterTest, EmptyResultPredicateYieldsEmptySum) {
+  // Contradictions must rewrite to the empty term list (estimate 0), both
+  // for ordinal ranges and categorical equality, and even when buried under
+  // an OR whose other branch is also unsatisfiable.
+  const Schema schema = TestSchema();
+  const PredicatePtr ordinal = Predicate::MakeAnd(
+      {Predicate::MakeEquals(0, 3), Predicate::MakeEquals(0, 7)});
+  EXPECT_TRUE(RewritePredicate(schema, ordinal.get()).ValueOrDie().empty());
+
+  const PredicatePtr categorical = Predicate::MakeAnd(
+      {Predicate::MakeEquals(2, 1), Predicate::MakeEquals(2, 2)});
+  EXPECT_TRUE(
+      RewritePredicate(schema, categorical.get()).ValueOrDie().empty());
+
+  const PredicatePtr disjunction = Predicate::MakeOr(
+      {Predicate::MakeAnd(
+           {Predicate::MakeEquals(0, 3), Predicate::MakeEquals(0, 7)}),
+       Predicate::MakeConstraint(1, {9, 2})});
+  EXPECT_TRUE(
+      RewritePredicate(schema, disjunction.get()).ValueOrDie().empty());
+}
+
+TEST(RewriterTest, FullDomainRangeKeepsRootBoxSemantics) {
+  // A constraint spanning the whole domain is satisfied by every row: the
+  // rewrite must behave exactly like the unconstrained root box (it may keep
+  // the explicit constraint, but RangeOf and the IE sum must match).
+  const Table table = TestTable();
+  const PredicatePtr p = Predicate::MakeConstraint(0, {0, 15});
+  const auto terms = RewritePredicate(table.schema(), p.get()).ValueOrDie();
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_DOUBLE_EQ(terms[0].coefficient, 1.0);
+  EXPECT_EQ(terms[0].box.RangeOf(0, 16), (Interval{0, 15}));
+  EXPECT_NEAR(IeCount(table, terms), static_cast<double>(table.num_rows()),
+              1e-9);
+}
+
+TEST(RewriterTest, FullDomainClauseInDisjunctionCoversEverything) {
+  // (a in full domain) OR (b <= 7) is a tautology; whatever term structure
+  // the rewrite keeps, its signed sum must count every row exactly once.
+  const Table table = TestTable();
+  const PredicatePtr p = Predicate::MakeOr(
+      {Predicate::MakeConstraint(0, {0, 15}),
+       Predicate::MakeConstraint(1, {0, 7})});
+  const auto terms = RewritePredicate(table.schema(), p.get()).ValueOrDie();
+  EXPECT_NEAR(IeCount(table, terms), static_cast<double>(table.num_rows()),
+              1e-9);
+}
+
 TEST(RewriterTest, ParsedOrQueryFromPaperSection7) {
   // "Age IN [30,40] OR Salary IN [50,150]" rewrites into three boxes with
   // signs +1, +1, -1 that reproduce the exact count.

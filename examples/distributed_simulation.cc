@@ -19,6 +19,14 @@
 //       [--drop_rate 0.1] [--dup_rate 0.05] [--corrupt_rate 0.02] \
 //       [--reorder_rate 0.05] [--truncate_rate 0.01]
 //
+// With --wal_dir the server becomes durable: every delivered frame is
+// written ahead to a checksummed WAL in that directory and a snapshot is cut
+// every --snapshot_every frames (0 = never). --crash_after_frames N kills
+// the server after N ingested frames and recovers a fresh one from the same
+// directory mid-stream, printing what recovery replayed; the final counts
+// and estimates match a run that never crashed. --stats_json dumps the
+// metrics registry (including the storage.* counters) on exit.
+//
 // --threads sets the server's shard-parallel worker count: each drained
 // batch goes through CollectionServer::IngestBatch (parallel decode, serial
 // frame-order commit, parallel shard accumulation), and estimation fans out
@@ -26,6 +34,7 @@
 // identical for every thread count.
 
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "common/flags.h"
@@ -34,6 +43,7 @@
 #include "engine/protocol.h"
 #include "engine/transport.h"
 #include "mech/advisor.h"
+#include "obs/metrics.h"
 
 int main(int argc, char** argv) {
   using namespace ldp;  // NOLINT
@@ -47,6 +57,11 @@ int main(int argc, char** argv) {
   double corrupt_rate = 0.0;
   double reorder_rate = 0.0;
   double truncate_rate = 0.0;
+  std::string wal_dir;
+  std::string wal_sync = "batch";
+  int64_t snapshot_every = 50000;
+  int64_t crash_after_frames = 0;
+  std::string stats_json;
   FlagParser flags("distributed_simulation",
                    "client/server LDP collection over an unreliable wire");
   flags.AddInt64("n", &n, "number of simulated clients");
@@ -59,7 +74,22 @@ int main(int argc, char** argv) {
   flags.AddDouble("corrupt_rate", &corrupt_rate, "P(one byte is flipped)");
   flags.AddDouble("reorder_rate", &reorder_rate, "P(delivery is reordered)");
   flags.AddDouble("truncate_rate", &truncate_rate, "P(report loses its tail)");
+  flags.AddString("wal_dir", &wal_dir,
+                  "directory for the write-ahead log (empty = not durable)");
+  flags.AddString("wal_sync", &wal_sync,
+                  "WAL fsync policy: never|batch|always");
+  flags.AddInt64("snapshot_every", &snapshot_every,
+                 "cut a snapshot every N durable frames (0 = never)");
+  flags.AddInt64("crash_after_frames", &crash_after_frames,
+                 "simulate a crash + recovery after N ingested frames "
+                 "(0 = never; requires --wal_dir)");
+  flags.AddString("stats_json", &stats_json,
+                  "write the metrics registry snapshot to this file on exit");
   if (!flags.Parse(argc, argv)) return 1;
+  if (crash_after_frames > 0 && wal_dir.empty()) {
+    std::fprintf(stderr, "--crash_after_frames requires --wal_dir\n");
+    return 1;
+  }
 
   // The fact table only exists on the clients' devices conceptually; we use
   // the generator to play the population.
@@ -86,8 +116,27 @@ int main(int argc, char** argv) {
   const CollectionSpec client_view =
       CollectionSpec::Parse(published).ValueOrDie();
   LdpClient client = LdpClient::Create(client_view).ValueOrDie();
-  CollectionServer server =
-      CollectionServer::Create(spec, static_cast<int>(threads)).ValueOrDie();
+
+  StorageOptions storage;
+  storage.dir = wal_dir;
+  storage.snapshot_every_frames = static_cast<uint64_t>(
+      snapshot_every > 0 ? snapshot_every : 0);
+  if (!wal_dir.empty()) {
+    const auto sync = WalSyncPolicyFromString(wal_sync);
+    if (!sync.ok()) {
+      std::fprintf(stderr, "%s\n", sync.status().ToString().c_str());
+      return 1;
+    }
+    storage.sync = sync.value();
+  }
+  const auto open_server = [&]() -> Result<CollectionServer> {
+    if (wal_dir.empty()) {
+      return CollectionServer::Create(spec, static_cast<int>(threads));
+    }
+    return CollectionServer::CreateDurable(spec, storage,
+                                           static_cast<int>(threads));
+  };
+  std::optional<CollectionServer> server(open_server().ValueOrDie());
 
   FaultRates rates;
   rates.drop = drop_rate;
@@ -113,7 +162,33 @@ int main(int argc, char** argv) {
     std::vector<CollectionServer::ReportFrame> frames;
     frames.reserve(batch.size());
     for (const auto& d : batch) frames.push_back(CollectionServer::ReportFrame{d.bytes, d.user});
-    (void)server.IngestBatch(frames);
+    (void)server->IngestBatch(frames);
+  };
+
+  // With --crash_after_frames the server object is destroyed mid-stream —
+  // losing every in-memory structure — and rebuilt from the WAL directory
+  // alone. Ingestion then continues where the durable log left off.
+  bool crash_pending = crash_after_frames > 0;
+  const auto maybe_crash = [&] {
+    if (!crash_pending ||
+        server->ingest_stats().total() <
+            static_cast<uint64_t>(crash_after_frames)) {
+      return;
+    }
+    crash_pending = false;
+    std::printf("simulating crash after %llu ingested frames...\n",
+                static_cast<unsigned long long>(server->ingest_stats().total()));
+    server.reset();  // the process "dies": only the WAL directory survives
+    server.emplace(open_server().ValueOrDie());
+    const RecoveryInfo* info = server->recovery_info();
+    std::printf(
+        "recovered: snapshot %s (%llu entries, wal_seq %llu), "
+        "%llu frames replayed, %llu ms\n\n",
+        info->snapshot_loaded ? "loaded" : "absent",
+        static_cast<unsigned long long>(info->snapshot_entries),
+        static_cast<unsigned long long>(info->snapshot_wal_seq),
+        static_cast<unsigned long long>(info->replayed_frames),
+        static_cast<unsigned long long>(info->recovery_ms));
   };
 
   Rng rng(41);
@@ -127,13 +202,17 @@ int main(int argc, char** argv) {
     const std::string frame = client.EncodeUser(values, rng).ValueOrDie();
     wire_bytes += frame.size();
     transport.SendWithRetry(u, frame);
-    if ((u & 0xfff) == 0) ingest_batch(channel.Drain());
+    if ((u & 0xfff) == 0) {
+      ingest_batch(channel.Drain());
+      maybe_crash();
+    }
   }
   ingest_batch(channel.Drain());
+  maybe_crash();
 
   const TransportClient::Stats& cs = transport.stats();
   const ChannelStats& ch = channel.stats();
-  const IngestStats& ingest = server.ingest_stats();
+  const IngestStats& ingest = server->ingest_stats();
   std::printf(
       "transport: %llu sends, %llu attempts, %llu acked, %llu gave up, "
       "%llu ms backing off (simulated)\n",
@@ -159,7 +238,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ingest.rejected),
       static_cast<unsigned long long>(ingest.quarantined()));
   std::printf("collected %llu reports, %.1f bytes/user on the wire\n\n",
-              static_cast<unsigned long long>(server.num_reports()),
+              static_cast<unsigned long long>(server->num_reports()),
               static_cast<double>(wire_bytes) / n);
 
   // 3. The server answers analytics from accepted reports + its public
@@ -173,7 +252,7 @@ int main(int argc, char** argv) {
   }
   ranges[0] = {10, 35};  // age band — a "1+0" query
 
-  const auto est = server.EstimateBox(ranges, weights);
+  const auto est = server->EstimateBox(ranges, weights);
   if (!est.ok()) {
     std::fprintf(stderr, "estimate failed: %s\n",
                  est.status().ToString().c_str());
@@ -184,13 +263,13 @@ int main(int argc, char** argv) {
   for (uint64_t u = 0; u < population.num_rows(); ++u) {
     if (ranges[0].Contains(population.DimValue(dims[0], u))) {
       truth_population += population.MeasureValue(measure, u);
-      if (server.has_report(u)) {
+      if (server->has_report(u)) {
         truth_accepted += population.MeasureValue(measure, u);
       }
     }
   }
   const double pop_est =
-      server.EstimateBoxForPopulation(ranges, weights, population.num_rows())
+      server->EstimateBoxForPopulation(ranges, weights, population.num_rows())
           .ValueOrDie();
   std::printf(
       "SUM(weekly_work_hour) for age in [10, 35]:\n"
@@ -198,5 +277,21 @@ int main(int argc, char** argv) {
       "  population extrapolation   = %.1f  (exact %.1f, rel err %.3f)\n",
       est.value(), truth_accepted, RelativeError(est.value(), truth_accepted),
       pop_est, truth_population, RelativeError(pop_est, truth_population));
+
+  if (!wal_dir.empty()) {
+    if (const Status flushed = server->Flush(); !flushed.ok()) {
+      std::fprintf(stderr, "WAL flush failed: %s\n",
+                   flushed.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!stats_json.empty()) {
+    const Status wrote = GlobalMetrics().WriteJsonFile(stats_json);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", stats_json.c_str());
+  }
   return 0;
 }

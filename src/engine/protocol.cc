@@ -1,6 +1,7 @@
 #include "engine/protocol.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "common/hash.h"
@@ -28,6 +29,12 @@ const IngestCounters& IngestMetrics() {
       GlobalMetrics().counter("ingest.rejected"),
   };
   return counters;
+}
+
+LatencyHistogram* RecoveryMsHistogram() {
+  static LatencyHistogram* histogram =
+      GlobalMetrics().histogram("storage.recovery_ms");
+  return histogram;
 }
 
 constexpr std::string_view kHeader = "ldpmda-collection-spec v1";
@@ -246,7 +253,80 @@ Result<CollectionServer> CollectionServer::Create(const CollectionSpec& spec,
                           std::move(mechanism));
 }
 
+Result<CollectionServer> CollectionServer::CreateDurable(
+    const CollectionSpec& spec, const StorageOptions& storage,
+    int num_threads) {
+  const auto start = std::chrono::steady_clock::now();
+  LDP_ASSIGN_OR_RETURN(CollectionServer server, Create(spec, num_threads));
+
+  SnapshotLoad snapshot;
+  WalScan replay;
+  LDP_ASSIGN_OR_RETURN(
+      std::shared_ptr<DurableStore> store,
+      DurableStore::Open(storage, spec.Serialize(), &snapshot, &replay,
+                         nullptr));
+
+  // Phase 1 — snapshot restore: the accepted (user, payload) sequence in
+  // acceptance order is the canonical accumulator state, so feeding it back
+  // through AddReport rebuilds the mechanism bit-identically. Stats are
+  // restored from the header (the quarantined frames themselves were
+  // compacted away, but their counts survive).
+  if (snapshot.loaded) {
+    for (const SnapshotEntry& entry : snapshot.data.entries) {
+      auto report = LdpReport::Deserialize(entry.payload);
+      if (!report.ok()) {
+        // The snapshot passed its checksum, so this is a writer bug, not
+        // disk corruption; refuse rather than recover a wrong state.
+        return Status::Internal("snapshot entry for user " +
+                                std::to_string(entry.user) +
+                                " undecodable despite valid checksum: " +
+                                report.status().message());
+      }
+      LDP_RETURN_NOT_OK(server.mechanism_->AddReport(report.value(),
+                                                     entry.user));
+      server.users_.insert(entry.user);
+    }
+    server.stats_.accepted = snapshot.data.accepted;
+    server.stats_.duplicate = snapshot.data.duplicate;
+    server.stats_.corrupt = snapshot.data.corrupt;
+    server.stats_.rejected = snapshot.data.rejected;
+  }
+
+  // Phase 2 — WAL replay: every logged frame (corrupt and duplicate ones
+  // included — they were logged verbatim) re-runs the serial decision path,
+  // so post-recovery IngestStats match the pre-crash server exactly.
+  server.store_ = std::move(store);
+  for (const WalRecord& record : replay.records) {
+    for (const WalRecord::Frame& frame : record.frames) {
+      (void)server.ApplyFrame(frame.bytes, frame.user);  // fate re-decided
+    }
+  }
+
+  const uint64_t elapsed_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  server.store_->set_recovery_ms(elapsed_ms);
+  RecoveryMsHistogram()->Record(elapsed_ms);
+  return server;
+}
+
 Status CollectionServer::Ingest(std::string_view frame_bytes, uint64_t user) {
+  if (store_ != nullptr) {
+    // Write-ahead: the frame must be in the log before it may mutate the
+    // server, so the recovered state is always a prefix of the ingest
+    // stream. An append failure (ENOSPC, I/O error) leaves this frame
+    // entirely un-applied — the caller may retry it later.
+    const WalFrameRef ref{user, frame_bytes};
+    LDP_RETURN_NOT_OK(store_->AppendFrames(std::span<const WalFrameRef>(&ref, 1)));
+  }
+  const Status fate = ApplyFrame(frame_bytes, user);
+  MaybeSnapshot();
+  return fate;
+}
+
+Status CollectionServer::ApplyFrame(std::string_view frame_bytes,
+                                    uint64_t user) {
   const auto payload = UnframeReport(frame_bytes);
   if (!payload.ok()) {
     ++stats_.corrupt;
@@ -276,12 +356,25 @@ Status CollectionServer::Ingest(std::string_view frame_bytes, uint64_t user) {
   users_.insert(user);
   ++stats_.accepted;
   IngestMetrics().accepted->Add(1);
+  if (store_ != nullptr) store_->RetainAccepted(user, payload.value());
   return Status::OK();
 }
 
 Status CollectionServer::IngestBatch(std::span<const ReportFrame> frames) {
   const uint64_t n = frames.size();
   if (n == 0) return Status::OK();
+
+  if (store_ != nullptr) {
+    // Write-ahead: the whole batch becomes one WAL record before any frame
+    // mutates the server, so recovery is batch-aligned — either the entire
+    // batch replays or none of it does.
+    std::vector<WalFrameRef> refs;
+    refs.reserve(n);
+    for (const ReportFrame& frame : frames) {
+      refs.push_back(WalFrameRef{frame.user, frame.bytes});
+    }
+    LDP_RETURN_NOT_OK(store_->AppendFrames(refs));
+  }
 
   // Phase A — parallel decode: unframe, deserialize and structurally
   // validate every frame. Each slot is written by exactly one worker.
@@ -334,9 +427,18 @@ Status CollectionServer::IngestBatch(std::span<const ReportFrame> frames) {
     users_.insert(frames[i].user);
     ++stats_.accepted;
     IngestMetrics().accepted->Add(1);
+    if (store_ != nullptr) {
+      // fate != kCorrupt, so UnframeReport succeeded in phase A: the
+      // payload is exactly the frame bytes past the header.
+      store_->RetainAccepted(frames[i].user,
+                             frames[i].bytes.substr(kReportFrameHeaderBytes));
+    }
     accepted.push_back(i);
   }
-  if (accepted.empty()) return Status::OK();
+  if (accepted.empty()) {
+    MaybeSnapshot();
+    return Status::OK();
+  }
 
   // Phase C — parallel shard ingestion: workers add contiguous ranges of the
   // accepted reports into private shard mechanisms; merging the shards in
@@ -367,7 +469,17 @@ Status CollectionServer::IngestBatch(std::span<const ReportFrame> frames) {
   for (auto& shard : shards) {
     LDP_RETURN_NOT_OK(mechanism_->Merge(std::move(*shard)));
   }
+  MaybeSnapshot();
   return Status::OK();
+}
+
+void CollectionServer::MaybeSnapshot() {
+  if (store_ == nullptr || !store_->ShouldSnapshot()) return;
+  // Failure is non-fatal: the WAL still covers everything this snapshot
+  // would have compacted, so ingest keeps going. The error is observable
+  // through last_snapshot_status() and storage.snapshot_failures.
+  (void)store_->WriteSnapshotNow(stats_.accepted, stats_.duplicate,
+                                 stats_.corrupt, stats_.rejected);
 }
 
 Result<double> CollectionServer::EstimateBox(std::span<const Interval> ranges,

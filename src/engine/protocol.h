@@ -10,6 +10,7 @@
 
 #include "exec/execution_context.h"
 #include "mech/factory.h"
+#include "storage/durable_store.h"
 
 namespace ldp {
 
@@ -126,6 +127,21 @@ class CollectionServer {
   static Result<CollectionServer> Create(const CollectionSpec& spec,
                                          int num_threads = 1);
 
+  /// Like Create, but backed by a write-ahead log + snapshots in
+  /// `storage.dir` (created if needed). If the directory already holds
+  /// state from a previous run, recovery replays it before returning:
+  /// the newest valid snapshot restores the accepted-report sequence and
+  /// IngestStats, then the WAL suffix past it is replayed frame by frame
+  /// through the normal ingest decision path, so dedup, quarantine and
+  /// renormalization decisions — and therefore every estimate — are
+  /// bit-identical to a process that never crashed. A torn WAL tail or a
+  /// corrupt snapshot degrades recovery to the longest checksummed-valid
+  /// prefix (details in recovery_info()->degradation); it never fails the
+  /// open and never silently invents or drops a durable record.
+  static Result<CollectionServer> CreateDurable(const CollectionSpec& spec,
+                                                const StorageOptions& storage,
+                                                int num_threads = 1);
+
   /// Validates and ingests one framed report for user id `user`. Non-OK
   /// outcomes are typed: kParseError for corrupt frames or payloads,
   /// kAlreadyExists for a duplicate user, and the mechanism's own code for
@@ -178,6 +194,31 @@ class CollectionServer {
 
   int num_threads() const { return exec_->num_threads(); }
 
+  /// Opt into the cross-query estimate cache (same knob EngineOptions
+  /// exposes); 0 bytes disables. Ingest invalidates it epoch-wise, so the
+  /// cache never changes estimates — including across crash recovery.
+  void EnableEstimateCache(size_t max_bytes) {
+    mechanism_->EnableEstimateCache(max_bytes);
+  }
+
+  /// Null for a non-durable server; otherwise what recovery found on open.
+  const RecoveryInfo* recovery_info() const {
+    return store_ != nullptr ? &store_->recovery_info() : nullptr;
+  }
+
+  /// OK for a non-durable server or when the last automatic snapshot
+  /// succeeded; otherwise the typed error (snapshot failures are non-fatal —
+  /// the WAL still covers everything the snapshot would have compacted).
+  Status last_snapshot_status() const {
+    return store_ != nullptr ? store_->last_snapshot_status() : Status::OK();
+  }
+
+  /// Durable server: fsyncs the WAL regardless of sync policy (graceful
+  /// shutdown). No-op for a non-durable server.
+  Status Flush() {
+    return store_ != nullptr ? store_->Flush() : Status::OK();
+  }
+
  private:
   CollectionServer(CollectionSpec spec, Schema schema,
                    std::shared_ptr<ExecutionContext> exec,
@@ -187,6 +228,16 @@ class CollectionServer {
         exec_(std::move(exec)),
         mechanism_(std::move(mechanism)) {}
 
+  /// The serial ingest decision path (corrupt → duplicate → rejected →
+  /// accepted) shared by Ingest, IngestBatch's phase B equivalence, and
+  /// recovery replay. Must not be called before the frame is in the WAL
+  /// (write-ahead discipline); retains accepted payloads in store_.
+  Status ApplyFrame(std::string_view frame_bytes, uint64_t user);
+
+  /// Writes an automatic snapshot when the store says one is due. Failures
+  /// are recorded in last_snapshot_status(), never surfaced to ingest.
+  void MaybeSnapshot();
+
   CollectionSpec spec_;
   Schema schema_;
   /// Declared before mechanism_: the mechanism holds a raw pointer into it.
@@ -194,6 +245,8 @@ class CollectionServer {
   std::shared_ptr<Mechanism> mechanism_;
   IngestStats stats_;
   std::unordered_set<uint64_t> users_;  // accepted users, for dedup
+  /// Null for a non-durable server (Create); set by CreateDurable.
+  std::shared_ptr<DurableStore> store_;
 };
 
 }  // namespace ldp

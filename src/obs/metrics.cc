@@ -185,10 +185,19 @@ MetricsRegistry& GlobalMetrics() {
              "plan.rewrites", "plan.estimate_calls", "plan.batch_queries",
              "plan.batch_dedup_hits", "plan_cache.hits", "plan_cache.misses",
              "plan_cache.insertions", "plan_cache.evictions",
-             "plan_cache.epoch_drops"}) {
+             "plan_cache.epoch_drops", "storage.wal_appends",
+             "storage.wal_bytes", "storage.fsyncs", "storage.wal_torn_tails",
+             "storage.wal_corrupt_drops", "storage.wal_segments_deleted",
+             "storage.snapshot_writes", "storage.snapshot_failures",
+             "storage.snapshot_quarantined",
+             "storage.recovery_replayed_frames"}) {
       registry->counter(name);
     }
     registry->histogram("exec.queue_wait");
+    // Recovery wall time in *milliseconds* (unlike the ns-valued latency
+    // histograms): recovery replays whole logs, so ns buckets would waste
+    // the histogram's range. Bucket edges therefore read as ms here.
+    registry->histogram("storage.recovery_ms");
     return registry;
   }();
   return *global;

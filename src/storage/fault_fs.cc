@@ -1,0 +1,207 @@
+#include "storage/fault_fs.h"
+
+#include <algorithm>
+
+namespace ldp {
+
+/// Handle that routes every call back through the owning FaultFs so the
+/// fault accounting (op counts, budgets, dead flag) stays centralized.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultFs* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    return fs_->AppendLocked(path_, data);
+  }
+  Status Sync() override { return fs_->SyncLocked(path_); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  FaultFs* fs_;
+  std::string path_;
+};
+
+Status FaultFs::TickOpLocked(std::string_view what) {
+  if (dead_) {
+    return Status::IoError("fault fs is dead (crashed); " + std::string(what) +
+                           " refused until Reboot");
+  }
+  ++op_count_;
+  if (options_.crash_at_op != 0 && op_count_ == options_.crash_at_op) {
+    dead_ = true;
+    return Status::IoError("simulated crash at op " +
+                           std::to_string(op_count_) + " (" +
+                           std::string(what) + ")");
+  }
+  return Status::OK();
+}
+
+uint64_t FaultFs::TotalBytesLocked() const {
+  uint64_t total = 0;
+  for (const auto& [path, f] : files_) {
+    total += f.durable.size() + f.buffered.size();
+  }
+  return total;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultFs::OpenAppend(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LDP_RETURN_NOT_OK(TickOpLocked("open '" + path + "'"));
+  files_[path];  // create if missing
+  return std::unique_ptr<WritableFile>(new FaultWritableFile(this, path));
+}
+
+Status FaultFs::AppendLocked(const std::string& path, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Status tick = TickOpLocked("append to '" + path + "'");
+  if (!tick.ok()) {
+    // A crashing append is a torn physical write: half the data reaches the
+    // volatile buffer before the machine dies, so Reboot can expose a torn
+    // record tail.
+    if (dead_ && !data.empty()) {
+      auto it = files_.find(path);
+      if (it != files_.end()) {
+        it->second.buffered.append(data.substr(0, data.size() / 2));
+      }
+    }
+    return tick;
+  }
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::IoError("append to unopened file '" + path + "'");
+  }
+  ++append_count_;
+  size_t commit = data.size();
+  Status result = Status::OK();
+  if (options_.short_write_every != 0 &&
+      append_count_ % options_.short_write_every == 0) {
+    commit = data.size() / 2;
+    result = Status::IoError("injected short write to '" + path + "' (" +
+                             std::to_string(commit) + " of " +
+                             std::to_string(data.size()) + " bytes)");
+  }
+  const uint64_t used = TotalBytesLocked();
+  if (used + commit > options_.disk_budget_bytes) {
+    commit = options_.disk_budget_bytes > used
+                 ? static_cast<size_t>(options_.disk_budget_bytes - used)
+                 : 0;
+    result = Status::IoError("no space left on fault fs writing '" + path +
+                             "' (budget " +
+                             std::to_string(options_.disk_budget_bytes) +
+                             " bytes)");
+  }
+  it->second.buffered.append(data.substr(0, commit));
+  return result;
+}
+
+Status FaultFs::SyncLocked(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LDP_RETURN_NOT_OK(TickOpLocked("sync '" + path + "'"));
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::IoError("sync of unopened file '" + path + "'");
+  }
+  it->second.durable.append(it->second.buffered);
+  it->second.buffered.clear();
+  return Status::OK();
+}
+
+Result<std::string> FaultFs::ReadFileToString(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file '" + path + "'");
+  // An un-crashed process sees its own unflushed writes (page cache).
+  return it->second.durable + it->second.buffered;
+}
+
+Result<std::vector<std::string>> FaultFs::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string prefix = dir;
+  if (prefix.empty() || prefix.back() != '/') prefix.push_back('/');
+  std::vector<std::string> names;
+  for (const auto& [path, f] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix))
+      continue;
+    const std::string name = path.substr(prefix.size());
+    if (name.find('/') == std::string::npos) names.push_back(name);
+  }
+  if (names.empty() && !dirs_.contains(dir)) {
+    return Status::NotFound("no such directory '" + dir + "'");
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status FaultFs::CreateDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LDP_RETURN_NOT_OK(TickOpLocked("mkdir '" + dir + "'"));
+  dirs_.insert(dir);
+  return Status::OK();
+}
+
+Status FaultFs::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LDP_RETURN_NOT_OK(TickOpLocked("unlink '" + path + "'"));
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status FaultFs::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LDP_RETURN_NOT_OK(TickOpLocked("rename '" + from + "'"));
+  const auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file '" + from + "'");
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<bool> FaultFs::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.contains(path);
+}
+
+void FaultFs::Reboot(TearMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, f] : files_) {
+    switch (mode) {
+      case TearMode::kDropUnsynced:
+        break;
+      case TearMode::kKeepUnsynced:
+        f.durable.append(f.buffered);
+        break;
+      case TearMode::kTearUnsynced:
+        f.durable.append(f.buffered.substr(0, f.buffered.size() / 2));
+        break;
+    }
+    f.buffered.clear();
+  }
+  dead_ = false;
+}
+
+void FaultFs::CorruptByte(const std::string& path, uint64_t offset_from_end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return;
+  std::string& bytes = it->second.durable;
+  if (offset_from_end >= bytes.size()) return;
+  bytes[bytes.size() - 1 - offset_from_end] ^= 0x5a;
+}
+
+uint64_t FaultFs::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+bool FaultFs::dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+}  // namespace ldp

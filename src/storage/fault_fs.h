@@ -1,0 +1,109 @@
+#ifndef LDPMDA_STORAGE_FAULT_FS_H_
+#define LDPMDA_STORAGE_FAULT_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "storage/fs.h"
+
+namespace ldp {
+
+/// A deterministic in-memory filesystem with injected faults — the storage
+/// counterpart of PR 1's FaultyChannel. It models the part of POSIX that
+/// matters for crash safety: bytes written but not yet Sync'd live in a
+/// volatile buffer (the page cache) and are lost — possibly torn mid-record —
+/// when the machine dies.
+///
+/// Fault knobs:
+///  - `crash_at_op`: the N-th mutating operation (Append/Sync/Rename/Remove/
+///    OpenAppend, 1-based) fails with an IoError and the filesystem goes
+///    dead: every later mutating op fails too, exactly like a process whose
+///    disk vanished. Sweeping N over a workload's whole op count visits
+///    every kill-point — post-append, pre-fsync, mid-snapshot,
+///    post-snapshot-pre-truncate — without naming any of them.
+///  - `disk_budget_bytes`: total bytes (durable + buffered) the "disk" can
+///    hold; an Append that would exceed it commits only the part that fits
+///    and returns an ENOSPC-style IoError — a short write.
+///  - `short_write_every`: every k-th Append commits only the first half of
+///    its data and fails.
+///
+/// After a crash (or at any point), `Reboot(mode)` simulates power-cycling
+/// the machine: un-synced bytes are dropped, kept, or torn in half per
+/// `mode`, the dead flag clears, and the files can be reopened for recovery.
+///
+/// All operations are internally locked; the instance may be shared across
+/// threads (the TSan storage race test does).
+class FaultFs : public Fs {
+ public:
+  struct Options {
+    uint64_t disk_budget_bytes = UINT64_MAX;
+    uint64_t crash_at_op = 0;      ///< 0 = never crash
+    uint64_t short_write_every = 0;  ///< 0 = no injected short writes
+  };
+
+  /// What happens to un-synced (buffered) bytes at Reboot.
+  enum class TearMode {
+    kDropUnsynced,  ///< page cache lost entirely
+    kKeepUnsynced,  ///< everything reached the platter after all
+    kTearUnsynced,  ///< first half of the un-synced suffix survives
+  };
+
+  FaultFs() : options_() {}
+  explicit FaultFs(const Options& options) : options_(options) {}
+
+  // Fs interface.
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status CreateDir(const std::string& dir) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Result<bool> FileExists(const std::string& path) override;
+
+  /// Power-cycles the simulated machine: applies `mode` to every file's
+  /// un-synced suffix, clears the dead flag, and leaves durable state ready
+  /// for a recovery pass.
+  void Reboot(TearMode mode);
+
+  /// XORs 0x5a into the byte `offset_from_end` from the end of `path`'s
+  /// durable content (0 = last byte). For corrupt-tail and flipped-header
+  /// tests. No-op if the file is missing or shorter.
+  void CorruptByte(const std::string& path, uint64_t offset_from_end);
+
+  /// Mutating operations performed so far (crash sweep upper bound).
+  uint64_t mutating_ops() const;
+  /// True once the crash kill-point has fired (until Reboot).
+  bool dead() const;
+
+ private:
+  friend class FaultWritableFile;
+
+  struct FileState {
+    std::string durable;   ///< survived the last (simulated) power cut
+    std::string buffered;  ///< appended but not yet Sync'd
+  };
+
+  /// Counts one mutating op; returns non-OK when this op is the kill-point
+  /// or the fs is already dead. Caller must hold mu_.
+  Status TickOpLocked(std::string_view what);
+  uint64_t TotalBytesLocked() const;
+
+  Status AppendLocked(const std::string& path, std::string_view data);
+  Status SyncLocked(const std::string& path);
+
+  mutable std::mutex mu_;
+  Options options_;
+  std::map<std::string, FileState> files_;
+  std::set<std::string> dirs_;
+  uint64_t op_count_ = 0;
+  uint64_t append_count_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace ldp
+
+#endif  // LDPMDA_STORAGE_FAULT_FS_H_

@@ -1,0 +1,157 @@
+#include "storage/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace ldp {
+
+namespace {
+
+std::string Errno(std::string_view op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IoError("append to closed file '" + path_ + "'");
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(Errno("write", path_));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IoError("sync of closed file '" + path_ + "'");
+    if (::fsync(fd_) != 0) return Status::IoError(Errno("fsync", path_));
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Status::IoError(Errno("close", path_));
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFsImpl : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return Status::IoError(Errno("open", path));
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file '" + path + "'");
+      return Status::IoError(Errno("open", path));
+    }
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status st = Status::IoError(Errno("read", path));
+        ::close(fd);
+        return st;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such directory '" + dir + "'");
+      }
+      return Status::IoError(Errno("opendir", dir));
+    }
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string_view name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names.emplace_back(name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+    return Status::IoError(Errno("mkdir", dir));
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such file '" + path + "'");
+      }
+      return Status::IoError(Errno("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(Errno("rename", from));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> FileExists(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) return true;
+    if (errno == ENOENT) return false;
+    return Status::IoError(Errno("stat", path));
+  }
+};
+
+}  // namespace
+
+Fs& PosixFs() {
+  static PosixFsImpl fs;
+  return fs;
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (!out.empty() && out.back() != '/') out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+}  // namespace ldp

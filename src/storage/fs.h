@@ -1,0 +1,74 @@
+#ifndef LDPMDA_STORAGE_FS_H_
+#define LDPMDA_STORAGE_FS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ldp {
+
+/// An append-only file handle. Durability contract: bytes handed to Append
+/// are guaranteed on stable storage only after a successful Sync — a crash
+/// before the Sync may lose any suffix of the un-synced bytes, including a
+/// prefix of a single Append (a torn write). The WAL's record checksums are
+/// what turn that physical contract into a clean logical one.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file. On failure (ENOSPC, injected
+  /// short write) any prefix of `data` may have reached the file; callers
+  /// must treat the tail of the file as suspect until the next successful
+  /// append cycle (the WAL rotates to a fresh segment).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flushes everything appended so far to stable storage.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// Minimal filesystem surface the storage layer needs. Two implementations:
+/// PosixFs (the real disk) and FaultFs (a deterministic in-memory filesystem
+/// with injected short writes, ENOSPC, kill-points and torn tails — the
+/// storage counterpart of PR 1's FaultyChannel).
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Opens `path` for appending, creating it (empty) if missing.
+  virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  /// Reads the whole file. kNotFound when it does not exist.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// File names (not paths) directly inside `dir`, sorted ascending.
+  /// kNotFound when the directory does not exist.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  /// Creates `dir` (one level); OK if it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics). The
+  /// snapshot writer relies on this: a crash leaves either the old snapshot
+  /// set or the new one, never a half-written file under the final name.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Result<bool> FileExists(const std::string& path) = 0;
+};
+
+/// The real filesystem (POSIX I/O, fsync-backed Sync). Stateless singleton.
+Fs& PosixFs();
+
+/// `dir` + "/" + `name`, without doubling separators.
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+}  // namespace ldp
+
+#endif  // LDPMDA_STORAGE_FS_H_

@@ -1,0 +1,278 @@
+// Kill-point sweep: crash the durable CollectionServer at *every* mutating
+// filesystem operation its workload performs — mid-append, between append
+// and fsync, during snapshot writes, between snapshot publish and WAL
+// truncation — reboot with the unsynced tail dropped or torn, recover, and
+// require that the recovered server equals, bit for bit, a reference server
+// that ingested exactly the durable frame prefix: same IngestStats (so no
+// frame was silently lost or invented), same estimates. Under the
+// sync-always policy the durable prefix must be exactly the set of frames
+// whose Ingest call succeeded. The whole sweep runs for num_threads {1, 8}
+// with the estimate cache off and on (acceptance criteria of the durability
+// PR).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/protocol.h"
+#include "storage/fault_fs.h"
+
+namespace ldp {
+namespace {
+
+constexpr char kDir[] = "/campaign";
+constexpr uint64_t kFrames = 18;
+
+Schema TestSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddOrdinal("age", 54).ok());
+  EXPECT_TRUE(schema.AddCategorical("state", 6).ok());
+  return schema;
+}
+
+const std::vector<std::vector<Interval>>& QueryBoxes() {
+  static const auto* boxes = new std::vector<std::vector<Interval>>{
+      {{10, 40}, {2, 2}},
+      {{0, 53}, {0, 5}},
+  };
+  return *boxes;
+}
+
+struct Workload {
+  CollectionSpec spec;
+  std::vector<std::string> frames;
+  std::vector<uint64_t> users;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  MechanismParams params;
+  params.epsilon = 2.0;
+  w.spec = CollectionSpec::FromSchema(TestSchema(), MechanismKind::kHio,
+                                      params);
+  const LdpClient client = LdpClient::Create(w.spec).ValueOrDie();
+  Rng rng(71);
+  Rng data_rng(72);
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    const uint64_t user = (i > 0 && i % 6 == 4) ? w.users[i - 1] : i;
+    const std::vector<uint32_t> values = {
+        static_cast<uint32_t>(data_rng.UniformInt(54)),
+        static_cast<uint32_t>(data_rng.UniformInt(6))};
+    std::string frame = client.EncodeUser(values, rng).ValueOrDie();
+    if (i % 9 == 7) frame.back() ^= 0x5a;  // corrupt on the wire
+    w.frames.push_back(std::move(frame));
+    w.users.push_back(user);
+  }
+  return w;
+}
+
+struct PrefixState {
+  IngestStats stats;
+  std::vector<double> estimates;  // empty until a report is accepted
+};
+
+// expected[p]: the exact server state after serially ingesting frames [0, p).
+std::vector<PrefixState> ReferencePrefixes(const Workload& w) {
+  std::vector<PrefixState> expected;
+  CollectionServer server = CollectionServer::Create(w.spec).ValueOrDie();
+  const WeightVector weights = WeightVector::Ones(1000);
+  for (uint64_t p = 0; p <= kFrames; ++p) {
+    if (p > 0) (void)server.Ingest(w.frames[p - 1], w.users[p - 1]);
+    PrefixState state;
+    state.stats = server.ingest_stats();
+    if (state.stats.accepted > 0) {
+      for (const auto& box : QueryBoxes()) {
+        state.estimates.push_back(
+            server.EstimateBox(box, weights).ValueOrDie());
+      }
+    }
+    expected.push_back(std::move(state));
+  }
+  return expected;
+}
+
+StorageOptions MakeStorage(FaultFs* fs) {
+  StorageOptions storage;
+  storage.dir = kDir;
+  storage.fs = fs;
+  storage.sync = WalSyncPolicy::kAlways;
+  storage.snapshot_every_frames = 6;  // snapshot machinery inside the sweep
+  storage.segment_bytes = 2048;       // plus organic segment rotation
+  return storage;
+}
+
+// One crashed run + recovery. Returns the number of frames whose Ingest
+// call succeeded before the crash.
+uint64_t RunUntilCrash(const Workload& w, FaultFs* fs) {
+  uint64_t succeeded = 0;
+  auto server_or = CollectionServer::CreateDurable(w.spec, MakeStorage(fs));
+  if (!server_or.ok()) {
+    // The kill-point fired during the open itself — a typed error, no state.
+    EXPECT_EQ(server_or.status().code(), StatusCode::kIoError);
+    return 0;
+  }
+  CollectionServer server = std::move(server_or).value();
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    const Status fate = server.Ingest(w.frames[i], w.users[i]);
+    // kIoError is the WAL refusing the frame (crashed disk): it must not
+    // count as ingested. Every other code is a normal per-frame fate.
+    if (fate.code() != StatusCode::kIoError) ++succeeded;
+  }
+  return succeeded;
+}
+
+void VerifyRecovery(const Workload& w,
+                    const std::vector<PrefixState>& expected, FaultFs* fs,
+                    uint64_t succeeded, int num_threads, size_t cache_bytes,
+                    uint64_t kill_op) {
+  SCOPED_TRACE("kill_op=" + std::to_string(kill_op) +
+               " threads=" + std::to_string(num_threads) +
+               " cache=" + std::to_string(cache_bytes));
+  // Recovery must never abort, whatever the crash left behind.
+  auto recovered_or =
+      CollectionServer::CreateDurable(w.spec, MakeStorage(fs), num_threads);
+  ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().message();
+  CollectionServer recovered = std::move(recovered_or).value();
+  if (cache_bytes > 0) recovered.EnableEstimateCache(cache_bytes);
+
+  // The recovered state corresponds to some durable prefix of the stream...
+  const uint64_t prefix = recovered.ingest_stats().total();
+  ASSERT_LE(prefix, kFrames);
+  // ...and under sync-always it is *exactly* the acknowledged frames: no
+  // acknowledged frame lost, no unacknowledged frame resurrected as extra
+  // (the crashing frame itself may legitimately be torn away).
+  EXPECT_EQ(prefix, succeeded);
+
+  const PrefixState& want = expected[prefix];
+  EXPECT_EQ(recovered.ingest_stats().accepted, want.stats.accepted);
+  EXPECT_EQ(recovered.ingest_stats().duplicate, want.stats.duplicate);
+  EXPECT_EQ(recovered.ingest_stats().corrupt, want.stats.corrupt);
+  EXPECT_EQ(recovered.ingest_stats().rejected, want.stats.rejected);
+  EXPECT_EQ(recovered.num_reports(), want.stats.accepted);
+
+  const WeightVector weights = WeightVector::Ones(1000);
+  if (want.estimates.empty()) {
+    const auto estimate = recovered.EstimateBox(QueryBoxes()[0], weights);
+    ASSERT_FALSE(estimate.ok());
+    EXPECT_EQ(estimate.status().code(), StatusCode::kFailedPrecondition);
+  } else {
+    for (size_t b = 0; b < QueryBoxes().size(); ++b) {
+      EXPECT_EQ(recovered.EstimateBox(QueryBoxes()[b], weights).ValueOrDie(),
+                want.estimates[b])
+          << "box " << b;
+    }
+  }
+}
+
+void SweepAllKillPoints(int num_threads, size_t cache_bytes) {
+  const Workload w = MakeWorkload();
+  const std::vector<PrefixState> expected = ReferencePrefixes(w);
+
+  // Fault-free dry run bounds the sweep: every op index in it is a distinct
+  // kill-point of the same deterministic workload.
+  uint64_t total_ops = 0;
+  {
+    FaultFs fs;
+    const uint64_t succeeded = RunUntilCrash(w, &fs);
+    EXPECT_EQ(succeeded, kFrames);
+    total_ops = fs.mutating_ops();
+  }
+  ASSERT_GT(total_ops, 2 * kFrames);  // appends + fsyncs + snapshots
+
+  for (uint64_t kill = 1; kill <= total_ops; ++kill) {
+    FaultFs::Options fault;
+    fault.crash_at_op = kill;
+    FaultFs fs(fault);
+    const uint64_t succeeded = RunUntilCrash(w, &fs);
+    EXPECT_TRUE(fs.dead()) << "kill-point " << kill << " never fired";
+    // Alternate the physical failure mode: clean page-cache loss vs a torn
+    // write surviving in part.
+    fs.Reboot(kill % 2 == 0 ? FaultFs::TearMode::kDropUnsynced
+                            : FaultFs::TearMode::kTearUnsynced);
+    VerifyRecovery(w, expected, &fs, succeeded, num_threads, cache_bytes,
+                   kill);
+  }
+}
+
+TEST(StorageKillPointTest, SweepSingleThreadNoCache) {
+  SweepAllKillPoints(/*num_threads=*/1, /*cache_bytes=*/0);
+}
+
+TEST(StorageKillPointTest, SweepSingleThreadWithCache) {
+  SweepAllKillPoints(/*num_threads=*/1, /*cache_bytes=*/size_t{1} << 20);
+}
+
+TEST(StorageKillPointTest, SweepEightThreadsNoCache) {
+  SweepAllKillPoints(/*num_threads=*/8, /*cache_bytes=*/0);
+}
+
+TEST(StorageKillPointTest, SweepEightThreadsWithCache) {
+  SweepAllKillPoints(/*num_threads=*/8, /*cache_bytes=*/size_t{1} << 20);
+}
+
+// The batch path shares the WAL-before-apply discipline; sweep it too with
+// one record per batch of 6 frames. A crashed batch must be all-or-nothing.
+TEST(StorageKillPointTest, BatchIngestCrashesAreBatchAligned) {
+  const Workload w = MakeWorkload();
+  const std::vector<PrefixState> expected = ReferencePrefixes(w);
+  std::vector<CollectionServer::ReportFrame> frames;
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    frames.push_back(CollectionServer::ReportFrame{w.frames[i], w.users[i]});
+  }
+  const std::span<const CollectionServer::ReportFrame> all(frames);
+
+  uint64_t total_ops = 0;
+  {
+    FaultFs fs;
+    auto server =
+        CollectionServer::CreateDurable(w.spec, MakeStorage(&fs)).ValueOrDie();
+    for (uint64_t b = 0; b < kFrames / 6; ++b) {
+      ASSERT_TRUE(server.IngestBatch(all.subspan(b * 6, 6)).ok());
+    }
+    total_ops = fs.mutating_ops();
+  }
+
+  for (uint64_t kill = 1; kill <= total_ops; ++kill) {
+    SCOPED_TRACE("kill_op=" + std::to_string(kill));
+    FaultFs::Options fault;
+    fault.crash_at_op = kill;
+    FaultFs fs(fault);
+    {
+      auto server_or = CollectionServer::CreateDurable(w.spec, MakeStorage(&fs));
+      if (server_or.ok()) {
+        CollectionServer server = std::move(server_or).value();
+        for (uint64_t b = 0; b < kFrames / 6; ++b) {
+          (void)server.IngestBatch(all.subspan(b * 6, 6));
+        }
+      }
+    }
+    fs.Reboot(kill % 2 == 0 ? FaultFs::TearMode::kDropUnsynced
+                            : FaultFs::TearMode::kTearUnsynced);
+    auto recovered_or =
+        CollectionServer::CreateDurable(w.spec, MakeStorage(&fs));
+    ASSERT_TRUE(recovered_or.ok()) << recovered_or.status().message();
+    const CollectionServer& recovered = recovered_or.value();
+    const uint64_t prefix = recovered.ingest_stats().total();
+    // Batch alignment: recovery lands on a whole-batch boundary.
+    EXPECT_EQ(prefix % 6, 0u);
+    ASSERT_LE(prefix, kFrames);
+    const PrefixState& want = expected[prefix];
+    EXPECT_EQ(recovered.ingest_stats().accepted, want.stats.accepted);
+    EXPECT_EQ(recovered.ingest_stats().duplicate, want.stats.duplicate);
+    EXPECT_EQ(recovered.ingest_stats().corrupt, want.stats.corrupt);
+    EXPECT_EQ(recovered.ingest_stats().rejected, want.stats.rejected);
+    if (!want.estimates.empty()) {
+      const WeightVector weights = WeightVector::Ones(1000);
+      for (size_t b = 0; b < QueryBoxes().size(); ++b) {
+        EXPECT_EQ(
+            recovered.EstimateBox(QueryBoxes()[b], weights).ValueOrDie(),
+            want.estimates[b])
+            << "box " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldp

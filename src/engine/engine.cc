@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "common/hash.h"
 #include "common/logging.h"
+#include "mech/multi.h"
 #include "query/plan.h"
 
 namespace ldp {
+
+namespace {
+
+/// Canonical rendering of everything the planner's candidate scoring can
+/// see: the registered mechanism kinds (in order), the mechanism params,
+/// and the consistency flag. Checksummed into the plan-cache configuration
+/// fingerprint so plans built under one configuration are never served
+/// under another.
+uint64_t ConfigFingerprint(std::span<const MechanismKind> kinds,
+                          const MechanismParams& params,
+                          bool planner_consistency) {
+  std::ostringstream os;
+  for (const MechanismKind kind : kinds) {
+    os << MechanismKindName(kind) << ",";
+  }
+  os << "|eps=" << params.epsilon << "|b=" << params.fanout
+     << "|fo=" << static_cast<int>(params.fo_kind)
+     << "|pool=" << params.hash_pool_size
+     << "|hint=" << params.population_hint
+     << "|consistency=" << (planner_consistency ? 1 : 0);
+  return Checksum64(os.str());
+}
+
+}  // namespace
 
 Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
     const Table& table, const EngineOptions& options) {
@@ -16,16 +43,31 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
   // the library, so one engine configures observability for the process.
   GlobalMetrics().set_enabled(options.enable_metrics);
   engine->exec_ = std::make_unique<ExecutionContext>(options.num_threads);
-  LDP_ASSIGN_OR_RETURN(
-      engine->mechanism_,
-      CreateMechanism(options.mechanism, table.schema(), options.params));
+  // Registered mechanism set: `mechanisms` (when non-empty) overrides the
+  // single-mechanism `mechanism` field. Two or more kinds build the
+  // MultiMechanism composite (user-partitioned budget, per-plan dispatch);
+  // one kind is the classic single-mechanism deployment.
+  std::vector<MechanismKind> kinds = options.mechanisms;
+  if (kinds.empty()) kinds.push_back(options.mechanism);
+  if (kinds.size() > 1) {
+    LDP_ASSIGN_OR_RETURN(
+        auto multi,
+        MultiMechanism::Create(table.schema(), options.params, kinds));
+    engine->mechanism_ = std::move(multi);
+  } else {
+    LDP_ASSIGN_OR_RETURN(
+        engine->mechanism_,
+        CreateMechanism(kinds[0], table.schema(), options.params));
+  }
   engine->mechanism_->set_execution_context(engine->exec_.get());
   if (options.enable_estimate_cache && options.estimate_cache_bytes > 0) {
     engine->mechanism_->EnableEstimateCache(options.estimate_cache_bytes);
   }
   engine->planner_ = std::make_unique<Planner>(
-      table.schema(), options.mechanism, options.params,
+      table.schema(), kinds, options.params,
       PlannerOptions{options.planner_consistency});
+  engine->config_fingerprint_ =
+      ConfigFingerprint(kinds, options.params, options.planner_consistency);
   if (options.enable_plan_cache && options.plan_cache_entries > 0) {
     engine->plan_cache_ =
         std::make_unique<PlanCache>(options.plan_cache_entries);
@@ -92,7 +134,9 @@ Result<std::shared_ptr<const PhysicalPlan>> AnalyticsEngine::GetPlan(
     TraceSpan probe_span(profile, QueryProfile::kPlan);
     if (plan_cache_ != nullptr) {
       key = QueryCacheKey(schema(), query);
-      if (auto plan = plan_cache_->Get(key, epoch)) return plan;
+      if (auto plan = plan_cache_->Get(key, epoch, config_fingerprint_)) {
+        return plan;
+      }
     }
   }
   TraceSpan rewrite_span(profile, QueryProfile::kRewrite);
@@ -102,7 +146,12 @@ Result<std::shared_ptr<const PhysicalPlan>> AnalyticsEngine::GetPlan(
   TraceSpan build_span(profile, QueryProfile::kPlan);
   LDP_ASSIGN_OR_RETURN(PhysicalPlan physical,
                        planner_->Plan(std::move(logical).value(), epoch));
+  physical.config_fingerprint = config_fingerprint_;
   build_span.Stop();
+  GlobalMetrics()
+      .counter(std::string("plan.mechanism_choices.") +
+               MechanismKindName(physical.mechanism))
+      ->Increment();
   auto plan = std::make_shared<const PhysicalPlan>(std::move(physical));
   if (plan_cache_ != nullptr) plan_cache_->Put(key, plan);
   return plan;
@@ -121,8 +170,9 @@ Result<double> AnalyticsEngine::ExecuteSql(std::string_view sql,
   // skipping the parse as well. The index never stores plans itself — the
   // epoch check happens in the keyed cache it points into.
   if (plan_cache_ != nullptr) {
-    if (auto plan =
-            plan_cache_->GetSql(std::string(sql), mechanism_->num_reports())) {
+    if (auto plan = plan_cache_->GetSql(std::string(sql),
+                                        mechanism_->num_reports(),
+                                        config_fingerprint_)) {
       ProfiledQueryScope scope(profile, *mechanism_, *exec_);
       return executor_->Run(*plan, profile);
     }

@@ -22,6 +22,14 @@ namespace ldp {
 /// Configuration of a private-analytics deployment (Figure 1).
 struct EngineOptions {
   MechanismKind mechanism = MechanismKind::kHio;
+  /// Multi-mechanism deployment: when non-empty this OVERRIDES `mechanism`
+  /// and registers every listed kind with one engine. With two or more
+  /// kinds the population is user-partitioned across them (each simulated
+  /// client spends its full eps on one uniformly drawn mechanism — see
+  /// MultiMechanism) and the planner scores every registered candidate per
+  /// query, executing each plan with the analytically best one. A single
+  /// entry is identical to setting `mechanism`. Duplicates are rejected.
+  std::vector<MechanismKind> mechanisms;
   MechanismParams params;
   /// Seed for the simulated clients' randomness.
   uint64_t seed = 42;
@@ -149,6 +157,11 @@ class AnalyticsEngine {
   const Schema& schema() const { return table_.schema(); }
   /// The plan cache, or null when disabled.
   PlanCache* plan_cache() const { return plan_cache_.get(); }
+  /// Fingerprint of the planner-visible configuration (registered mechanism
+  /// set, mechanism params, consistency flag). Stamped into every plan and
+  /// checked by the plan cache, so a cached plan is never served after the
+  /// candidate set changes. Exposed for tests.
+  uint64_t config_fingerprint() const { return config_fingerprint_; }
 
   /// Sum over rows of |expr| for the query's aggregate — the MNAE
   /// normalizer Sigma_S (Section 6, error measures). COUNT uses n.
@@ -173,6 +186,8 @@ class AnalyticsEngine {
   /// Null when EngineOptions::enable_plan_cache is off.
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<PlanExecutor> executor_;
+  /// See config_fingerprint().
+  uint64_t config_fingerprint_ = 0;
 };
 
 }  // namespace ldp

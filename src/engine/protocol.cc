@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "mech/multi.h"
 #include "obs/metrics.h"
 
 namespace ldp {
@@ -64,6 +65,22 @@ uint64_t ReadU64Le(std::string_view in) {
   return v;
 }
 
+/// The mechanism instance a spec describes: the MultiMechanism composite
+/// when the spec lists several kinds, the single kind otherwise. Shared by
+/// the client and server halves so both always agree on the wire format.
+Result<std::unique_ptr<Mechanism>> BuildSpecMechanism(
+    const CollectionSpec& spec, const Schema& schema) {
+  if (spec.mechanisms.size() > 1) {
+    LDP_ASSIGN_OR_RETURN(
+        auto multi,
+        MultiMechanism::Create(schema, spec.params, spec.mechanisms));
+    return std::unique_ptr<Mechanism>(std::move(multi));
+  }
+  const MechanismKind kind =
+      spec.mechanisms.empty() ? spec.mechanism : spec.mechanisms[0];
+  return CreateMechanism(kind, schema, spec.params);
+}
+
 }  // namespace
 
 CollectionSpec CollectionSpec::FromSchema(const Schema& schema,
@@ -78,14 +95,38 @@ CollectionSpec CollectionSpec::FromSchema(const Schema& schema,
   return spec;
 }
 
+CollectionSpec CollectionSpec::FromSchema(const Schema& schema,
+                                          std::span<const MechanismKind> kinds,
+                                          const MechanismParams& params) {
+  CollectionSpec spec = FromSchema(
+      schema, kinds.empty() ? MechanismKind::kHio : kinds[0], params);
+  if (kinds.size() > 1) {
+    spec.mechanisms.assign(kinds.begin(), kinds.end());
+  }
+  return spec;
+}
+
 std::string CollectionSpec::Serialize() const {
   std::ostringstream os;
   os << kHeader << "\n";
-  os << "mechanism=" << ToLower(MechanismKindName(mechanism)) << "\n";
+  os << "mechanism=";
+  if (mechanisms.size() > 1) {
+    for (size_t i = 0; i < mechanisms.size(); ++i) {
+      if (i > 0) os << ",";
+      os << ToLower(MechanismKindName(mechanisms[i]));
+    }
+  } else {
+    os << ToLower(MechanismKindName(
+        mechanisms.empty() ? mechanism : mechanisms[0]));
+  }
+  os << "\n";
   os << "epsilon=" << params.epsilon << "\n";
   os << "fanout=" << params.fanout << "\n";
   os << "fo=" << FoKindName(params.fo_kind) << "\n";
   os << "pool=" << params.hash_pool_size << "\n";
+  if (params.population_hint != 0) {
+    os << "hint=" << params.population_hint << "\n";
+  }
   for (const Attribute& attr : sensitive_attributes) {
     os << "dim=" << attr.name << " "
        << (attr.kind == AttributeKind::kSensitiveOrdinal ? "ordinal"
@@ -118,9 +159,17 @@ Result<CollectionSpec> CollectionSpec::Parse(std::string_view text) {
     const std::string_view key = Trim(line.substr(0, eq));
     const std::string_view value = Trim(line.substr(eq + 1));
     if (key == "mechanism") {
-      const auto kind = MechanismKindFromString(value);
-      if (!kind.ok()) return err(key, kind.status().message());
-      spec.mechanism = kind.value();
+      // One kind, or a comma-separated multi-mechanism list (first wins the
+      // primary slot). Duplicates are caught by MultiMechanism::Create.
+      std::vector<MechanismKind> kinds;
+      for (const std::string& part : Split(value, ',')) {
+        const auto kind = MechanismKindFromString(Trim(part));
+        if (!kind.ok()) return err(key, kind.status().message());
+        kinds.push_back(kind.value());
+      }
+      if (kinds.empty()) return err(key, "expected at least one mechanism");
+      spec.mechanism = kinds[0];
+      if (kinds.size() > 1) spec.mechanisms = std::move(kinds);
     } else if (key == "epsilon") {
       const auto eps = ParseDouble(value);
       if (!eps.ok()) return err(key, eps.status().message());
@@ -143,6 +192,13 @@ Result<CollectionSpec> CollectionSpec::Parse(std::string_view text) {
         return err(key, "must be >= 0 (got '" + std::string(value) + "')");
       }
       spec.params.hash_pool_size = static_cast<uint32_t>(pool.value());
+    } else if (key == "hint") {
+      const auto hint = ParseInt64(value);
+      if (!hint.ok()) return err(key, hint.status().message());
+      if (hint.value() < 0) {
+        return err(key, "must be >= 0 (got '" + std::string(value) + "')");
+      }
+      spec.params.population_hint = static_cast<uint64_t>(hint.value());
     } else if (key == "dim") {
       const auto parts = Split(value, ' ');
       if (parts.size() != 3) {
@@ -231,8 +287,7 @@ Result<std::string_view> UnframeReport(std::string_view frame) {
 
 Result<LdpClient> LdpClient::Create(const CollectionSpec& spec) {
   LDP_ASSIGN_OR_RETURN(Schema schema, spec.ToSchema());
-  LDP_ASSIGN_OR_RETURN(auto mechanism,
-                       CreateMechanism(spec.mechanism, schema, spec.params));
+  LDP_ASSIGN_OR_RETURN(auto mechanism, BuildSpecMechanism(spec, schema));
   return LdpClient(spec, std::move(schema), std::move(mechanism));
 }
 
@@ -246,8 +301,7 @@ Result<CollectionServer> CollectionServer::Create(const CollectionSpec& spec,
                                                   int num_threads) {
   LDP_ASSIGN_OR_RETURN(Schema schema, spec.ToSchema());
   auto exec = std::make_shared<ExecutionContext>(num_threads);
-  LDP_ASSIGN_OR_RETURN(auto mechanism,
-                       CreateMechanism(spec.mechanism, schema, spec.params));
+  LDP_ASSIGN_OR_RETURN(auto mechanism, BuildSpecMechanism(spec, schema));
   mechanism->set_execution_context(exec.get());
   return CollectionServer(spec, std::move(schema), std::move(exec),
                           std::move(mechanism));

@@ -29,6 +29,14 @@ namespace ldp {
 ///   dim=age ordinal 54
 ///   dim=state categorical 6
 ///
+/// A multi-mechanism campaign lists its kinds comma-separated
+/// (`mechanism=hio,hdg`): clients then spend their full eps on one
+/// uniformly drawn mechanism (user-partitioned budget — see
+/// MultiMechanism) and the server hosts every listed kind over the one
+/// report population. An optional `hint=<N>` line carries
+/// MechanismParams::population_hint for mechanisms whose layout depends on
+/// the expected population size (HDG, CALM); it is omitted when zero.
+///
 /// Reports travel back framed (version 1; all integers little-endian):
 ///
 ///   [0, 4)    magic "LDPR"
@@ -42,12 +50,22 @@ namespace ldp {
 /// garbage to the estimators; see "Failure model & degradation" in DESIGN.md.
 struct CollectionSpec {
   MechanismKind mechanism = MechanismKind::kHio;
+  /// Multi-mechanism campaign: when this holds two or more kinds it
+  /// overrides `mechanism` and the client/server pair is built on the
+  /// MultiMechanism composite. Empty (the default) or a single entry means
+  /// the classic single-mechanism deployment described by `mechanism`.
+  std::vector<MechanismKind> mechanisms;
   MechanismParams params;
   /// Sensitive attributes only (name, kind, domain), in report order.
   std::vector<Attribute> sensitive_attributes;
 
   /// Builds a spec advertising `schema`'s sensitive dimensions.
   static CollectionSpec FromSchema(const Schema& schema, MechanismKind kind,
+                                   const MechanismParams& params);
+  /// Multi-mechanism variant: registers every kind in `kinds` (first is the
+  /// primary; at least one required).
+  static CollectionSpec FromSchema(const Schema& schema,
+                                   std::span<const MechanismKind> kinds,
                                    const MechanismParams& params);
 
   std::string Serialize() const;

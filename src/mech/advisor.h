@@ -1,7 +1,9 @@
 #ifndef LDPMDA_MECH_ADVISOR_H_
 #define LDPMDA_MECH_ADVISOR_H_
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "mech/mechanism.h"
 
@@ -36,6 +38,31 @@ struct MechanismAdvice {
 MechanismAdvice AdviseMechanism(const Schema& schema,
                                 const MechanismParams& params,
                                 const WorkloadProfile& workload);
+
+/// One candidate's verdict in the generalized per-mechanism cost model.
+struct MechanismScore {
+  MechanismKind kind = MechanismKind::kHio;
+  /// Variance proxy per unit M2_T, comparable across mechanisms; smaller is
+  /// better. Meaningless when !feasible.
+  double variance = 0.0;
+  bool feasible = true;
+  /// One-line justification of the proxy (surfaced by EXPLAIN).
+  std::string note;
+};
+
+/// Scores every candidate mechanism for the given workload shape with the
+/// same exact-leading-noise-term proxies AdviseMechanism uses, extended to
+/// HI, QuadTree, Haar, HDG and CALM. Scores come back in candidate order.
+/// The MG/HIO/SC proxies are numerically identical to MechanismAdvice's.
+std::vector<MechanismScore> ScoreMechanisms(
+    const Schema& schema, const MechanismParams& params,
+    const WorkloadProfile& workload,
+    std::span<const MechanismKind> candidates);
+
+/// The feasible candidate with the smallest variance proxy, ties going to
+/// the earlier list position. Falls back to the first candidate when none
+/// is feasible. `scores` must be non-empty.
+MechanismKind ChooseMechanism(std::span<const MechanismScore> scores);
 
 }  // namespace ldp
 

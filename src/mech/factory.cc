@@ -1,6 +1,8 @@
 #include "mech/factory.h"
 
+#include "mech/calm.h"
 #include "mech/haar.h"
+#include "mech/hdg.h"
 #include "mech/hi.h"
 #include "mech/hio.h"
 #include "mech/mg.h"
@@ -35,6 +37,14 @@ Result<std::unique_ptr<Mechanism>> CreateMechanism(
     }
     case MechanismKind::kHaar: {
       LDP_ASSIGN_OR_RETURN(auto mech, HaarMechanism::Create(schema, params));
+      return {std::unique_ptr<Mechanism>(std::move(mech))};
+    }
+    case MechanismKind::kHdg: {
+      LDP_ASSIGN_OR_RETURN(auto mech, HdgMechanism::Create(schema, params));
+      return {std::unique_ptr<Mechanism>(std::move(mech))};
+    }
+    case MechanismKind::kCalm: {
+      LDP_ASSIGN_OR_RETURN(auto mech, CalmMechanism::Create(schema, params));
       return {std::unique_ptr<Mechanism>(std::move(mech))};
     }
   }

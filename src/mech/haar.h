@@ -36,6 +36,9 @@ class HaarMechanism : public Mechanism {
       const Schema& schema, const MechanismParams& params);
 
   MechanismKind kind() const override { return MechanismKind::kHaar; }
+  uint64_t NumReportGroups() const override {
+    return static_cast<uint64_t>(store_.num_groups());
+  }
 
   LdpReport EncodeUser(std::span<const uint32_t> values,
                        Rng& rng) const override;

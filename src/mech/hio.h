@@ -29,6 +29,9 @@ class HioMechanism : public Mechanism {
       const Schema& schema, const MechanismParams& params);
 
   MechanismKind kind() const override { return MechanismKind::kHio; }
+  uint64_t NumReportGroups() const override {
+    return static_cast<uint64_t>(store_.num_groups());
+  }
 
   LdpReport EncodeUser(std::span<const uint32_t> values,
                        Rng& rng) const override;

@@ -19,6 +19,10 @@ std::string MechanismKindName(MechanismKind kind) {
       return "QuadTree";
     case MechanismKind::kHaar:
       return "Haar";
+    case MechanismKind::kHdg:
+      return "HDG";
+    case MechanismKind::kCalm:
+      return "CALM";
   }
   return "?";
 }
@@ -31,6 +35,8 @@ Result<MechanismKind> MechanismKindFromString(std::string_view name) {
   if (lower == "mg") return MechanismKind::kMg;
   if (lower == "quadtree" || lower == "qt") return MechanismKind::kQuadTree;
   if (lower == "haar" || lower == "wavelet") return MechanismKind::kHaar;
+  if (lower == "hdg") return MechanismKind::kHdg;
+  if (lower == "calm") return MechanismKind::kCalm;
   return Status::InvalidArgument("unknown mechanism: " + std::string(name));
 }
 

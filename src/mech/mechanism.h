@@ -20,8 +20,9 @@ class ExecutionContext;
 
 /// The four LDP mechanisms evaluated in the paper (Section 6), plus the
 /// QuadTree and Haar-wavelet space-partitioning alternatives discussed in
-/// Section 7.
-enum class MechanismKind { kHi, kHio, kSc, kMg, kQuadTree, kHaar };
+/// Section 7, the hybrid-dimensional-grid mechanism of Yang et al. (HDG),
+/// and the marginal-selection mechanism of Wang et al. (CALM).
+enum class MechanismKind { kHi, kHio, kSc, kMg, kQuadTree, kHaar, kHdg, kCalm };
 
 std::string MechanismKindName(MechanismKind kind);
 Result<MechanismKind> MechanismKindFromString(std::string_view name);
@@ -44,6 +45,12 @@ struct MechanismParams {
   /// 1/sqrt(g * pool) per distinct value, which is negligible next to the
   /// LDP noise at benchmark scales (see DESIGN.md).
   uint32_t hash_pool_size = 0;
+  /// Expected population size N, used by mechanisms whose layout depends on
+  /// it (HDG's adaptive grid granularities, CALM's marginal-size budget).
+  /// 0 (default) falls back to a fixed heuristic of 50000 so that layouts —
+  /// and therefore report formats — never depend on the observed number of
+  /// reports.
+  uint64_t population_hint = 0;
 };
 
 /// The LDP report a single user sends: one frequency-oracle report per
@@ -86,12 +93,20 @@ class Mechanism {
   const MechanismParams& params() const { return params_; }
   const Schema& schema() const { return schema_; }
 
+  /// Number of distinct report-entry group ids this mechanism emits (dense,
+  /// starting at 0). A composite mechanism offsets its sub-mechanisms'
+  /// groups into one id space, so reports self-describe their owner.
+  virtual uint64_t NumReportGroups() const = 0;
+
   /// Attaches a shard-parallel execution context. The mechanism does not own
   /// it; the caller must keep it alive for the mechanism's lifetime. When no
   /// context is attached, estimation runs on the serial context (which uses
   /// the same chunked reductions, so estimates are independent of the
-  /// attached context's thread count, bit for bit).
-  void set_execution_context(const ExecutionContext* exec) { exec_ = exec; }
+  /// attached context's thread count, bit for bit). Composite mechanisms
+  /// override this to forward the context to their sub-mechanisms.
+  virtual void set_execution_context(const ExecutionContext* exec) {
+    exec_ = exec;
+  }
   const ExecutionContext* execution_context() const { return exec_; }
 
   /// --- Client side (algorithm A) ---
@@ -115,8 +130,10 @@ class Mechanism {
   /// A fresh, empty mechanism with this mechanism's schema and params.
   /// Workers ingest disjoint report ranges into private shards, then the
   /// owner folds them in with Merge; the merged state is identical to having
-  /// ingested every report sequentially in shard order.
-  Result<std::unique_ptr<Mechanism>> NewShard() const;
+  /// ingested every report sequentially in shard order. The default rebuilds
+  /// a mechanism of the same kind from schema_/params_; composite mechanisms
+  /// override it.
+  virtual Result<std::unique_ptr<Mechanism>> NewShard() const;
 
   /// Folds a shard's accumulated reports into this mechanism, preserving
   /// report order (this mechanism's reports first, then the shard's). The
@@ -140,8 +157,10 @@ class Mechanism {
   /// of `max_bytes` (0 disables it). Purely a performance knob: estimates
   /// are bit-identical with the cache on or off — it only skips recomputing
   /// nodes already estimated against the same weight vector and report set.
-  /// Any existing cache contents are dropped.
-  void EnableEstimateCache(size_t max_bytes);
+  /// Any existing cache contents are dropped. Composite mechanisms override
+  /// this to give each sub-mechanism its own cache (cache keys are per-group
+  /// and group ids collide across sub-mechanisms).
+  virtual void EnableEstimateCache(size_t max_bytes);
 
   /// The node-estimate cache, or null when disabled.
   EstimateCache* estimate_cache() const { return estimate_cache_.get(); }

@@ -28,6 +28,9 @@ class QuadTreeMechanism : public Mechanism {
       const Schema& schema, const MechanismParams& params);
 
   MechanismKind kind() const override { return MechanismKind::kQuadTree; }
+  uint64_t NumReportGroups() const override {
+    return static_cast<uint64_t>(store_.num_groups());
+  }
 
   LdpReport EncodeUser(std::span<const uint32_t> values,
                        Rng& rng) const override;

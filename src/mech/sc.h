@@ -34,6 +34,9 @@ class ScMechanism : public Mechanism {
       const Schema& schema, const MechanismParams& params);
 
   MechanismKind kind() const override { return MechanismKind::kSc; }
+  uint64_t NumReportGroups() const override {
+    return static_cast<uint64_t>(protocols_.size());
+  }
 
   LdpReport EncodeUser(std::span<const uint32_t> values,
                        Rng& rng) const override;

@@ -7,6 +7,7 @@
 
 #include "mech/consistency.h"
 #include "mech/hio.h"
+#include "mech/multi.h"
 
 namespace ldp {
 
@@ -25,12 +26,16 @@ Counter* BatchDedupHits() {
   return c;
 }
 
-/// Dedup handle of one estimate op: the weight key (component + expr +
-/// public constraints) plus the sensitive box and the strategy-relevant
-/// consistency bit. Everything the estimate depends on besides the reports.
+/// Dedup handle of one estimate op: the chosen mechanism, the weight key
+/// (component + expr + public constraints), the sensitive box, and the
+/// strategy-relevant consistency bit. Everything the estimate depends on
+/// besides the reports. The mechanism prefix keeps a multi-mechanism batch
+/// from sharing estimates across plans that chose different mechanisms; on
+/// single-mechanism engines it is a constant, so grouping is unchanged.
 std::string TaskKey(const PlanOp& op, const PhysicalPlan& plan) {
   std::ostringstream key;
-  key << plan.ops[op.weight_op].weight_key << "|";
+  key << MechanismKindName(plan.mechanism) << "|"
+      << plan.ops[op.weight_op].weight_key << "|";
   for (const Interval& r : plan.logical.terms[op.term].sensitive) {
     key << r.lo << "-" << r.hi << ";";
   }
@@ -52,6 +57,7 @@ PlanExecutor::PlanExecutor(const Table& table, const Mechanism& mechanism,
                            const ExecutionContext& exec)
     : table_(table),
       mechanism_(mechanism),
+      multi_(dynamic_cast<const MultiMechanism*>(&mechanism)),
       exec_(exec),
       weights_(std::make_unique<WeightStore>(table)) {}
 
@@ -102,6 +108,11 @@ Status PlanExecutor::AccumulateComponents(
       }
       LDP_ASSIGN_OR_RETURN(estimate,
                            tree_it->second->EstimateRange(term.sensitive[0]));
+    } else if (multi_ != nullptr) {
+      // Composite engine: dispatch to the mechanism this plan chose.
+      LDP_ASSIGN_OR_RETURN(
+          estimate,
+          multi_->EstimateBoxWith(plan.mechanism, term.sensitive, *weights));
     } else {
       LDP_ASSIGN_OR_RETURN(estimate,
                            mechanism_.EstimateBox(term.sensitive, *weights));

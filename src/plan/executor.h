@@ -13,6 +13,8 @@
 
 namespace ldp {
 
+class MultiMechanism;
+
 /// Executes physical plans against one deployment's reports. This is the
 /// estimation fan-out that used to live inside AnalyticsEngine::Execute,
 /// extracted behind the plan IR; the replay contract is bit-identity with
@@ -75,6 +77,9 @@ class PlanExecutor {
 
   const Table& table_;
   const Mechanism& mechanism_;
+  /// Non-null iff `mechanism_` is a MultiMechanism composite; estimate ops
+  /// then dispatch to the sub-mechanism each plan chose.
+  const MultiMechanism* multi_ = nullptr;
   const ExecutionContext& exec_;
   std::unique_ptr<WeightStore> weights_;
 };

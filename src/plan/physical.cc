@@ -29,6 +29,10 @@ const char* PlanStrategyName(PlanStrategy strategy) {
       return "sc-dual-path";
     case PlanStrategy::kMgCellStream:
       return "mg-cell-stream";
+    case PlanStrategy::kHdgGridCombine:
+      return "hdg-grid-combine";
+    case PlanStrategy::kCalmMarginalCombine:
+      return "calm-marginal-combine";
   }
   return "?";
 }
@@ -96,6 +100,14 @@ std::string PhysicalPlan::ToText(const Schema& schema) const {
      << " mg=" << FormatDouble(advice.mg_variance)
      << " hio=" << FormatDouble(advice.hio_variance)
      << " sc=" << FormatDouble(advice.sc_variance) << "\n";
+  if (!candidates.empty()) {
+    os << "candidates:";
+    for (const MechanismScore& c : candidates) {
+      os << " " << MechanismKindName(c.kind) << "="
+         << (c.feasible ? FormatDouble(c.variance) : std::string("infeasible"));
+    }
+    os << "\n";
+  }
   os << "epoch: " << epoch << "\n";
   char fp[32];
   std::snprintf(fp, sizeof(fp), "%016llx",
@@ -127,8 +139,19 @@ std::string PhysicalPlan::ToJson(const Schema& schema) const {
      << MechanismKindName(advice.recommended)
      << "\",\"mg\":" << FormatDouble(advice.mg_variance)
      << ",\"hio\":" << FormatDouble(advice.hio_variance)
-     << ",\"sc\":" << FormatDouble(advice.sc_variance) << "}"
-     << ",\"epoch\":" << epoch << ",\"fingerprint\":\"";
+     << ",\"sc\":" << FormatDouble(advice.sc_variance) << "}";
+  if (!candidates.empty()) {
+    os << ",\"candidates\":[";
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (i > 0) os << ",";
+      const MechanismScore& c = candidates[i];
+      os << "{\"mechanism\":\"" << MechanismKindName(c.kind)
+         << "\",\"feasible\":" << (c.feasible ? "true" : "false")
+         << ",\"variance\":" << FormatDouble(c.variance) << "}";
+    }
+    os << "]";
+  }
+  os << ",\"epoch\":" << epoch << ",\"fingerprint\":\"";
   char fp[32];
   std::snprintf(fp, sizeof(fp), "%016llx",
                 static_cast<unsigned long long>(fingerprint));

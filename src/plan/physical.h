@@ -50,6 +50,12 @@ enum class PlanStrategy {
   kScDualPath,
   /// Marginal-grid cell streaming: the box sum enumerates grid cells.
   kMgCellStream,
+  /// HDG: response-count weighted combination over the 1-D/2-D grids
+  /// covering the constrained dimensions.
+  kHdgGridCombine,
+  /// CALM: response-count weighted combination over the covering size-k
+  /// marginals' sub-boxes.
+  kCalmMarginalCombine,
 };
 
 const char* PlanStrategyName(PlanStrategy strategy);
@@ -101,6 +107,15 @@ struct PhysicalPlan {
   /// Checksum of the canonical plan text (epoch excluded): two structurally
   /// identical plans have the same fingerprint across runs and processes.
   uint64_t fingerprint = 0;
+  /// Checksum of the engine configuration the plan was built under
+  /// (registered mechanism set, params, planner options). The plan cache
+  /// hard-drops entries whose config fingerprint differs — a cached plan is
+  /// never served after the candidate set changed. 0 = unconstrained.
+  uint64_t config_fingerprint = 0;
+  /// Per-candidate cost-model scores behind the mechanism choice, in
+  /// candidate-registration order. Empty for single-mechanism planners (the
+  /// choice is forced), so single-mechanism EXPLAIN output is unchanged.
+  std::vector<MechanismScore> candidates;
   std::vector<PlanOp> ops;
 
   /// Stable human-readable EXPLAIN rendering. Deterministic: fixed field

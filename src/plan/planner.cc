@@ -10,13 +10,26 @@ namespace ldp {
 
 Planner::Planner(Schema schema, MechanismKind mechanism,
                  const MechanismParams& params, const PlannerOptions& options)
+    : Planner(std::move(schema), std::vector<MechanismKind>{mechanism}, params,
+              options) {}
+
+Planner::Planner(Schema schema, std::vector<MechanismKind> candidates,
+                 const MechanismParams& params, const PlannerOptions& options)
     : schema_(std::move(schema)),
-      mechanism_(mechanism),
+      mechanism_(candidates.empty() ? MechanismKind::kHio : candidates[0]),
+      candidates_(std::move(candidates)),
       params_(params),
       options_(options),
-      hierarchies_(BuildHierarchies(schema_, params.fanout)) {}
+      hierarchies_(BuildHierarchies(schema_, params.fanout)) {
+  if (candidates_.empty()) candidates_.push_back(mechanism_);
+}
 
 uint64_t Planner::PredictTermNodes(const LogicalTerm& term) const {
+  return PredictTermNodesFor(mechanism_, term);
+}
+
+uint64_t Planner::PredictTermNodesFor(MechanismKind mechanism,
+                                      const LogicalTerm& term) const {
   // Saturating products: domains are small in practice, but MG cell counts
   // are m^d-ish and must not wrap.
   constexpr uint64_t kCap = uint64_t{1} << 62;
@@ -25,7 +38,7 @@ uint64_t Planner::PredictTermNodes(const LogicalTerm& term) const {
     if (f == 0) f = 1;
     nodes = (nodes > kCap / f) ? kCap : nodes * f;
   };
-  switch (mechanism_) {
+  switch (mechanism) {
     case MechanismKind::kMg: {
       // MG streams every grid cell of the box.
       for (const Interval& r : term.sensitive) mul(r.length());
@@ -52,7 +65,9 @@ uint64_t Planner::PredictTermNodes(const LogicalTerm& term) const {
     default: {
       // HI/HIO/QuadTree/Haar: the level-grid fan-out is the cross product of
       // the per-dimension canonical decompositions (root for unconstrained
-      // dimensions contributes factor 1).
+      // dimensions contributes factor 1). HDG/CALM touch fewer cells than
+      // this (coarse grids / direct marginal sub-boxes), so the same product
+      // serves as their conservative annotation.
       for (size_t i = 0; i < term.sensitive.size(); ++i) {
         std::vector<LevelInterval> pieces;
         if (hierarchies_[i]->Decompose(term.sensitive[i], &pieces).ok()) {
@@ -100,21 +115,42 @@ Result<PhysicalPlan> Planner::Plan(LogicalPlan logical,
   }
   plan.query_dims = std::max(constrained, 1);
   plan.query_volume = QueryVolume(schema_, logical);
+  const WorkloadProfile profile{plan.query_dims, plan.query_volume};
 
-  // --- Strategy: the mechanism's native shape, or the opt-in consistent
-  // tree when the deployment qualifies (1 sensitive ordinal dim on HIO). ---
-  switch (mechanism_) {
+  // --- Mechanism choice: with one registered candidate the choice is
+  // forced (today's single-mechanism planning, bit for bit); with several
+  // the per-mechanism cost model scores them all against this query's shape
+  // and the plan records both the winner and the rejected scores. ---
+  MechanismKind chosen = mechanism_;
+  if (candidates_.size() > 1) {
+    plan.candidates = ScoreMechanisms(schema_, params_, profile, candidates_);
+    chosen = ChooseMechanism(plan.candidates);
+    plan.mechanism = chosen;
+  }
+
+  // --- Strategy: the chosen mechanism's native shape, or the opt-in
+  // consistent tree when the deployment qualifies (single-mechanism HIO
+  // with 1 sensitive ordinal dim; the consistency path needs direct access
+  // to the HIO mechanism, which a composite engine does not expose). ---
+  switch (chosen) {
     case MechanismKind::kMg:
       plan.strategy = PlanStrategy::kMgCellStream;
       break;
     case MechanismKind::kSc:
       plan.strategy = PlanStrategy::kScDualPath;
       break;
+    case MechanismKind::kHdg:
+      plan.strategy = PlanStrategy::kHdgGridCombine;
+      break;
+    case MechanismKind::kCalm:
+      plan.strategy = PlanStrategy::kCalmMarginalCombine;
+      break;
     default:
       plan.strategy = PlanStrategy::kDirectLevelGrid;
       break;
   }
-  if (options_.enable_consistency && mechanism_ == MechanismKind::kHio &&
+  if (options_.enable_consistency && candidates_.size() == 1 &&
+      chosen == MechanismKind::kHio &&
       schema_.sensitive_dims().size() == 1 &&
       schema_.attribute(schema_.sensitive_dims()[0]).kind ==
           AttributeKind::kSensitiveOrdinal) {
@@ -123,16 +159,28 @@ Result<PhysicalPlan> Planner::Plan(LogicalPlan logical,
   }
 
   // --- Cost annotations: advisor proxies + per-term node predictions. ---
-  plan.advice = AdviseMechanism(
-      schema_, params_,
-      WorkloadProfile{plan.query_dims, plan.query_volume});
+  plan.advice = AdviseMechanism(schema_, params_, profile);
   double coef_sq = 0.0;
   for (const LogicalTerm& term : logical.terms) {
     coef_sq += term.coefficient * term.coefficient;
   }
   double proxy = plan.advice.hio_variance;
-  if (mechanism_ == MechanismKind::kMg) proxy = plan.advice.mg_variance;
-  if (mechanism_ == MechanismKind::kSc) proxy = plan.advice.sc_variance;
+  if (chosen == MechanismKind::kMg) proxy = plan.advice.mg_variance;
+  if (chosen == MechanismKind::kSc) proxy = plan.advice.sc_variance;
+  if (chosen == MechanismKind::kHdg || chosen == MechanismKind::kCalm) {
+    if (!plan.candidates.empty()) {
+      for (const MechanismScore& score : plan.candidates) {
+        if (score.kind == chosen) proxy = score.variance;
+      }
+    } else {
+      const MechanismKind one[] = {chosen};
+      proxy = ScoreMechanisms(schema_, params_, profile, one)[0].variance;
+    }
+  } else if (!plan.candidates.empty()) {
+    for (const MechanismScore& score : plan.candidates) {
+      if (score.kind == chosen) proxy = score.variance;
+    }
+  }
   plan.predicted_variance = proxy * coef_sq;
 
   // --- Op list: component-major, term-minor — exactly the legacy engine's
@@ -162,7 +210,7 @@ Result<PhysicalPlan> Planner::Plan(LogicalPlan logical,
       est.term = static_cast<int>(t);
       est.weight_op = it->second;
       est.deps.push_back(it->second);
-      est.predicted_nodes = PredictTermNodes(term);
+      est.predicted_nodes = PredictTermNodesFor(chosen, term);
       plan.predicted_node_estimates += est.predicted_nodes;
       estimate_ops.push_back(static_cast<int>(plan.ops.size()));
       plan.ops.push_back(std::move(est));

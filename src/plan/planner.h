@@ -35,6 +35,15 @@ class Planner {
   Planner(Schema schema, MechanismKind mechanism,
           const MechanismParams& params, const PlannerOptions& options = {});
 
+  /// Multi-mechanism planner: `candidates` lists the mechanisms registered
+  /// with the engine (the first is the primary). With more than one
+  /// candidate every Plan() call scores all of them against the query's
+  /// workload shape and the plan records the chosen mechanism plus the
+  /// rejected candidates' scores; with exactly one this is identical to the
+  /// single-mechanism constructor.
+  Planner(Schema schema, std::vector<MechanismKind> candidates,
+          const MechanismParams& params, const PlannerOptions& options = {});
+
   /// Lowers `logical` into an executable physical plan stamped with the
   /// report-store `epoch` it was planned at.
   Result<PhysicalPlan> Plan(LogicalPlan logical, uint64_t epoch) const;
@@ -49,10 +58,18 @@ class Planner {
   static double QueryVolume(const Schema& schema, const LogicalPlan& logical);
 
   const PlannerOptions& options() const { return options_; }
+  const std::vector<MechanismKind>& candidates() const { return candidates_; }
 
  private:
+  uint64_t PredictTermNodesFor(MechanismKind mechanism,
+                               const LogicalTerm& term) const;
+
   Schema schema_;
+  /// Primary mechanism (candidates_[0]); the forced choice when only one
+  /// candidate is registered.
   MechanismKind mechanism_;
+  /// Registered mechanism kinds, in registration order.
+  std::vector<MechanismKind> candidates_;
   MechanismParams params_;
   PlannerOptions options_;
   /// Per sensitive dimension, in Schema::sensitive_dims() order.

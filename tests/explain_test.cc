@@ -190,6 +190,91 @@ TEST(ExplainTest, StrategyLabelsFollowTheMechanism) {
             "strategy: direct-level-grid");
 }
 
+TEST(ExplainTest, NewMechanismStrategyLabels) {
+  const Table table = SmallTable();
+  const Query query =
+      ParseQuery(table.schema(), "SELECT COUNT(*) FROM T WHERE a <= 5")
+          .ValueOrDie();
+  EXPECT_EQ(LineStartingWith(
+                MakeEngine(table, MechanismKind::kHdg)->Explain(query)
+                    .ValueOrDie(),
+                "strategy:"),
+            "strategy: hdg-grid-combine");
+  EXPECT_EQ(LineStartingWith(
+                MakeEngine(table, MechanismKind::kCalm)->Explain(query)
+                    .ValueOrDie(),
+                "strategy:"),
+            "strategy: calm-marginal-combine");
+}
+
+std::unique_ptr<AnalyticsEngine> MakeMultiEngine(
+    const Table& table, std::vector<MechanismKind> kinds) {
+  EngineOptions options;
+  options.mechanisms = std::move(kinds);
+  options.params.epsilon = 2.0;
+  options.params.hash_pool_size = 256;
+  return AnalyticsEngine::Create(table, options).ValueOrDie();
+}
+
+TEST(ExplainTest, MultiMechanismSurfacesCandidateScores) {
+  // EXPLAIN is the proof that the mechanism choice is cost-model driven: the
+  // chosen mechanism appears alongside every rejected candidate's variance
+  // score, in registration order.
+  const Table table = SmallTable();
+  const auto engine =
+      MakeMultiEngine(table, {MechanismKind::kHio, MechanismKind::kHdg});
+  const std::string text =
+      engine->ExplainSql("SELECT COUNT(*) FROM T WHERE a IN [2, 9]")
+          .ValueOrDie();
+
+  const std::string mech_line = LineStartingWith(text, "mechanism:");
+  const std::string cand_line = LineStartingWith(text, "candidates:");
+  ASSERT_FALSE(cand_line.empty()) << text;
+  // Both registered kinds are scored, and the chosen one is among them.
+  EXPECT_NE(cand_line.find(" HIO="), std::string::npos) << cand_line;
+  EXPECT_NE(cand_line.find(" HDG="), std::string::npos) << cand_line;
+  ASSERT_GT(mech_line.size(), std::string("mechanism: ").size());
+  EXPECT_NE(cand_line.find(mech_line.substr(std::string("mechanism: ").size())),
+            std::string::npos);
+
+  // The rendering is stable and the JSON mirror carries the same scores.
+  EXPECT_EQ(text,
+            engine->ExplainSql("SELECT COUNT(*) FROM T WHERE a IN [2, 9]")
+                .ValueOrDie());
+  const Query query =
+      ParseQuery(table.schema(), "SELECT COUNT(*) FROM T WHERE a IN [2, 9]")
+          .ValueOrDie();
+  const auto plan = engine->PlanFor(query).ValueOrDie();
+  ASSERT_EQ(plan->candidates.size(), 2u);
+  const std::string json = plan->ToJson(table.schema());
+  EXPECT_NE(json.find("\"candidates\":[{\"mechanism\":\"HIO\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"mechanism\":\"HDG\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"feasible\":"), std::string::npos);
+  EXPECT_NE(json.find("\"variance\":"), std::string::npos);
+}
+
+TEST(ExplainTest, SingleMechanismHasNoCandidatesLine) {
+  // The forced choice is not rendered as a candidate list, so
+  // single-mechanism goldens and fingerprints are unchanged by the
+  // multi-mechanism feature.
+  const Table table = SmallTable();
+  const std::string text =
+      MakeEngine(table)
+          ->ExplainSql("SELECT COUNT(*) FROM T WHERE a IN [2, 9]")
+          .ValueOrDie();
+  EXPECT_EQ(LineStartingWith(text, "candidates:"), "");
+  const std::string json =
+      MakeEngine(table)
+          ->PlanFor(ParseQuery(table.schema(),
+                               "SELECT COUNT(*) FROM T WHERE a IN [2, 9]")
+                        .ValueOrDie())
+          .ValueOrDie()
+          ->ToJson(table.schema());
+  EXPECT_EQ(json.find("\"candidates\""), std::string::npos);
+}
+
 TEST(ExplainTest, ConsistencyStrategyIsOptInAndGated) {
   const Table one_dim = OneDimTable();
   const Query query =

@@ -319,7 +319,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllMechanisms, PlanEquivalenceTest,
     ::testing::Values(MechanismKind::kHi, MechanismKind::kHio,
                       MechanismKind::kSc, MechanismKind::kMg,
-                      MechanismKind::kQuadTree, MechanismKind::kHaar),
+                      MechanismKind::kQuadTree, MechanismKind::kHaar,
+                      MechanismKind::kHdg, MechanismKind::kCalm),
     [](const ::testing::TestParamInfo<MechanismKind>& info) {
       return MechanismKindName(info.param);
     });

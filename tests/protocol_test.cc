@@ -77,6 +77,83 @@ TEST(CollectionSpecTest, ParseIgnoresCommentsAndBlankLines) {
   EXPECT_DOUBLE_EQ(spec.params.epsilon, 1.5);
 }
 
+TEST(CollectionSpecTest, MultiMechanismRoundTrip) {
+  MechanismParams params;
+  params.epsilon = 2.0;
+  params.population_hint = 30000;
+  const std::vector<MechanismKind> kinds = {MechanismKind::kHio,
+                                            MechanismKind::kHdg};
+  const CollectionSpec spec =
+      CollectionSpec::FromSchema(TestSchema(), kinds, params);
+  EXPECT_EQ(spec.mechanism, MechanismKind::kHio);
+  EXPECT_EQ(spec.mechanisms, kinds);
+
+  const std::string text = spec.Serialize();
+  EXPECT_NE(text.find("mechanism=hio,hdg"), std::string::npos) << text;
+  EXPECT_NE(text.find("hint=30000"), std::string::npos) << text;
+  const CollectionSpec back = CollectionSpec::Parse(text).ValueOrDie();
+  EXPECT_EQ(back.mechanism, MechanismKind::kHio);
+  EXPECT_EQ(back.mechanisms, kinds);
+  EXPECT_EQ(back.params.population_hint, 30000u);
+
+  // A single-kind list round-trips to the classic single-mechanism form.
+  const CollectionSpec single = CollectionSpec::FromSchema(
+      TestSchema(), std::vector<MechanismKind>{MechanismKind::kSc}, params);
+  EXPECT_EQ(single.mechanism, MechanismKind::kSc);
+  EXPECT_TRUE(single.mechanisms.empty());
+  const CollectionSpec single_back =
+      CollectionSpec::Parse(single.Serialize()).ValueOrDie();
+  EXPECT_EQ(single_back.mechanism, MechanismKind::kSc);
+  EXPECT_TRUE(single_back.mechanisms.empty());
+
+  // Malformed lists are named errors.
+  const char* header = "ldpmda-collection-spec v1\n";
+  EXPECT_FALSE(
+      CollectionSpec::Parse(std::string(header) +
+                            "mechanism=hio,alien\ndim=x ordinal 4\n")
+          .ok());
+  EXPECT_FALSE(CollectionSpec::Parse(std::string(header) +
+                                     "hint=-5\ndim=x ordinal 4\n")
+                   .ok());
+}
+
+TEST(ProtocolTest, MultiMechanismClientServerEndToEnd) {
+  // Two registered mechanisms over one wire population: each client spends
+  // its whole budget on one uniformly drawn mechanism, and the server
+  // reconstructs population estimates from either cohort.
+  MechanismParams params;
+  params.epsilon = 2.0;
+  const std::vector<MechanismKind> kinds = {MechanismKind::kHio,
+                                            MechanismKind::kMg};
+  const CollectionSpec spec =
+      CollectionSpec::FromSchema(TestSchema(), kinds, params);
+  const CollectionSpec client_spec =
+      CollectionSpec::Parse(spec.Serialize()).ValueOrDie();
+  LdpClient client = LdpClient::Create(client_spec).ValueOrDie();
+  CollectionServer server = CollectionServer::Create(spec).ValueOrDie();
+
+  const uint64_t n = 20000;
+  Rng rng(17);
+  Rng data_rng(18);
+  double truth = 0.0;
+  std::vector<double> weights;
+  for (uint64_t u = 0; u < n; ++u) {
+    const std::vector<uint32_t> values = {
+        static_cast<uint32_t>(data_rng.UniformInt(54)),
+        static_cast<uint32_t>(data_rng.UniformInt(6))};
+    const double weight = 1.0 + (u % 2);
+    weights.push_back(weight);
+    if (values[0] >= 10 && values[0] <= 40 && values[1] == 2) truth += weight;
+    const std::string bytes = client.EncodeUser(values, rng).ValueOrDie();
+    ASSERT_TRUE(server.Ingest(bytes, u).ok());
+  }
+  EXPECT_EQ(server.num_reports(), n);
+  const WeightVector w(weights);
+  const std::vector<Interval> ranges = {{10, 40}, {2, 2}};
+  const double est = server.EstimateBox(ranges, w).ValueOrDie();
+  EXPECT_NEAR(est, truth, w.total() * 0.25);
+}
+
 TEST(ProtocolTest, ClientServerEndToEnd) {
   const CollectionSpec spec = TestSpec();
   // Ship the spec as text, as a deployment would.

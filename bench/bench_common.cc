@@ -5,6 +5,8 @@
 #include <fstream>
 #include <string_view>
 
+#include "fo/simd/simd.h"
+
 namespace ldp {
 namespace bench {
 
@@ -40,7 +42,8 @@ bool& ExplainFirstQuery() {
 bool WriteStatsJson(const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
-  out << "{\"metrics\":" << GlobalMetrics().TakeSnapshot().ToJson()
+  out << "{\"simd_level\":\"" << SimdLevelName(ActiveSimdLevel()) << "\""
+      << ",\"metrics\":" << GlobalMetrics().TakeSnapshot().ToJson()
       << ",\"query_profile\":" << WorkloadProfile().ToJson() << "}\n";
   return static_cast<bool>(out);
 }
@@ -53,6 +56,26 @@ void EnableStatsJsonFromArgs(int* argc, char** argv) {
     if (arg.rfind(kPrefix, 0) == 0) {
       StatsJsonPath() = std::string(arg.substr(kPrefix.size()));
       std::atexit(DumpStatsAtExit);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+void ApplySimdFromArgs(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kPrefix = "--simd=";
+    if (arg.rfind(kPrefix, 0) == 0) {
+      const auto level = SimdLevelFromString(arg.substr(kPrefix.size()));
+      if (!level.ok()) {
+        std::fprintf(stderr, "%s (expected auto|scalar|avx2|neon)\n",
+                     level.status().ToString().c_str());
+        std::exit(2);
+      }
+      SetSimdLevel(level.value());
     } else {
       argv[out++] = argv[i];
     }
@@ -81,8 +104,18 @@ bool ParseBenchConfig(int argc, char** argv, const std::string& name,
   p->AddBool("full", &config->full, "use the paper-scale parameters");
   p->AddBool("explain", &config->explain,
              "dump each engine's plan for the first workload query");
+  p->AddString("simd", &config->simd,
+               "frequency-oracle kernel level: auto|scalar|avx2|neon");
   if (!p->Parse(argc, argv)) return false;
   ExplainFirstQuery() = config->explain;
+  const auto simd_level = SimdLevelFromString(config->simd);
+  if (!simd_level.ok()) {
+    std::fprintf(stderr, "%s (expected auto|scalar|avx2|neon)\n",
+                 simd_level.status().ToString().c_str());
+    return false;
+  }
+  // Fatal (by design) when the host cannot run the forced level.
+  SetSimdLevel(simd_level.value());
   if (!config->stats_json.empty()) {
     StatsJsonPath() = config->stats_json;
     std::atexit(DumpStatsAtExit);

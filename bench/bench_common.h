@@ -45,6 +45,11 @@ struct BenchConfig {
   /// histogram the library exports; see the README metrics reference) plus
   /// the accumulated per-query profile of the bench's workload.
   std::string stats_json;
+  /// Frequency-oracle kernel level: auto, scalar, avx2, neon (SetSimdLevel).
+  /// Estimates are bit-identical at every level; forcing one the host cannot
+  /// run is fatal rather than silently falling back, so a recorded curve is
+  /// always measured with the kernels its label names.
+  std::string simd = "auto";
 };
 
 /// Parses the standard flags (plus `extra`, which may add its own flags
@@ -58,6 +63,12 @@ bool ParseBenchConfig(int argc, char** argv, const std::string& name,
 /// argv (so the foreign parser never sees it) and registers the exit-time
 /// stats dump. Call before benchmark::Initialize.
 void EnableStatsJsonFromArgs(int* argc, char** argv);
+
+/// --simd support for benches with a foreign flag parser: consumes any
+/// `--simd=LEVEL` argument from argv and applies SetSimdLevel. Exits with a
+/// usage error on an unknown level name; LDP_CHECK-fatal (by design) when
+/// the level is unsupported on this host. Call before benchmark::Initialize.
+void ApplySimdFromArgs(int* argc, char** argv);
 
 /// Resolves defaults: n and queries fall back to (full ? paper : quick).
 int64_t ResolveN(const BenchConfig& config, int64_t quick_default,

@@ -1,28 +1,39 @@
 // Micro-benchmarks for the batched estimation kernels (FoAccumulator::
-// EstimateManyWeighted) and the cross-query node-estimate cache: scalar
-// per-value estimation vs one batched kernel call over the same values, and
-// repeated-query cost with the cache on vs off, on a ~1M-row table.
+// EstimateManyWeighted), the SIMD kernel layer (src/fo/simd/), and the
+// cross-query node-estimate cache: scalar per-value estimation vs one
+// batched kernel call over the same values, scalar vs vectorized inner
+// loops per frequency oracle, and repeated-query cost with the cache on vs
+// off, on a ~1M-row table.
 //
-// All three paths produce bit-identical estimates; only the cost differs.
-// The scalar baseline is the per-value path every mechanism fan-out used
+// All paths produce bit-identical estimates; only the cost differs. The
+// scalar baseline is the per-value path every mechanism fan-out used
 // before batching (one full pass over the reports, or one histogram probe,
 // per value).
 //
 //   ./bench/micro_estimate_batch                          # human-readable
 //   ./bench/micro_estimate_batch --benchmark_format=json > BENCH_estimate.json
+//   ./bench/micro_estimate_batch --simd=scalar            # force a level
+//
+// Record BENCH_estimate.json from a RELEASE build (the release-bench
+// preset): debug-build numbers under-report the vectorized kernels by an
+// order of magnitude and must not be committed.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
+#include "common/random.h"
 #include "data/generator.h"
 #include "engine/engine.h"
 #include "fo/olh.h"
 #include "fo/oue.h"
+#include "fo/simd/simd.h"
 
 namespace ldp {
 namespace {
@@ -149,6 +160,161 @@ void BM_OueEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_OueEstimate)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Per-kernel scalar-vs-SIMD curves (src/fo/simd/). Each bench drives one
+// FoKernels entry directly on synthetic inputs — the exact inner loop the
+// accumulators run, with no gating, caching, or finalization noise around
+// it. Arg 0 = forced scalar, arg 1 = best level this binary + host supports
+// (identical to scalar under LDPMDA_DISABLE_SIMD or on hosts without a
+// vector unit, so the curve degenerates gracefully). The label names the
+// level actually measured; `reports_per_sec` counts reduction-dimension
+// elements consumed per second (reports for the raw scans, pool seeds for
+// the pooled OLH histogram, spectrum entries for HR).
+
+constexpr uint64_t kKernelRows = 1u << 18;
+constexpr uint32_t kKernelG = 8;       // OLH hash range (~e^eps + 1 at eps=2)
+constexpr uint32_t kKernelPool = 1024;
+constexpr uint64_t kKernelDomain = 1024;
+constexpr size_t kKernelSpectrum = 1u << 16;
+
+/// Resolves the bench arg to a kernel table and labels the state with the
+/// level actually measured.
+const FoKernels& KernelTable(benchmark::State& state) {
+  const SimdLevel level =
+      state.range(0) == 0 ? SimdLevel::kScalar : DetectSimdLevel();
+  state.SetLabel(SimdLevelName(level));
+  return KernelsForLevel(level);
+}
+
+void SetReportsPerSec(benchmark::State& state, double per_iteration) {
+  state.counters["reports_per_sec"] = benchmark::Counter(
+      per_iteration * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+/// Synthetic kernel inputs, shared across iterations and levels (kernels are
+/// read-only in everything but theta). Distributions match what the
+/// accumulators feed: uniform report values/seeds, unit weights, dense OUE
+/// bit rows, signed HR sums.
+struct KernelInputs {
+  std::vector<uint32_t> seeds, ys, grr_reports;
+  std::vector<uint64_t> users, oue_bits, hr_indices;
+  std::vector<double> weights, hist, hr_sums;
+};
+
+const KernelInputs& Inputs() {
+  static const KernelInputs* inputs = [] {
+    auto* in = new KernelInputs();
+    Rng rng(11);
+    in->seeds.resize(kKernelRows);
+    in->ys.resize(kKernelRows);
+    in->grr_reports.resize(kKernelRows);
+    in->users.resize(kKernelRows);
+    in->weights.resize(kKernelRows, 1.0);
+    const size_t words = kKernelDomain / 64;
+    in->oue_bits.resize(kKernelRows * words);
+    for (uint64_t i = 0; i < kKernelRows; ++i) {
+      in->seeds[i] = static_cast<uint32_t>(rng());
+      in->ys[i] = static_cast<uint32_t>(rng.UniformInt(kKernelG));
+      in->grr_reports[i] = static_cast<uint32_t>(
+          rng.UniformInt(kKernelDomain));
+      in->users[i] = i;
+      for (size_t w = 0; w < words; ++w) in->oue_bits[i * words + w] = rng();
+    }
+    in->hist.resize(static_cast<size_t>(kKernelPool) * kKernelG);
+    for (double& h : in->hist) h = rng.UniformDouble();
+    in->hr_indices.resize(kKernelSpectrum);
+    in->hr_sums.resize(kKernelSpectrum);
+    for (size_t e = 0; e < kKernelSpectrum; ++e) {
+      in->hr_indices[e] = rng.UniformInt(1u << 20);
+      in->hr_sums[e] = rng.UniformDouble() - 0.5;
+    }
+    return in;
+  }();
+  return *inputs;
+}
+
+void BM_KernelOlhRaw(benchmark::State& state) {
+  const FoKernels& kernels = KernelTable(state);
+  const KernelInputs& in = Inputs();
+  const std::vector<uint64_t> values = ValueSet(64, kKernelDomain);
+  std::vector<double> theta(values.size());
+  for (auto _ : state) {
+    std::fill(theta.begin(), theta.end(), 0.0);
+    kernels.olh_raw(in.seeds.data(), in.ys.data(), in.users.data(),
+                    kKernelRows, in.weights.data(), kKernelG, values.data(),
+                    values.size(), theta.data());
+    benchmark::DoNotOptimize(theta.data());
+  }
+  SetReportsPerSec(state, static_cast<double>(kKernelRows));
+}
+BENCHMARK(BM_KernelOlhRaw)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_KernelOlhHist(benchmark::State& state) {
+  const FoKernels& kernels = KernelTable(state);
+  const KernelInputs& in = Inputs();
+  const std::vector<uint64_t> values = ValueSet(1024, kKernelDomain);
+  std::vector<double> theta(values.size());
+  for (auto _ : state) {
+    std::fill(theta.begin(), theta.end(), 0.0);
+    kernels.olh_hist(in.hist.data(), kKernelPool, kKernelG, values.data(),
+                     values.size(), theta.data());
+    benchmark::DoNotOptimize(theta.data());
+  }
+  SetReportsPerSec(state, static_cast<double>(kKernelPool));
+}
+BENCHMARK(BM_KernelOlhHist)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_KernelGrrRaw(benchmark::State& state) {
+  const FoKernels& kernels = KernelTable(state);
+  const KernelInputs& in = Inputs();
+  const std::vector<uint64_t> values = ValueSet(64, kKernelDomain);
+  std::vector<double> theta(values.size());
+  for (auto _ : state) {
+    std::fill(theta.begin(), theta.end(), 0.0);
+    double group_weight = 0.0;
+    kernels.grr_raw(in.grr_reports.data(), in.users.data(), kKernelRows,
+                    in.weights.data(), values.data(), values.size(),
+                    theta.data(), &group_weight);
+    benchmark::DoNotOptimize(theta.data());
+    benchmark::DoNotOptimize(group_weight);
+  }
+  SetReportsPerSec(state, static_cast<double>(kKernelRows));
+}
+BENCHMARK(BM_KernelGrrRaw)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_KernelOueRaw(benchmark::State& state) {
+  const FoKernels& kernels = KernelTable(state);
+  const KernelInputs& in = Inputs();
+  const std::vector<uint64_t> values = ValueSet(64, kKernelDomain);
+  std::vector<double> theta(values.size());
+  for (auto _ : state) {
+    std::fill(theta.begin(), theta.end(), 0.0);
+    kernels.oue_raw(in.oue_bits.data(), kKernelDomain / 64, in.users.data(),
+                    kKernelRows, in.weights.data(), values.data(),
+                    values.size(), theta.data());
+    benchmark::DoNotOptimize(theta.data());
+  }
+  SetReportsPerSec(state, static_cast<double>(kKernelRows));
+}
+BENCHMARK(BM_KernelOueRaw)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_KernelHrSpectrum(benchmark::State& state) {
+  const FoKernels& kernels = KernelTable(state);
+  const KernelInputs& in = Inputs();
+  const std::vector<uint64_t> values = ValueSet(256, 1u << 20);
+  std::vector<double> total(values.size());
+  for (auto _ : state) {
+    std::fill(total.begin(), total.end(), 0.0);
+    kernels.hr_spectrum(in.hr_indices.data(), in.hr_sums.data(),
+                        kKernelSpectrum, values.data(), values.size(),
+                        total.data());
+    benchmark::DoNotOptimize(total.data());
+  }
+  SetReportsPerSec(state, static_cast<double>(kKernelSpectrum));
+}
+BENCHMARK(BM_KernelHrSpectrum)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Repeated identical query through the engine: with the node-estimate cache
 /// every per-node estimate after the first execution is a hash-map probe;
 /// without it each execution re-runs the kernels. pool=0 keeps the uncached
@@ -193,4 +359,12 @@ BENCHMARK(BM_QueryRepeat)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace ldp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ldp::bench::EnableStatsJsonFromArgs(&argc, argv);
+  ldp::bench::ApplySimdFromArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

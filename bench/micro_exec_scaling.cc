@@ -1,13 +1,16 @@
 // Thread-scaling micro-benchmark for the shard-parallel execution core
 // (src/exec/): simulated collection (encode + ingest), staged batch ingest,
 // and box-estimation throughput vs worker-thread count on a ~1M-row table.
+// Box estimation additionally sweeps the SIMD kernel level (src/fo/simd/),
+// so the scalar-vs-vector curve is visible at every thread count.
 //
-// Estimates are bit-identical across thread counts (fixed per-chunk RNG
-// substreams, ordered shard merges, fixed-chunk reductions), so only
-// wall-clock time varies here.
+// Estimates are bit-identical across thread counts and SIMD levels (fixed
+// per-chunk RNG substreams, ordered shard merges, fixed-chunk reductions,
+// lane-per-value kernels), so only wall-clock time varies here.
 //
 //   ./bench/micro_exec_scaling                          # human-readable
 //   ./bench/micro_exec_scaling --benchmark_format=json > BENCH_exec.json
+//   ./bench/micro_exec_scaling --simd=scalar            # force a level
 
 #include <benchmark/benchmark.h>
 
@@ -17,9 +20,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "data/generator.h"
 #include "engine/engine.h"
 #include "engine/protocol.h"
+#include "fo/simd/simd.h"
 
 namespace ldp {
 namespace {
@@ -129,16 +134,28 @@ BENCHMARK(BM_IngestBatch)
     ->Unit(benchmark::kMillisecond);
 
 /// Box estimation: the HIO level-grid fan-out runs one sub-query per level
-/// combination; the exec context spreads them over the workers.
+/// combination; the exec context spreads them over the workers. The second
+/// arg sweeps the frequency-oracle kernel level (0 = forced scalar, 1 =
+/// best supported — identical to scalar on hosts without a vector unit);
+/// the label names the level actually measured.
 void BM_EstimateBox(benchmark::State& state) {
   const int num_threads = static_cast<int>(state.range(0));
+  const SimdLevel level =
+      state.range(1) == 0 ? SimdLevel::kScalar : DetectSimdLevel();
   static auto* engines =
       new std::map<int, std::unique_ptr<AnalyticsEngine>>();
   std::unique_ptr<AnalyticsEngine>& engine = (*engines)[num_threads];
   if (engine == nullptr) {
-    engine = AnalyticsEngine::Create(BenchTable(), MakeOptions(num_threads))
-                 .ValueOrDie();
+    // Estimate cache off: a repeated identical query would otherwise be
+    // answered from cached node estimates, and neither the worker threads
+    // nor the kernels would do any work after the first execution.
+    EngineOptions options = MakeOptions(num_threads);
+    options.enable_estimate_cache = false;
+    engine = AnalyticsEngine::Create(BenchTable(), options).ValueOrDie();
   }
+  // Engine creation resolves kAuto; force the swept level after it (the
+  // estimates are bit-identical at every level, so engine reuse is sound).
+  SetSimdLevel(level);
   const std::string sql =
       "SELECT COUNT(*) FROM T WHERE age BETWEEN 10 AND 35 "
       "AND income BETWEEN 5 AND 40";
@@ -152,15 +169,22 @@ void BM_EstimateBox(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["threads"] = static_cast<double>(num_threads);
+  state.SetLabel(SimdLevelName(level));
+  SetSimdLevel(SimdLevel::kAuto);
 }
 BENCHMARK(BM_EstimateBox)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace ldp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ldp::bench::EnableStatsJsonFromArgs(&argc, argv);
+  ldp::bench::ApplySimdFromArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,10 +14,11 @@ namespace ldp {
 namespace {
 
 /// Canonical rendering of everything the planner's candidate scoring can
-/// see: the registered mechanism kinds (in order), the mechanism params,
-/// and the consistency flag. Checksummed into the plan-cache configuration
-/// fingerprint so plans built under one configuration are never served
-/// under another.
+/// see — the registered mechanism kinds (in order), the mechanism params,
+/// the consistency flag — plus the resolved SIMD kernel level, so recorded
+/// plans name the kernels that executed them. Checksummed into the
+/// plan-cache configuration fingerprint so plans built under one
+/// configuration are never served under another.
 uint64_t ConfigFingerprint(std::span<const MechanismKind> kinds,
                           const MechanismParams& params,
                           bool planner_consistency) {
@@ -29,7 +30,8 @@ uint64_t ConfigFingerprint(std::span<const MechanismKind> kinds,
      << "|fo=" << static_cast<int>(params.fo_kind)
      << "|pool=" << params.hash_pool_size
      << "|hint=" << params.population_hint
-     << "|consistency=" << (planner_consistency ? 1 : 0);
+     << "|consistency=" << (planner_consistency ? 1 : 0)
+     << "|simd=" << SimdLevelName(ActiveSimdLevel());
   return Checksum64(os.str());
 }
 
@@ -42,6 +44,11 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
   // Process-wide switch: the registry gates every counter/histogram/span in
   // the library, so one engine configures observability for the process.
   GlobalMetrics().set_enabled(options.enable_metrics);
+  // Process-wide like the metrics switch; LDP_CHECK-fatal on a forced level
+  // this host cannot run (a silent fallback would record benchmarks under
+  // the wrong kernel label). Resolves kAuto, so ConfigFingerprint below
+  // sees a concrete level.
+  SetSimdLevel(options.simd_level);
   engine->exec_ = std::make_unique<ExecutionContext>(options.num_threads);
   // Registered mechanism set: `mechanisms` (when non-empty) overrides the
   // single-mechanism `mechanism` field. Two or more kinds build the

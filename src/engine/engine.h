@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "data/table.h"
 #include "exec/execution_context.h"
+#include "fo/simd/simd.h"
 #include "mech/factory.h"
 #include "obs/trace.h"
 #include "plan/executor.h"
@@ -62,6 +63,14 @@ struct EngineOptions {
   /// tree) for qualifying deployments — see PlannerOptions. Changes answers
   /// (that is its point), hence off by default.
   bool planner_consistency = false;
+  /// Instruction-set level for the frequency-oracle estimate kernels
+  /// (src/fo/simd/). kAuto picks the best supported level at Create();
+  /// forcing a level the host does not support is LDP_CHECK-fatal. Purely a
+  /// performance knob — every level is bit-identical (see FoKernels) — but
+  /// the RESOLVED level is folded into config_fingerprint() so recorded
+  /// benchmark artifacts and cached plans name the kernels that produced
+  /// them. Process-wide, like enable_metrics: the last engine created wins.
+  SimdLevel simd_level = SimdLevel::kAuto;
 };
 
 /// End-to-end private MDA pipeline over one fact table (Section 2.3).

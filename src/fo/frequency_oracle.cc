@@ -18,6 +18,14 @@ const FoCacheCounters& FoCacheMetrics() {
       GlobalMetrics().counter("fo_cache.builds"),
       GlobalMetrics().counter("fo_cache.stale_rebuilds"),
       GlobalMetrics().counter("fo_cache.evictions"),
+      GlobalMetrics().histogram("fo_cache.histogram_build_ns"),
+  };
+  return counters;
+}
+
+const FoEstimateCounters& FoEstimateMetrics() {
+  static const FoEstimateCounters counters = {
+      GlobalMetrics().counter("estimate.report_values"),
   };
   return counters;
 }

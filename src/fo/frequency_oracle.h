@@ -17,14 +17,27 @@ namespace ldp {
 /// spectrum caches (`fo_cache.*`): hits (generation-valid cached entry
 /// served), builds (full O(n) rebuilds, first-time or after staleness),
 /// stale_rebuilds (subset of builds caused by the built_reports generation
-/// check), evictions (FIFO capacity drops). Resolved once per process.
+/// check), evictions (FIFO capacity drops), build_ns (wall time of each
+/// build — `fo_cache.histogram_build_ns`). Resolved once per process.
 struct FoCacheCounters {
   Counter* hits;
   Counter* builds;
   Counter* stale_rebuilds;
   Counter* evictions;
+  LatencyHistogram* build_ns;
 };
 const FoCacheCounters& FoCacheMetrics();
+
+/// Shared GlobalMetrics handles for the estimate kernels. `report_values`
+/// (`estimate.report_values`) counts kernel inner-loop evaluations — one per
+/// (report, value) pair for raw scans, (pool seed, value) for pooled OLH
+/// histograms, (spectrum entry, value) for HR — so production per-report
+/// kernel throughput is report_values over wall time, the same
+/// reports-per-second figure the benches record.
+struct FoEstimateCounters {
+  Counter* report_values;
+};
+const FoEstimateCounters& FoEstimateMetrics();
 
 /// Which LDP frequency-oracle protocol to use as the building block.
 /// The paper uses OLH (optimal local hashing, [35]); GRR, OUE and Hadamard

@@ -1,14 +1,22 @@
 #include "fo/grr.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
+#include "fo/simd/simd.h"
 
 namespace ldp {
 
 namespace {
 constexpr int kMaxCachedWeightSets = 8;
-}
+/// Raw equality scans beat a histogram build only for small value batches
+/// (the scan costs O(n * V / lanes) vs the build's O(n) map inserts), so cap
+/// the batch size the raw path accepts. Also the raw theta stack buffer.
+constexpr size_t kGrrRawMaxValues = 64;
+constexpr size_t kMaxRawProbedWeightSets = 16;
+}  // namespace
 
 GrrProtocol::GrrProtocol(double epsilon, uint64_t domain_size)
     : epsilon_(epsilon), domain_size_(domain_size) {
@@ -88,6 +96,7 @@ GrrAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
     FoCacheMetrics().evictions->Add(1);
   }
   FoCacheMetrics().builds->Add(1);
+  const auto build_start = std::chrono::steady_clock::now();
   auto h = std::make_shared<WeightedHistogram>();
   for (size_t i = 0; i < values_.size(); ++i) {
     const double weight = w[users_[i]];
@@ -95,6 +104,10 @@ GrrAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
     h->group_weight += weight;
   }
   h->built_reports = current_reports;
+  FoCacheMetrics().build_ns->Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - build_start)
+          .count());
   hist_cache_.emplace(w.id(), h);
   hist_order_.push_back(w.id());
   return h;
@@ -109,16 +122,53 @@ double GrrAccumulator::EstimateWeighted(uint64_t value,
          (protocol_.p() - protocol_.q());
 }
 
+bool GrrAccumulator::ShouldUseRawScan(const WeightVector& w,
+                                      size_t num_values) const {
+  if (num_values > kGrrRawMaxValues) return false;
+  const uint64_t current_reports = values_.size();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  const auto it = hist_cache_.find(w.id());
+  if (it != hist_cache_.end() &&
+      it->second->built_reports == current_reports) {
+    return false;  // a fresh histogram is already paid for: probe it in O(V)
+  }
+  if (std::find(raw_probed_.begin(), raw_probed_.end(), w.id()) !=
+      raw_probed_.end()) {
+    return false;  // second visit: promote to a histogram build
+  }
+  if (raw_probed_.size() >= kMaxRawProbedWeightSets) raw_probed_.pop_front();
+  raw_probed_.push_back(w.id());
+  return true;
+}
+
 void GrrAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
                                           const WeightVector& w,
                                           std::span<double> out) const {
   LDP_CHECK_EQ(values.size(), out.size());
   if (values.empty()) return;
+  const double q = protocol_.q();
+  const double pq_diff = protocol_.p() - q;
+  if (ShouldUseRawScan(w, values.size())) {
+    // Single vectorized pass over the raw reports; theta and group_weight
+    // both accumulate in report order, and non-matching reports add +0.0,
+    // so the result is bit-identical to the histogram path below.
+    const size_t n = values_.size();
+    double theta[kGrrRawMaxValues];
+    std::fill(theta, theta + values.size(), 0.0);
+    double group_weight = 0.0;
+    ActiveKernels().grr_raw(values_.data(), users_.data(), n,
+                            w.values().data(), values.data(), values.size(),
+                            theta, &group_weight);
+    FoEstimateMetrics().report_values->Add(n * values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      out[i] = (theta[i] - group_weight * q) / pq_diff;
+    }
+    return;
+  }
   // One histogram fetch amortized across the batch; per-value math is
   // exactly the scalar estimator's.
   const auto h = GetOrBuildHistogram(w);
-  const double q = protocol_.q();
-  const double pq_diff = protocol_.p() - q;
+  FoEstimateMetrics().report_values->Add(values.size());
   for (size_t i = 0; i < values.size(); ++i) {
     const auto it = h->by_value.find(static_cast<uint32_t>(values[i]));
     const double theta_w = it == h->by_value.end() ? 0.0 : it->second;

@@ -1,9 +1,12 @@
 #include "fo/hadamard.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/logging.h"
+#include "fo/simd/simd.h"
 
 namespace ldp {
 
@@ -96,13 +99,25 @@ HadamardAccumulator::GetOrBuildSpectrum(const WeightVector& w) const {
     FoCacheMetrics().evictions->Add(1);
   }
   FoCacheMetrics().builds->Add(1);
+  const auto build_start = std::chrono::steady_clock::now();
   auto s = std::make_shared<Spectrum>();
+  std::unordered_map<uint64_t, double> signed_sum;
   for (size_t i = 0; i < indices_.size(); ++i) {
     const double weight = w[users_[i]];
-    s->signed_sum[indices_[i]] += weight * signs_[i];
+    signed_sum[indices_[i]] += weight * signs_[i];
     s->group_weight += weight;
   }
+  s->indices.reserve(signed_sum.size());
+  s->sums.reserve(signed_sum.size());
+  for (const auto& [j, sum] : signed_sum) {
+    s->indices.push_back(j);
+    s->sums.push_back(sum);
+  }
   s->built_reports = current_reports;
+  FoCacheMetrics().build_ns->Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - build_start)
+          .count());
   cache_.emplace(w.id(), s);
   cache_order_.push_back(w.id());
   return s;
@@ -112,8 +127,8 @@ double HadamardAccumulator::EstimateWeighted(uint64_t value,
                                              const WeightVector& w) const {
   const auto s = GetOrBuildSpectrum(w);
   double total = 0.0;
-  for (const auto& [j, sum] : s->signed_sum) {
-    total += sum * HadamardProtocol::Entry(j, value);
+  for (size_t e = 0; e < s->indices.size(); ++e) {
+    total += s->sums[e] * HadamardProtocol::Entry(s->indices[e], value);
   }
   return protocol_.scale() * total;
 }
@@ -124,19 +139,18 @@ void HadamardAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
   LDP_CHECK_EQ(values.size(), out.size());
   if (values.empty()) return;
   // One spectrum fetch for the whole batch; spectrum entries run in the
-  // outer loop so every value accumulates over them in the same map
-  // iteration order as the scalar path — bit-identical results.
+  // outer loop so every value accumulates over them in the flattened entry
+  // order the scalar path uses — bit-identical results.
   const auto s = GetOrBuildSpectrum(w);
+  const FoKernels& kernels = ActiveKernels();
+  FoEstimateMetrics().report_values->Add(s->indices.size() * values.size());
   constexpr size_t kTile = 512;
   double total[kTile];
   for (size_t v0 = 0; v0 < values.size(); v0 += kTile) {
     const size_t tile = std::min(kTile, values.size() - v0);
     std::fill(total, total + tile, 0.0);
-    for (const auto& [j, sum] : s->signed_sum) {
-      for (size_t vi = 0; vi < tile; ++vi) {
-        total[vi] += sum * HadamardProtocol::Entry(j, values[v0 + vi]);
-      }
-    }
+    kernels.hr_spectrum(s->indices.data(), s->sums.data(), s->indices.size(),
+                        values.data() + v0, tile, total);
     for (size_t vi = 0; vi < tile; ++vi) {
       out[v0 + vi] = protocol_.scale() * total[vi];
     }

@@ -79,8 +79,13 @@ class HadamardAccumulator : public FoAccumulator {
 
  private:
   struct Spectrum {
-    /// signed_sum[j] = sum of w_t * y_t over reports with index j.
-    std::unordered_map<uint64_t, double> signed_sum;
+    /// Parallel arrays: sums[e] = sum of w_t * y_t over reports with row
+    /// index indices[e]. Flattened from the build-time hash map in its
+    /// iteration order, which freezes the entry order estimates accumulate
+    /// in — every estimate (scalar or SIMD, any batching) walks the same
+    /// sequence, keeping results bit-identical.
+    std::vector<uint64_t> indices;
+    std::vector<double> sums;
     double group_weight = 0.0;
     /// Report count at build time; a mismatch marks the entry stale.
     uint64_t built_reports = 0;

@@ -1,10 +1,12 @@
 #include "fo/olh.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
 #include "common/privacy_math.h"
+#include "fo/simd/simd.h"
 
 namespace ldp {
 
@@ -118,6 +120,7 @@ OlhAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
     FoCacheMetrics().evictions->Add(1);
   }
   FoCacheMetrics().builds->Add(1);
+  const auto build_start = std::chrono::steady_clock::now();
   auto h = std::make_shared<WeightedHistogram>();
   const uint32_t pool = protocol_.hash_pool_size();
   const uint32_t g = protocol_.g();
@@ -128,6 +131,10 @@ OlhAccumulator::GetOrBuildHistogram(const WeightVector& w) const {
     h->group_weight += weight;
   }
   h->built_reports = current_reports;
+  FoCacheMetrics().build_ns->Record(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - build_start)
+          .count());
   hist_cache_.emplace(w.id(), h);
   hist_order_.push_back(w.id());
   return h;
@@ -148,6 +155,7 @@ void OlhAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
   if (values.empty()) return;
   const uint32_t g = protocol_.g();
   const double scale = protocol_.scale();
+  const FoKernels& kernels = ActiveKernels();
   double theta[kOlhValueTile];
   if (UsesHistograms()) {
     // One histogram fetch amortized over the whole batch; per value the sum
@@ -155,16 +163,12 @@ void OlhAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
     const auto h = GetOrBuildHistogram(w);
     const uint32_t pool = protocol_.hash_pool_size();
     const double* hist = h->hist.data();
+    FoEstimateMetrics().report_values->Add(static_cast<uint64_t>(pool) *
+                                           values.size());
     for (size_t v0 = 0; v0 < values.size(); v0 += kOlhValueTile) {
       const size_t tile = std::min(kOlhValueTile, values.size() - v0);
       std::fill(theta, theta + tile, 0.0);
-      for (uint32_t s = 0; s < pool; ++s) {
-        const uint64_t base = SeededHashFamily::SeedBase(s);
-        const double* row = hist + static_cast<size_t>(s) * g;
-        for (size_t vi = 0; vi < tile; ++vi) {
-          theta[vi] += row[SeededHashFamily::EvalWithBase(base, values[v0 + vi], g)];
-        }
-      }
+      kernels.olh_hist(hist, pool, g, values.data() + v0, tile, theta);
       for (size_t vi = 0; vi < tile; ++vi) {
         out[v0 + vi] = scale * (theta[vi] - h->group_weight / g);
       }
@@ -177,22 +181,12 @@ void OlhAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
   const size_t n = seeds_.size();
   double group_weight = 0.0;
   for (size_t i = 0; i < n; ++i) group_weight += w[users_[i]];
+  FoEstimateMetrics().report_values->Add(n * values.size());
   for (size_t v0 = 0; v0 < values.size(); v0 += kOlhValueTile) {
     const size_t tile = std::min(kOlhValueTile, values.size() - v0);
     std::fill(theta, theta + tile, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t base = SeededHashFamily::SeedBase(seeds_[i]);
-      const uint32_t y = ys_[i];
-      const double weight = w[users_[i]];
-      for (size_t vi = 0; vi < tile; ++vi) {
-        // Branchless: adds +0.0 when the report does not support the value,
-        // which cannot change theta's bits (theta is never -0.0), so this is
-        // bit-identical to the scalar conditional add.
-        const double supports = static_cast<double>(
-            SeededHashFamily::EvalWithBase(base, values[v0 + vi], g) == y);
-        theta[vi] += weight * supports;
-      }
-    }
+    kernels.olh_raw(seeds_.data(), ys_.data(), users_.data(), n,
+                    w.values().data(), g, values.data() + v0, tile, theta);
     for (size_t vi = 0; vi < tile; ++vi) {
       out[v0 + vi] = scale * (theta[vi] - group_weight / g);
     }

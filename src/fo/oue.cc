@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <iterator>
 
 #include "common/logging.h"
+#include "fo/simd/simd.h"
 
 namespace ldp {
 
@@ -31,11 +31,12 @@ std::unique_ptr<FoAccumulator> OueProtocol::MakeAccumulator() const {
 }
 
 OueAccumulator::OueAccumulator(const OueProtocol& protocol)
-    : protocol_(protocol) {}
+    : protocol_(protocol),
+      words_per_report_((protocol.domain_size() + 63) / 64) {}
 
 void OueAccumulator::Add(const FoReport& report, uint64_t user) {
-  LDP_DCHECK(report.bits.size() == (protocol_.domain_size() + 63) / 64);
-  bit_reports_.push_back(report.bits);
+  LDP_DCHECK(report.bits.size() == words_per_report_);
+  bits_.insert(bits_.end(), report.bits.begin(), report.bits.end());
   users_.push_back(user);
 }
 
@@ -48,11 +49,9 @@ Status OueAccumulator::Merge(FoAccumulator&& other) {
   if (shard == nullptr) {
     return Status::InvalidArgument("cannot merge a non-OUE shard");
   }
-  bit_reports_.insert(bit_reports_.end(),
-                      std::make_move_iterator(shard->bit_reports_.begin()),
-                      std::make_move_iterator(shard->bit_reports_.end()));
+  bits_.insert(bits_.end(), shard->bits_.begin(), shard->bits_.end());
   users_.insert(users_.end(), shard->users_.begin(), shard->users_.end());
-  shard->bit_reports_.clear();
+  shard->bits_.clear();
   shard->users_.clear();
   return Status::OK();
 }
@@ -80,21 +79,13 @@ void OueAccumulator::EstimateManyWeighted(std::span<const uint64_t> values,
   for (size_t i = 0; i < n; ++i) group_weight += w[users_[i]];
   const double q = protocol_.q();
   const double pq_diff = protocol_.p() - q;
+  const FoKernels& kernels = ActiveKernels();
+  FoEstimateMetrics().report_values->Add(n * values.size());
   for (size_t v0 = 0; v0 < values.size(); v0 += kTile) {
     const size_t tile = std::min(kTile, values.size() - v0);
     std::fill(theta, theta + tile, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const uint64_t* bits = bit_reports_[i].data();
-      const double weight = w[users_[i]];
-      for (size_t vi = 0; vi < tile; ++vi) {
-        const uint64_t v = values[v0 + vi];
-        // Branchless +0.0 when the bit is unset; bit-identical to the
-        // conditional add (theta can never be -0.0).
-        const double set =
-            static_cast<double>((bits[v / 64] >> (v % 64)) & 1ull);
-        theta[vi] += weight * set;
-      }
-    }
+    kernels.oue_raw(bits_.data(), words_per_report_, users_.data(), n,
+                    w.values().data(), values.data() + v0, tile, theta);
     for (size_t vi = 0; vi < tile; ++vi) {
       out[v0 + vi] = (theta[vi] - group_weight * q) / pq_diff;
     }

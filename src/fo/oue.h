@@ -37,8 +37,10 @@ class OueProtocol : public FrequencyOracle {
   double q_;
 };
 
-/// Server state for OUE: a running per-value count plus raw bit vectors for
-/// weighted estimation.
+/// Server state for OUE: the report bit vectors packed row-major into one
+/// contiguous word array (fixed words-per-report stride), so the estimate
+/// kernel streams a single allocation instead of chasing one heap vector per
+/// report.
 class OueAccumulator : public FoAccumulator {
  public:
   explicit OueAccumulator(const OueProtocol& protocol);
@@ -55,7 +57,9 @@ class OueAccumulator : public FoAccumulator {
 
  private:
   const OueProtocol& protocol_;
-  std::vector<std::vector<uint64_t>> bit_reports_;
+  /// Report i's bit vector is bits_[i * words_per_report_, ...).
+  size_t words_per_report_;
+  std::vector<uint64_t> bits_;
   std::vector<uint64_t> users_;
 };
 

@@ -178,7 +178,8 @@ MetricsRegistry& GlobalMetrics() {
              "ingest.accepted", "ingest.duplicate", "ingest.corrupt",
              "ingest.rejected", "exec.tasks_submitted", "exec.tasks_run",
              "exec.chunks", "exec.parallel_calls", "estimate.nodes",
-             "estimate.batches", "estimate_cache.hits", "estimate_cache.misses",
+             "estimate.batches", "estimate.report_values",
+             "estimate_cache.hits", "estimate_cache.misses",
              "estimate_cache.insertions", "estimate_cache.evictions",
              "estimate_cache.epoch_drops", "fo_cache.hits", "fo_cache.builds",
              "fo_cache.stale_rebuilds", "fo_cache.evictions",
@@ -199,6 +200,11 @@ MetricsRegistry& GlobalMetrics() {
       registry->counter(name);
     }
     registry->histogram("exec.queue_wait");
+    registry->histogram("fo_cache.histogram_build_ns");
+    // The SIMD level the frequency-oracle kernels dispatched to, as the
+    // numeric SimdLevel value (1 = scalar, 2 = avx2, 3 = neon); 0 until the
+    // first estimate resolves the level.
+    registry->gauge("simd.active_level");
     // Recovery wall time in *milliseconds* (unlike the ns-valued latency
     // histograms): recovery replays whole logs, so ns buckets would waste
     // the histogram's range. Bucket edges therefore read as ms here.

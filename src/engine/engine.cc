@@ -20,8 +20,8 @@ namespace {
 /// plan-cache configuration fingerprint so plans built under one
 /// configuration are never served under another.
 uint64_t ConfigFingerprint(std::span<const MechanismKind> kinds,
-                          const MechanismParams& params,
-                          bool planner_consistency) {
+                          const EngineOptions& options) {
+  const MechanismParams& params = options.params;
   std::ostringstream os;
   for (const MechanismKind kind : kinds) {
     os << MechanismKindName(kind) << ",";
@@ -30,9 +30,25 @@ uint64_t ConfigFingerprint(std::span<const MechanismKind> kinds,
      << "|fo=" << static_cast<int>(params.fo_kind)
      << "|pool=" << params.hash_pool_size
      << "|hint=" << params.population_hint
-     << "|consistency=" << (planner_consistency ? 1 : 0)
+     << "|consistency=" << (options.planner_consistency ? 1 : 0)
+     << "|feedback=" << (options.enable_feedback ? 1 : 0)
+     << "|fbk=" << (options.enable_feedback
+                        ? std::max(options.feedback_min_observations, 1)
+                        : 0)
      << "|simd=" << SimdLevelName(ActiveSimdLevel());
   return Checksum64(os.str());
+}
+
+/// The executed plan's measured actuals, from its locally profiled run.
+PlanObservation ObservationOf(const QueryProfile& local,
+                              const NodeTouchMeter& meter) {
+  PlanObservation obs;
+  obs.wall_nanos = local.total_nanos;
+  obs.fanout_nanos = local.stages[QueryProfile::kFanout].wall_nanos;
+  obs.estimate_nanos = local.stages[QueryProfile::kEstimate].wall_nanos;
+  obs.estimate_calls = local.estimate_calls;
+  obs.nodes_touched = meter.Touched();
+  return obs;
 }
 
 }  // namespace
@@ -70,11 +86,19 @@ Result<std::unique_ptr<AnalyticsEngine>> AnalyticsEngine::Create(
   if (options.enable_estimate_cache && options.estimate_cache_bytes > 0) {
     engine->mechanism_->EnableEstimateCache(options.estimate_cache_bytes);
   }
-  engine->planner_ = std::make_unique<Planner>(
-      table.schema(), kinds, options.params,
-      PlannerOptions{options.planner_consistency});
-  engine->config_fingerprint_ =
-      ConfigFingerprint(kinds, options.params, options.planner_consistency);
+  PlannerOptions planner_options;
+  planner_options.enable_consistency = options.planner_consistency;
+  planner_options.enable_feedback = options.enable_feedback;
+  engine->planner_ = std::make_unique<Planner>(table.schema(), kinds,
+                                               options.params,
+                                               planner_options);
+  if (options.enable_feedback) {
+    engine->plan_stats_ = std::make_unique<PlanStatsStore>(
+        std::max<size_t>(options.feedback_store_entries, 1), /*alpha=*/0.25,
+        static_cast<uint64_t>(std::max(options.feedback_min_observations, 1)));
+    engine->planner_->set_stats_store(engine->plan_stats_.get());
+  }
+  engine->config_fingerprint_ = ConfigFingerprint(kinds, options);
   if (options.enable_plan_cache && options.plan_cache_entries > 0) {
     engine->plan_cache_ =
         std::make_unique<PlanCache>(options.plan_cache_entries);
@@ -164,11 +188,38 @@ Result<std::shared_ptr<const PhysicalPlan>> AnalyticsEngine::GetPlan(
   return plan;
 }
 
+Result<double> AnalyticsEngine::ExecuteRecorded(
+    const Query* query, std::shared_ptr<const PhysicalPlan> plan,
+    QueryProfile* profile) const {
+  if (plan_stats_ == nullptr) {
+    ProfiledQueryScope scope(profile, *mechanism_, *exec_);
+    if (query != nullptr) {
+      LDP_ASSIGN_OR_RETURN(plan, GetPlan(*query, profile));
+    }
+    return executor_->Run(*plan, profile);
+  }
+  // Feedback on: run against a local profile so the observation carries THIS
+  // execution's actuals, then merge into the caller's profile — its totals
+  // match the unrecorded path exactly.
+  QueryProfile local;
+  const NodeTouchMeter meter(*mechanism_);
+  const Result<double> result = [&]() -> Result<double> {
+    ProfiledQueryScope scope(&local, *mechanism_, *exec_);
+    if (query != nullptr) {
+      LDP_ASSIGN_OR_RETURN(plan, GetPlan(*query, &local));
+    }
+    return executor_->Run(*plan, &local);
+  }();
+  if (profile != nullptr) profile->Merge(local);
+  if (result.ok() && plan != nullptr) {
+    plan_stats_->Record(PlanIdentityOf(*plan), ObservationOf(local, meter));
+  }
+  return result;
+}
+
 Result<double> AnalyticsEngine::Execute(const Query& query,
                                         QueryProfile* profile) const {
-  ProfiledQueryScope scope(profile, *mechanism_, *exec_);
-  LDP_ASSIGN_OR_RETURN(const auto plan, GetPlan(query, profile));
-  return executor_->Run(*plan, profile);
+  return ExecuteRecorded(&query, nullptr, profile);
 }
 
 Result<double> AnalyticsEngine::ExecuteSql(std::string_view sql,
@@ -180,8 +231,7 @@ Result<double> AnalyticsEngine::ExecuteSql(std::string_view sql,
     if (auto plan = plan_cache_->GetSql(std::string(sql),
                                         mechanism_->num_reports(),
                                         config_fingerprint_)) {
-      ProfiledQueryScope scope(profile, *mechanism_, *exec_);
-      return executor_->Run(*plan, profile);
+      return ExecuteRecorded(nullptr, std::move(plan), profile);
     }
   }
   TraceSpan parse_span(profile, QueryProfile::kParse);
@@ -218,14 +268,38 @@ Status AnalyticsEngine::ExecuteBatch(std::span<const Query> queries,
   if (out.size() < queries.size()) {
     return Status::InvalidArgument("ExecuteBatch: output span too small");
   }
-  ProfiledQueryScope scope(profile, *mechanism_, *exec_, queries.size());
-  std::vector<std::shared_ptr<const PhysicalPlan>> plans;
-  plans.reserve(queries.size());
-  for (const Query& query : queries) {
-    LDP_ASSIGN_OR_RETURN(auto plan, GetPlan(query, profile));
-    plans.push_back(std::move(plan));
+  if (plan_stats_ == nullptr) {
+    ProfiledQueryScope scope(profile, *mechanism_, *exec_, queries.size());
+    std::vector<std::shared_ptr<const PhysicalPlan>> plans;
+    plans.reserve(queries.size());
+    for (const Query& query : queries) {
+      LDP_ASSIGN_OR_RETURN(auto plan, GetPlan(query, profile));
+      plans.push_back(std::move(plan));
+    }
+    return executor_->RunBatch(plans, out, profile);
   }
-  return executor_->RunBatch(plans, out, profile);
+  // Feedback on: the executor measures one observation per plan (dedup-aware
+  // — a shared estimate is charged to the plan that computed it), recorded
+  // after the whole batch succeeds.
+  QueryProfile local;
+  std::vector<std::shared_ptr<const PhysicalPlan>> plans;
+  std::vector<PlanObservation> observations;
+  const Status status = [&]() -> Status {
+    ProfiledQueryScope scope(&local, *mechanism_, *exec_, queries.size());
+    plans.reserve(queries.size());
+    for (const Query& query : queries) {
+      LDP_ASSIGN_OR_RETURN(auto plan, GetPlan(query, &local));
+      plans.push_back(std::move(plan));
+    }
+    return executor_->RunBatch(plans, out, &local, &observations);
+  }();
+  if (profile != nullptr) profile->Merge(local);
+  if (status.ok()) {
+    for (size_t i = 0; i < observations.size() && i < plans.size(); ++i) {
+      plan_stats_->Record(PlanIdentityOf(*plans[i]), observations[i]);
+    }
+  }
+  return status;
 }
 
 Result<std::shared_ptr<const PhysicalPlan>> AnalyticsEngine::PlanFor(
@@ -233,8 +307,27 @@ Result<std::shared_ptr<const PhysicalPlan>> AnalyticsEngine::PlanFor(
   return GetPlan(query, nullptr);
 }
 
+PhysicalPlan AnalyticsEngine::WithLiveFeedback(
+    const PhysicalPlan& plan) const {
+  PhysicalPlan live = plan;
+  if (const auto stats = plan_stats_->Lookup(plan.fingerprint)) {
+    live.feedback.observations = stats->observations;
+    live.feedback.warmed =
+        stats->observations >= plan_stats_->min_observations();
+    live.feedback.wall_nanos = stats->ewma_wall_nanos;
+    live.feedback.estimate_calls = stats->ewma_estimate_calls;
+    live.feedback.nodes = stats->ewma_nodes;
+  }
+  return live;
+}
+
 Result<std::string> AnalyticsEngine::Explain(const Query& query) const {
   LDP_ASSIGN_OR_RETURN(const auto plan, GetPlan(query, nullptr));
+  if (plan_stats_ != nullptr) {
+    // Refresh predicted-vs-actual from the live store: the cached plan's
+    // own feedback snapshot predates any execution since it was planned.
+    return WithLiveFeedback(*plan).ToText(schema());
+  }
   return plan->ToText(schema());
 }
 

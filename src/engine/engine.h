@@ -15,6 +15,7 @@
 #include "plan/executor.h"
 #include "plan/plan_cache.h"
 #include "plan/planner.h"
+#include "plan/stats_store.h"
 #include "query/exact.h"
 #include "query/parser.h"
 
@@ -63,6 +64,19 @@ struct EngineOptions {
   /// tree) for qualifying deployments — see PlannerOptions. Changes answers
   /// (that is its point), hence off by default.
   bool planner_consistency = false;
+  /// Measured-cost feedback planning (see PlanStatsStore and
+  /// PlannerOptions::enable_feedback): every Execute/ExecuteBatch records
+  /// the executed plan's actuals, and once every candidate mechanism has
+  /// >= feedback_min_observations observations for a query, measured work
+  /// replaces the analytic proxy in mechanism scoring. Only which mechanism
+  /// wins may change — any chosen plan's estimate stays bit-identical across
+  /// threads/caches/SIMD — but since the winner MAY differ from the analytic
+  /// choice, this defaults off for golden-test stability.
+  bool enable_feedback = false;
+  /// Observations a plan fingerprint needs before feedback trusts it.
+  int feedback_min_observations = 3;
+  /// Entry budget for the plan stats store (per-fingerprint EWMA records).
+  size_t feedback_store_entries = 1024;
   /// Instruction-set level for the frequency-oracle estimate kernels
   /// (src/fo/simd/). kAuto picks the best supported level at Create();
   /// forcing a level the host does not support is LDP_CHECK-fatal. Purely a
@@ -166,6 +180,10 @@ class AnalyticsEngine {
   const Schema& schema() const { return table_.schema(); }
   /// The plan cache, or null when disabled.
   PlanCache* plan_cache() const { return plan_cache_.get(); }
+  /// The measured-cost plan stats store, or null unless
+  /// EngineOptions::enable_feedback is set. Exposed for tests and the replay
+  /// harness (ComparePlanStats over two engines' stores).
+  PlanStatsStore* plan_stats() const { return plan_stats_.get(); }
   /// Fingerprint of the planner-visible configuration (registered mechanism
   /// set, mechanism params, consistency flag). Stamped into every plan and
   /// checked by the plan cache, so a cached plan is never served after the
@@ -186,6 +204,19 @@ class AnalyticsEngine {
   Result<std::shared_ptr<const PhysicalPlan>> GetPlan(
       const Query& query, QueryProfile* profile) const;
 
+  /// Shared Execute body: resolves the plan (when `query` is non-null; a
+  /// pre-resolved `plan` otherwise), runs it under a profiled scope, and —
+  /// when feedback is on — records the measured PlanObservation into
+  /// plan_stats_.
+  Result<double> ExecuteRecorded(const Query* query,
+                                 std::shared_ptr<const PhysicalPlan> plan,
+                                 QueryProfile* profile) const;
+
+  /// Copies `plan` with its feedback block refreshed from the live stats
+  /// store — EXPLAIN stays current even when the plan cache serves a plan
+  /// whose snapshot predates recent executions.
+  PhysicalPlan WithLiveFeedback(const PhysicalPlan& plan) const;
+
   const Table& table_;
   EngineOptions options_;
   /// Declared before mechanism_: the mechanism holds a raw pointer into it.
@@ -194,6 +225,8 @@ class AnalyticsEngine {
   std::unique_ptr<Planner> planner_;
   /// Null when EngineOptions::enable_plan_cache is off.
   std::unique_ptr<PlanCache> plan_cache_;
+  /// Null unless EngineOptions::enable_feedback is on.
+  std::unique_ptr<PlanStatsStore> plan_stats_;
   std::unique_ptr<PlanExecutor> executor_;
   /// See config_fingerprint().
   uint64_t config_fingerprint_ = 0;

@@ -174,13 +174,25 @@ Result<double> MultiMechanism::EstimateBoxWith(
 
 Result<double> MultiMechanism::VarianceBound(
     std::span<const Interval> ranges, const WeightVector& weights) const {
-  const int sub = SelectSub(ranges);
-  LDP_ASSIGN_OR_RETURN(const double cohort_bound,
-                       subs_[sub]->VarianceBound(ranges, weights));
-  // Var(k x cohort estimate) = k^2 x cohort variance; the cohort bound is
-  // already conservative (it uses the full population's M2).
-  const double k = static_cast<double>(subs_.size());
-  return k * k * cohort_bound;
+  // Contract path (no plan): bound through the cost model's pick, matching
+  // EstimateBox above.
+  return VarianceBoundWith(subs_[SelectSub(ranges)]->kind(), ranges, weights);
+}
+
+Result<double> MultiMechanism::VarianceBoundWith(
+    MechanismKind kind, std::span<const Interval> ranges,
+    const WeightVector& weights) const {
+  for (const auto& sub : subs_) {
+    if (sub->kind() != kind) continue;
+    LDP_ASSIGN_OR_RETURN(const double cohort_bound,
+                         sub->VarianceBound(ranges, weights));
+    // Var(k x cohort estimate) = k^2 x cohort variance; the cohort bound is
+    // already conservative (it uses the full population's M2).
+    const double k = static_cast<double>(subs_.size());
+    return k * k * cohort_bound;
+  }
+  return Status::InvalidArgument("mechanism not registered: " +
+                                 MechanismKindName(kind));
 }
 
 std::vector<MechanismKind> MultiMechanism::kinds() const {

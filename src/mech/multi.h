@@ -58,6 +58,14 @@ class MultiMechanism : public Mechanism {
                                  std::span<const Interval> ranges,
                                  const WeightVector& weights) const;
 
+  /// Variance bound through a specific registered mechanism: k^2 x the
+  /// sub's cohort bound. The per-plan companion of EstimateBoxWith, so a
+  /// confidence bound describes the mechanism the plan actually executed
+  /// (which feedback planning may have picked against the cost model).
+  Result<double> VarianceBoundWith(MechanismKind kind,
+                                   std::span<const Interval> ranges,
+                                   const WeightVector& weights) const;
+
   int num_sub_mechanisms() const { return static_cast<int>(subs_.size()); }
   const Mechanism& sub(int i) const { return *subs_[i]; }
   std::vector<MechanismKind> kinds() const;

@@ -25,14 +25,23 @@ uint64_t Counter::value() const {
 }
 
 uint64_t LatencyHistogram::QuantileUpperBound(double q) const {
-  const uint64_t n = count();
+  // Snapshot the buckets once and derive n from the snapshot's own sum:
+  // reading count() separately races with concurrent Record()s (count
+  // incremented, bucket not yet), which could leave the scan short of its
+  // target and silently return the max bucket edge.
+  uint64_t snapshot[kNumBuckets];
+  uint64_t n = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snapshot[i] = bucket(i);
+    n += snapshot[i];
+  }
   if (n == 0) return 0;
   q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
   const uint64_t target =
       static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    seen += bucket(i);
+    seen += snapshot[i];
     if (seen >= target) return 2ull << i;  // exclusive upper edge 2^(i+1)
   }
   return 2ull << (kNumBuckets - 1);
@@ -191,6 +200,9 @@ MetricsRegistry& GlobalMetrics() {
              "plan.mechanism_choices.SC", "plan.mechanism_choices.MG",
              "plan.mechanism_choices.QuadTree", "plan.mechanism_choices.Haar",
              "plan.mechanism_choices.HDG", "plan.mechanism_choices.CALM",
+             "plan.feedback_records", "plan.feedback_evictions",
+             "plan.feedback_lookups", "plan.feedback_hits",
+             "plan.feedback_overrides",
              "storage.wal_appends",
              "storage.wal_bytes", "storage.fsyncs", "storage.wal_torn_tails",
              "storage.wal_corrupt_drops", "storage.wal_segments_deleted",

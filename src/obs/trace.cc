@@ -31,6 +31,7 @@ void QueryProfile::Merge(const QueryProfile& other) {
   }
   total_nanos += other.total_nanos;
   ie_terms += other.ie_terms;
+  estimate_calls += other.estimate_calls;
   nodes_estimated += other.nodes_estimated;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
@@ -43,6 +44,7 @@ std::string QueryProfile::ToJson() const {
   std::ostringstream os;
   os << "{\"queries\":" << queries << ",\"total_nanos\":" << total_nanos
      << ",\"ie_terms\":" << ie_terms
+     << ",\"estimate_calls\":" << estimate_calls
      << ",\"nodes_estimated\":" << nodes_estimated
      << ",\"cache_hits\":" << cache_hits
      << ",\"cache_misses\":" << cache_misses

@@ -43,6 +43,9 @@ struct QueryProfile {
 
   /// Inclusion-exclusion terms the predicate rewrote into.
   uint64_t ie_terms = 0;
+  /// Mechanism EstimateBox calls the executor actually issued (batch dedup
+  /// hits are not counted — they issue no call).
+  uint64_t estimate_calls = 0;
   /// Hierarchy/grid nodes handed to estimation kernels (cache misses) plus
   /// nodes served from the estimate cache.
   uint64_t nodes_estimated = 0;

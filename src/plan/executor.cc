@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 
@@ -24,6 +25,10 @@ Counter* BatchQueries() {
 Counter* BatchDedupHits() {
   static Counter* c = GlobalMetrics().counter("plan.batch_dedup_hits");
   return c;
+}
+Counter* EstimateNodes() {
+  static Counter* counter = GlobalMetrics().counter("estimate.nodes");
+  return counter;
 }
 
 /// Dedup handle of one estimate op: the chosen mechanism, the weight key
@@ -119,6 +124,7 @@ Status PlanExecutor::AccumulateComponents(
     }
     estimate_span.Stop();
     EstimateCalls()->Increment();
+    if (profile != nullptr) ++profile->estimate_calls;
     if (state->dedup) state->memo.emplace(std::move(task_key), estimate);
     totals[static_cast<int>(op.component)] += term.coefficient * estimate;
   }
@@ -175,8 +181,18 @@ Result<PlanExecutor::Bounded> PlanExecutor::RunWithBound(
         auto weights,
         weights_->Get(component, plan.logical.query.aggregate.expr,
                       term.public_constraints));
-    LDP_ASSIGN_OR_RETURN(const double variance,
-                         mechanism_.VarianceBound(term.sensitive, *weights));
+    double variance = 0.0;
+    if (multi_ != nullptr) {
+      // Composite engine: bound through the mechanism THIS plan chose, like
+      // Run's EstimateBoxWith dispatch — the composite's own VarianceBound
+      // re-scores the box shape and can name a different sub.
+      LDP_ASSIGN_OR_RETURN(variance, multi_->VarianceBoundWith(
+                                         plan.mechanism, term.sensitive,
+                                         *weights));
+    } else {
+      LDP_ASSIGN_OR_RETURN(
+          variance, mechanism_.VarianceBound(term.sensitive, *weights));
+    }
     stddev += std::abs(term.coefficient) * std::sqrt(std::max(variance, 0.0));
   }
   out.stddev = stddev;
@@ -185,34 +201,84 @@ Result<PlanExecutor::Bounded> PlanExecutor::RunWithBound(
 
 Status PlanExecutor::RunBatch(
     std::span<const std::shared_ptr<const PhysicalPlan>> plans,
-    std::span<double> out, QueryProfile* profile) const {
+    std::span<double> out, QueryProfile* profile,
+    std::vector<PlanObservation>* observations) const {
   if (out.size() < plans.size()) {
     return Status::InvalidArgument("RunBatch: output span too small");
   }
   BatchQueries()->Add(plans.size());
   RunState state;
   state.dedup = true;
+  if (observations != nullptr) {
+    observations->clear();
+    observations->reserve(plans.size());
+  }
   for (size_t i = 0; i < plans.size(); ++i) {
     const PhysicalPlan& plan = *plans[i];
-    if (plan.logical.terms.empty()) {
-      out[i] = 0.0;
-      continue;
+    // Per-plan attribution goes through a local profile so one plan's stage
+    // walls and calls can be measured inside the shared batch; the local is
+    // merged into the caller's profile afterwards, keeping the caller's
+    // totals identical to the unobserved path.
+    QueryProfile local;
+    QueryProfile* prof = observations != nullptr ? &local : profile;
+    std::optional<NodeTouchMeter> meter;
+    std::chrono::steady_clock::time_point start;
+    if (observations != nullptr) {
+      meter.emplace(mechanism_);
+      start = std::chrono::steady_clock::now();
     }
-    double totals[kNumComponentKinds] = {0.0, 0.0, 0.0};
-    LDP_RETURN_NOT_OK(AccumulateComponents(plan, &state, profile, totals));
-    out[i] = Compose(plan, totals);
+    if (plan.logical.terms.empty()) {
+      out[i] = 0.0;  // unsatisfiable predicate
+    } else {
+      double totals[kNumComponentKinds] = {0.0, 0.0, 0.0};
+      LDP_RETURN_NOT_OK(AccumulateComponents(plan, &state, prof, totals));
+      out[i] = Compose(plan, totals);
+    }
+    if (observations != nullptr) {
+      PlanObservation obs;
+      obs.wall_nanos = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      obs.fanout_nanos = local.stages[QueryProfile::kFanout].wall_nanos;
+      obs.estimate_nanos = local.stages[QueryProfile::kEstimate].wall_nanos;
+      obs.estimate_calls = local.estimate_calls;
+      obs.nodes_touched = meter->Touched();
+      observations->push_back(obs);
+      if (profile != nullptr) profile->Merge(local);
+    }
   }
   return Status::OK();
 }
 
-// --- ProfiledQueryScope ----------------------------------------------------
+// --- NodeTouchMeter --------------------------------------------------------
 
-namespace {
-Counter* EstimateNodes() {
-  static Counter* counter = GlobalMetrics().counter("estimate.nodes");
-  return counter;
+NodeTouchMeter::NodeTouchMeter(const Mechanism& mechanism) {
+  if (const EstimateCache* cache = mechanism.estimate_cache()) {
+    caches_.emplace_back(cache, cache->stats());
+  } else if (const auto* multi =
+                 dynamic_cast<const MultiMechanism*>(&mechanism)) {
+    // The composite holds no cache of its own; its subs do (all or none).
+    for (int i = 0; i < multi->num_sub_mechanisms(); ++i) {
+      if (const EstimateCache* cache = multi->sub(i).estimate_cache()) {
+        caches_.emplace_back(cache, cache->stats());
+      }
+    }
+  }
+  if (caches_.empty()) kernel_before_ = EstimateNodes()->value();
 }
-}  // namespace
+
+uint64_t NodeTouchMeter::Touched() const {
+  if (caches_.empty()) return EstimateNodes()->value() - kernel_before_;
+  uint64_t touched = 0;
+  for (const auto& [cache, before] : caches_) {
+    const EstimateCache::Stats now = cache->stats();
+    touched += (now.hits - before.hits) + (now.misses - before.misses);
+  }
+  return touched;
+}
+
+// --- ProfiledQueryScope ----------------------------------------------------
 
 ProfiledQueryScope::ProfiledQueryScope(QueryProfile* profile,
                                        const Mechanism& mechanism,

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <memory>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "exec/execution_context.h"
 #include "mech/mechanism.h"
 #include "obs/trace.h"
 #include "plan/physical.h"
+#include "plan/stats_store.h"
 #include "plan/weights.h"
 
 namespace ldp {
@@ -57,8 +60,13 @@ class PlanExecutor {
   /// Estimates with identical (weight key, sensitive box, strategy) are
   /// computed once, at their first encounter in plan order, and shared.
   /// out[i] is bit-identical to Run(*plans[i], ...) run sequentially.
+  /// When `observations` is non-null it receives one measured
+  /// PlanObservation per plan (index-aligned with `plans`) for the plan
+  /// stats store; a dedup-served estimate counts toward the plan that
+  /// computed it, not the plans that reused it.
   Status RunBatch(std::span<const std::shared_ptr<const PhysicalPlan>> plans,
-                  std::span<double> out, QueryProfile* profile) const;
+                  std::span<double> out, QueryProfile* profile,
+                  std::vector<PlanObservation>* observations = nullptr) const;
 
   WeightStore& weight_store() const { return *weights_; }
 
@@ -82,6 +90,31 @@ class PlanExecutor {
   const MultiMechanism* multi_ = nullptr;
   const ExecutionContext& exec_;
   std::unique_ptr<WeightStore> weights_;
+};
+
+/// Measures PlanObservation::nodes_touched: the total hierarchy/grid node
+/// estimates an execution requested between construction and Touched(),
+/// cache-served nodes included. With the estimate cache on, the measure is
+/// the cache's probe count (hits + misses — every per-node estimate routes
+/// through the cache, on the composite's sub-caches too); with it off, the
+/// `estimate.nodes` kernel counter. Both equal total nodes touched, so the
+/// measure is invariant to the cache configuration — which is what lets
+/// feedback planning consume it without breaking cross-config determinism.
+/// Caveats (best-effort, like QueryProfile's work counters): the kernel
+/// counter is zero while metrics are disabled, and MG boxes over 2^16 cells
+/// bypass the cache.
+class NodeTouchMeter {
+ public:
+  explicit NodeTouchMeter(const Mechanism& mechanism);
+
+  /// Nodes touched since construction. Deterministic for a deterministic
+  /// execution; exact when queries run one at a time per engine.
+  uint64_t Touched() const;
+
+ private:
+  /// Per-cache baseline stats (the composite case has one per sub).
+  std::vector<std::pair<const EstimateCache*, EstimateCache::Stats>> caches_;
+  uint64_t kernel_before_ = 0;
 };
 
 /// Differences engine-level work stats around a profiled query (or batch of

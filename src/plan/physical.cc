@@ -78,6 +78,19 @@ void AppendOpText(std::ostringstream& os, const PlanOp& op, int index) {
   os << "\n";
 }
 
+/// Estimate calls the plan predicts: one per estimate op (batch dedup may
+/// issue fewer; that is what the actual measures).
+uint64_t PredictedEstimateCalls(const PhysicalPlan& plan) {
+  uint64_t calls = 0;
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == PlanOpKind::kNodeEstimate ||
+        op.kind == PlanOpKind::kConsistency) {
+      ++calls;
+    }
+  }
+  return calls;
+}
+
 }  // namespace
 
 std::string PhysicalPlan::ToText(const Schema& schema) const {
@@ -107,6 +120,19 @@ std::string PhysicalPlan::ToText(const Schema& schema) const {
          << (c.feasible ? FormatDouble(c.variance) : std::string("infeasible"));
     }
     os << "\n";
+  }
+  if (feedback.warmed) {
+    // Predicted-vs-actual from the plan stats store. Rendered only after the
+    // K-observation warmup, and never part of the fingerprint (computed with
+    // this block default-empty), so observation can't change plan identity.
+    os << "feedback:\n";
+    os << "  observations: " << feedback.observations << "\n";
+    os << "  overrode: " << (feedback.overrode ? 1 : 0) << "\n";
+    os << "  estimate_calls: predicted=" << PredictedEstimateCalls(*this)
+       << " actual~" << FormatDouble(feedback.estimate_calls) << "\n";
+    os << "  node_estimates: predicted=" << predicted_node_estimates
+       << " actual~" << FormatDouble(feedback.nodes) << "\n";
+    os << "  wall_nanos: actual~" << FormatDouble(feedback.wall_nanos) << "\n";
   }
   os << "epoch: " << epoch << "\n";
   char fp[32];
@@ -150,6 +176,15 @@ std::string PhysicalPlan::ToJson(const Schema& schema) const {
          << ",\"variance\":" << FormatDouble(c.variance) << "}";
     }
     os << "]";
+  }
+  if (feedback.warmed) {
+    os << ",\"feedback\":{\"observations\":" << feedback.observations
+       << ",\"overrode\":" << (feedback.overrode ? "true" : "false")
+       << ",\"predicted_estimate_calls\":" << PredictedEstimateCalls(*this)
+       << ",\"actual_estimate_calls\":" << FormatDouble(feedback.estimate_calls)
+       << ",\"predicted_node_estimates\":" << predicted_node_estimates
+       << ",\"actual_nodes\":" << FormatDouble(feedback.nodes)
+       << ",\"actual_wall_nanos\":" << FormatDouble(feedback.wall_nanos) << "}";
   }
   os << ",\"epoch\":" << epoch << ",\"fingerprint\":\"";
   char fp[32];

@@ -79,6 +79,28 @@ struct PlanOp {
   std::string weight_key;
 };
 
+/// Measured-cost feedback riding along with a plan (PlanStatsStore entries
+/// for this plan's fingerprint at planning/explain time). Display data only:
+/// feedback may change which mechanism a multi-mechanism planner picks, never
+/// how a picked plan computes its estimate. Excluded from the plan
+/// fingerprint — the planner fingerprints the plan with this block
+/// default-empty and fills it afterwards, so observing a plan never changes
+/// its identity.
+struct PlanFeedback {
+  /// Recorded executions of this fingerprint.
+  uint64_t observations = 0;
+  /// True once observations >= the store's warmup K; EXPLAIN renders the
+  /// predicted-vs-actual block only then.
+  bool warmed = false;
+  /// True when measured cost overrode the analytic mechanism choice.
+  bool overrode = false;
+  /// EWMA actuals (see PlanStatsStore). wall_nanos is nondeterministic
+  /// timing data; estimate_calls/nodes are deterministic work measures.
+  double wall_nanos = 0.0;
+  double estimate_calls = 0.0;
+  double nodes = 0.0;
+};
+
 /// A fully lowered, executable query plan: the logical plan plus the
 /// mechanism-specific strategy, the op list, and the planner's cost
 /// annotations. Immutable after planning; the plan cache shares instances
@@ -116,6 +138,10 @@ struct PhysicalPlan {
   /// candidate-registration order. Empty for single-mechanism planners (the
   /// choice is forced), so single-mechanism EXPLAIN output is unchanged.
   std::vector<MechanismScore> candidates;
+  /// Measured-cost actuals for this fingerprint, when feedback planning is
+  /// enabled and the stats store has seen it. Default-empty (not rendered,
+  /// not fingerprinted) otherwise.
+  PlanFeedback feedback;
   std::vector<PlanOp> ops;
 
   /// Stable human-readable EXPLAIN rendering. Deterministic: fixed field

@@ -16,6 +16,13 @@ PlanCache::PlanCache(size_t max_entries)
 void PlanCache::EraseLocked(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
+  // The entry's SQL mappings die with it: a mapping to a gone entry could
+  // never hit, and left behind it would shadow the SQL string until some
+  // unrelated reset.
+  for (const std::string& sql : it->second.sql_aliases) {
+    auto idx = sql_index_.find(sql);
+    if (idx != sql_index_.end() && idx->second == key) sql_index_.erase(idx);
+  }
   lru_.erase(it->second.lru_it);
   entries_.erase(it);
 }
@@ -35,8 +42,7 @@ std::shared_ptr<const PhysicalPlan> PlanCache::Get(const std::string& key,
     // Hard drop on mismatch in either direction — see the class comment.
     const bool config_mismatch =
         it->second.plan->config_fingerprint != config_fingerprint;
-    lru_.erase(it->second.lru_it);
-    entries_.erase(it);
+    EraseLocked(key);
     ++stats_.misses;
     m_misses_->Increment();
     if (config_mismatch) {
@@ -60,8 +66,7 @@ void PlanCache::Put(const std::string& key,
   std::lock_guard<std::mutex> lock(mu_);
   EraseLocked(key);
   while (entries_.size() >= max_entries_) {
-    entries_.erase(lru_.front());
-    lru_.pop_front();
+    EraseLocked(lru_.front());
     ++stats_.evictions;
     m_evictions_->Increment();
   }
@@ -86,11 +91,28 @@ std::shared_ptr<const PhysicalPlan> PlanCache::GetSql(const std::string& sql,
 
 void PlanCache::LinkSql(const std::string& sql, const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (sql_index_.size() >= max_entries_ && !sql_index_.count(sql)) {
-    // Crude bound: the side index is an optimization, not a registry; a
-    // full reset keeps it O(max_entries) without LRU bookkeeping.
-    sql_index_.clear();
+  auto entry_it = entries_.find(key);
+  if (entry_it == entries_.end()) return;  // nothing to link to — see header
+  auto& aliases = entry_it->second.sql_aliases;
+  const auto existing = sql_index_.find(sql);
+  if (existing != sql_index_.end()) {
+    if (existing->second == key) return;  // already linked here
+    // Re-link: detach the spelling from the entry it pointed at.
+    auto old_it = entries_.find(existing->second);
+    if (old_it != entries_.end()) {
+      auto& old_aliases = old_it->second.sql_aliases;
+      old_aliases.erase(
+          std::remove(old_aliases.begin(), old_aliases.end(), sql),
+          old_aliases.end());
+    }
   }
+  while (aliases.size() >= kMaxSqlAliases) {
+    // Per-entry alias cap, oldest spelling first — bounds the side index at
+    // max_entries x kMaxSqlAliases without a second LRU.
+    sql_index_.erase(aliases.front());
+    aliases.erase(aliases.begin());
+  }
+  aliases.push_back(sql);
   sql_index_[sql] = key;
 }
 
@@ -102,6 +124,11 @@ PlanCache::Stats PlanCache::stats() const {
 uint64_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+size_t PlanCache::sql_index_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sql_index_.size();
 }
 
 }  // namespace ldp

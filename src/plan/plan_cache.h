@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "plan/physical.h"
@@ -62,7 +63,17 @@ class PlanCache {
   std::shared_ptr<const PhysicalPlan> GetSql(const std::string& sql,
                                              uint64_t epoch,
                                              uint64_t config_fingerprint = 0);
+  /// Links `sql` to the cached entry under `key`. A no-op when `key` is not
+  /// (or no longer) cached — a dangling mapping could never hit, and the
+  /// next ExecuteSql re-links after re-planning. Mappings live and die with
+  /// their entry: eviction and epoch/config drops prune them (no crude
+  /// whole-index reset wiping live mappings), and each entry keeps at most
+  /// kMaxSqlAliases spellings, oldest dropped first.
   void LinkSql(const std::string& sql, const std::string& key);
+
+  /// Alias spellings one cached entry will hold links for; the side index
+  /// is thus bounded by max_entries() x kMaxSqlAliases.
+  static constexpr size_t kMaxSqlAliases = 8;
 
   struct Stats {
     uint64_t hits = 0;
@@ -79,14 +90,20 @@ class PlanCache {
 
   uint64_t size() const;
   size_t max_entries() const { return max_entries_; }
+  /// Live SQL->key mappings — bounded because mappings die with their entry.
+  size_t sql_index_size() const;
 
  private:
   struct Entry {
     std::shared_ptr<const PhysicalPlan> plan;
     std::list<std::string>::iterator lru_it;
+    /// SQL spellings linked to this entry (insertion order, capped at
+    /// kMaxSqlAliases); erased from sql_index_ when the entry dies.
+    std::vector<std::string> sql_aliases;
   };
 
-  /// Requires mu_ held. Erases `key` (if present) from entries_ and LRU.
+  /// Requires mu_ held. Erases `key` (if present) from entries_, the LRU,
+  /// and every sql_index_ mapping that points at it.
   void EraseLocked(const std::string& key);
 
   size_t max_entries_;

@@ -110,6 +110,30 @@ TEST(HistogramTest, RecordCountSumAndQuantiles) {
   EXPECT_EQ(h->QuantileUpperBound(1.0), 131072u);
 }
 
+TEST(HistogramTest, QuantileDerivesNFromTheBucketSnapshot) {
+  // The quantile race regression: QuantileUpperBound used to read count()
+  // and the buckets separately, so a Record() landing in between (count
+  // bumped, bucket not yet) could leave the scan short of its target and
+  // fall through to the max bucket edge. The fix scans one snapshot whose
+  // own sum is n — verify the scan is exact at every rank boundary of a
+  // known distribution.
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.histogram("t.hist_exact");
+  // 4 samples in [2,4), 4 in [16,32), 2 in [1024,2048): n = 10.
+  for (int i = 0; i < 4; ++i) h->Record(2);
+  for (int i = 0; i < 4; ++i) h->Record(20);
+  for (int i = 0; i < 2; ++i) h->Record(1500);
+  EXPECT_EQ(h->QuantileUpperBound(0.0), 4u);    // rank 1
+  EXPECT_EQ(h->QuantileUpperBound(0.34), 4u);   // rank 4 (last of 1st bucket)
+  EXPECT_EQ(h->QuantileUpperBound(0.45), 32u);  // rank 5 boundary
+  EXPECT_EQ(h->QuantileUpperBound(0.75), 32u);  // rank 7
+  EXPECT_EQ(h->QuantileUpperBound(0.89), 2048u);  // rank 9 boundary
+  EXPECT_EQ(h->QuantileUpperBound(1.0), 2048u);
+  // Out-of-range q clamps instead of under/overflowing the target rank.
+  EXPECT_EQ(h->QuantileUpperBound(-0.5), 4u);
+  EXPECT_EQ(h->QuantileUpperBound(2.0), 2048u);
+}
+
 TEST(HistogramTest, DisabledRegistryDropsRecords) {
   MetricsRegistry registry;
   LatencyHistogram* h = registry.histogram("t.hist_gated");

@@ -119,6 +119,58 @@ TEST(PlanCacheTest, ConfigFingerprintMismatchHardDropsEntry) {
   EXPECT_EQ(cache.stats().config_drops, 2u);
 }
 
+TEST(PlanCacheTest, EvictionPrunesTheSqlIndex) {
+  // The sql_index_ leak/staleness regression: evicting an entry used to
+  // leave its SQL mappings behind (or, worse, wipe the whole index). Each
+  // mapping must die with exactly its own entry.
+  PlanCache cache(2);
+  cache.Put("qA", MakePlan(1));
+  cache.LinkSql("SELECT A", "qA");
+  cache.Put("qB", MakePlan(1));
+  cache.LinkSql("SELECT B", "qB");
+  EXPECT_EQ(cache.sql_index_size(), 2u);
+
+  // Capacity eviction takes qA (LRU) and only qA's mapping.
+  cache.Put("qC", MakePlan(1));
+  cache.LinkSql("SELECT C", "qC");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.sql_index_size(), 2u);
+  EXPECT_EQ(cache.GetSql("SELECT A", 1), nullptr);
+  ASSERT_NE(cache.GetSql("SELECT B", 1), nullptr);  // survivor still linked
+  ASSERT_NE(cache.GetSql("SELECT C", 1), nullptr);
+
+  // Epoch hard-drop through the keyed path prunes the mapping too.
+  EXPECT_EQ(cache.Get("qB", 2), nullptr);
+  EXPECT_EQ(cache.sql_index_size(), 1u);
+  EXPECT_EQ(cache.GetSql("SELECT B", 1), nullptr);
+}
+
+TEST(PlanCacheTest, LinkSqlAnchorsToLiveEntriesOnly) {
+  PlanCache cache(4);
+  // Linking to an uncached key is a no-op, not a dangling mapping.
+  cache.LinkSql("SELECT X", "missing");
+  EXPECT_EQ(cache.sql_index_size(), 0u);
+
+  // Re-linking a spelling moves it between entries cleanly: evicting the
+  // old entry afterwards must not take the moved mapping with it.
+  cache.Put("q1", MakePlan(1));
+  cache.Put("q2", MakePlan(1));
+  cache.LinkSql("SELECT X", "q1");
+  cache.LinkSql("SELECT X", "q2");
+  EXPECT_EQ(cache.sql_index_size(), 1u);
+  cache.Put("q1", MakePlan(2));  // refresh drops the old q1 entry
+  ASSERT_NE(cache.Get("q2", 1), nullptr);
+  ASSERT_NE(cache.GetSql("SELECT X", 1), nullptr);
+
+  // The per-entry alias cap bounds the side index: oldest spelling first.
+  for (size_t i = 0; i < PlanCache::kMaxSqlAliases + 2; ++i) {
+    cache.LinkSql("SELECT X /* " + std::to_string(i) + " */", "q2");
+  }
+  EXPECT_EQ(cache.sql_index_size(), PlanCache::kMaxSqlAliases);
+  EXPECT_EQ(cache.GetSql("SELECT X /* 0 */", 1), nullptr);
+  ASSERT_NE(cache.GetSql("SELECT X /* 3 */", 1), nullptr);
+}
+
 // --- Engine-level contract -------------------------------------------------
 
 std::unique_ptr<AnalyticsEngine> MakeEngine(const Table& table,
